@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round -- the experiments are already internally averaged), then
+prints the reproduced table and archives it under
+``benchmarks/results/<experiment-id>.txt``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(capsys):
+    """Print and archive an ExperimentResult; returns it for assertions."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(result)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+        return result
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,51 @@
+"""Ablation: sparse index encodings for AGsparse (§2's strawman variants)."""
+
+import numpy as np
+
+from repro.baselines import AGsparseAllReduce
+from repro.bench.harness import ExperimentResult, tensor_elements
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+
+def ablation_encodings() -> ExperimentResult:
+    elements = tensor_elements(2.0)
+    workers = 8
+    result = ExperimentResult(
+        "ablation-encodings",
+        "AGsparse wire volume (MB) by index encoding",
+        ["sparsity", "coo", "bitmask", "rle"],
+    )
+    for sparsity in (0.5, 0.9, 0.99):
+        tensors = block_sparse_tensors(
+            workers, elements, 256, sparsity, rng=np.random.default_rng(1)
+        )
+        row = {"sparsity": int(sparsity * 100)}
+        for encoding in ("coo", "bitmask", "rle"):
+            cluster = Cluster(
+                ClusterSpec(workers=workers, aggregators=1, bandwidth_gbps=10,
+                            transport="tcp")
+            )
+            r = AGsparseAllReduce(
+                cluster, index_encoding=encoding, include_conversion=False
+            ).allreduce(tensors)
+            row[encoding] = r.bytes_sent / 1e6
+        result.add_row(**row)
+    result.notes.append(
+        "block-structured non-zeros cluster, so run-length gaps beat "
+        "per-key indices; the bitmask wins at moderate density -- but "
+        "none changes AGsparse's O(N) gather volume, which is why the "
+        "paper attacks the algorithm, not the encoding"
+    )
+    return result
+
+
+def test_ablation_encodings(run_once, record):
+    result = record(run_once(ablation_encodings))
+    # At 50% density, explicit keys are the worst encoding.
+    mid = result.row_where(sparsity=50)
+    assert mid["rle"] < mid["coo"]
+    assert mid["bitmask"] < mid["coo"]
+    # At 99% sparsity the differences shrink (values dominate).
+    high = result.row_where(sparsity=99)
+    assert high["coo"] / high["rle"] < mid["coo"] / mid["rle"]

@@ -1,0 +1,14 @@
+"""Ablation: pipeline depth (streams per shard) -- DESIGN.md design choice."""
+
+from repro.bench import ablation_streams
+
+
+def test_ablation_streams(run_once, record):
+    result = record(run_once(ablation_streams))
+
+    times = {row["streams_per_shard"]: row["time_ms"] for row in result.rows}
+    # A single-slot pipeline cannot mask round-trip latency: deep
+    # pipelines are much faster.
+    assert times[1] > times[32] * 1.5
+    # Returns diminish once in-flight data covers the BDP.
+    assert times[64] > times[32] * 0.7

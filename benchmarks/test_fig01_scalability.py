@@ -1,0 +1,19 @@
+"""Figure 1: poor scalability of DDL workloads under NCCL at 10 Gbps."""
+
+from repro.bench import fig01_scalability
+
+
+def test_fig01(run_once, record):
+    result = record(run_once(fig01_scalability))
+
+    for row in result.rows:
+        # Scaling factors are in (0, 1] and degrade with more workers.
+        for key in ("workers_2", "workers_4", "workers_8"):
+            assert 0 < row[key] <= 1.0
+        assert row["workers_8"] <= row["workers_2"] + 1e-6
+
+    # The big embedding models scale far worse than ResNet152 (paper).
+    deeplight = result.row_where(workload="deeplight")
+    resnet = result.row_where(workload="resnet152")
+    assert deeplight["workers_8"] < 0.1
+    assert resnet["workers_8"] > 0.85

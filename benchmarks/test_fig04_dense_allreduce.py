@@ -1,0 +1,29 @@
+"""Figure 4: AllReduce completion time across stacks, workers, sparsity."""
+
+from repro.bench import fig04_dense_allreduce
+
+
+def test_fig04(run_once, record):
+    result = record(run_once(fig04_dense_allreduce))
+
+    for stack in ("DPDK-10G", "RDMA-100G", "GDR-100G"):
+        row8 = result.row_where(stack=stack, workers=8)
+        if stack == "RDMA-100G":
+            # Without GDR the PCIe copy floors completion time at
+            # 100 Gbps: sparsity stops helping above ~90% (§6.1.1).
+            assert row8["omni_s99"] < row8["omni_s0"] * 1.05
+            assert row8["omni_s99"] < row8["omni_s90"] * 1.15
+        else:
+            # OmniReduce gains monotonically with sparsity.
+            assert row8["omni_s99"] < row8["omni_s90"] < row8["omni_s0"]
+        # At 99% sparsity OmniReduce clearly beats NCCL (paper: 6.3x DPDK,
+        # 5.5x at 100G).  The RDMA (non-GDR) stack is capped by the
+        # modeled full-tensor PCIe prefetch of Appendix B, so it only has
+        # to beat NCCL, not reach the GDR factor (see EXPERIMENTS.md).
+        floor = 1.4 if stack == "RDMA-100G" else 3.0
+        assert row8["nccl"] / row8["omni_s99"] > floor
+        # Dense OmniReduce stays roughly flat in workers (paper's
+        # scalability claim), while NCCL ring time grows.
+        row2 = result.row_where(stack=stack, workers=2)
+        assert row8["nccl"] > row2["nccl"]
+        assert row8["omni_s0"] < row2["omni_s0"] * 1.6

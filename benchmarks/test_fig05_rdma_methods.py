@@ -1,0 +1,24 @@
+"""Figure 5: dense-AllReduce methods at 100 Gbps vs sparsity."""
+
+from repro.bench import fig05_rdma_methods
+
+
+def test_fig05(run_once, record):
+    result = record(run_once(fig05_rdma_methods))
+
+    dense = result.row_where(sparsity=0)
+    very_sparse = result.row_where(sparsity=99)
+
+    # BytePS performs very closely to NCCL (paper).
+    assert 0.5 < dense["byteps"] / dense["nccl_rdma"] < 1.6
+    # SwitchML* beats NCCL on dense tensors (streaming aggregation).
+    assert dense["switchml"] < dense["nccl_rdma"]
+    # GDR OmniReduce beats NCCL at every sparsity level (paper).
+    for row in result.rows:
+        assert row["omni_gdr"] < row["nccl_rdma"]
+    # RDMA (non-GDR) flattens at high sparsity: the PCIe copy floor means
+    # 90->99% barely improves, while GDR keeps improving (paper §6.1.1).
+    s90 = result.row_where(sparsity=90)
+    rdma_gain = s90["omni_rdma"] / very_sparse["omni_rdma"]
+    gdr_gain = s90["omni_gdr"] / very_sparse["omni_gdr"]
+    assert gdr_gain > rdma_gain

@@ -1,0 +1,32 @@
+"""Figure 6: sparse-AllReduce speedups over dense NCCL at 10 Gbps."""
+
+from repro.bench import fig06_sparse_methods
+
+
+def test_fig06(run_once, record):
+    result = record(run_once(fig06_sparse_methods))
+
+    # OmniReduce outperforms every other approach at every sparsity.
+    for row in result.rows:
+        best_omni = max(row["omni_rdma"], row["omni_dpdk"])
+        for other in ("sparcml_ssar", "sparcml_dsar", "agsparse_nccl",
+                      "agsparse_gloo", "parallax"):
+            assert best_omni > row[other]
+
+    # OmniReduce achieves at least ~1.5x at any sparsity (paper).
+    for row in result.rows:
+        assert row["omni_rdma"] > 1.3
+
+    # Crossover structure: SparCML beneficial only above ~90%,
+    # AGsparse(NCCL) only above ~95%, Parallax only near 99% (paper:
+    # 90% / 98% / 99%).
+    assert result.row_where(sparsity=80)["sparcml_dsar"] < 1.1
+    assert result.row_where(sparsity=96)["sparcml_dsar"] > 1.0
+    assert result.row_where(sparsity=80)["agsparse_nccl"] < 1.0
+    assert result.row_where(sparsity=99)["agsparse_nccl"] > 1.0
+    assert result.row_where(sparsity=90)["parallax"] < 1.1
+    assert result.row_where(sparsity=99)["parallax"] > 1.0
+
+    # Gloo flavour is slower than the NCCL flavour of AGsparse.
+    for row in result.rows:
+        assert row["agsparse_gloo"] <= row["agsparse_nccl"] * 1.05

@@ -1,0 +1,21 @@
+"""Figure 8: AllReduce breakdown including format conversion (s=99%)."""
+
+from repro.bench import fig08_format_conversion
+
+
+def test_fig08(run_once, record):
+    result = record(run_once(fig08_format_conversion))
+
+    omni = result.row_where(method="OmniReduce")
+    # OmniReduce pays no conversion at all.
+    assert omni["dense_to_sparse"] == 0.0
+    assert omni["sparse_to_dense"] == 0.0
+
+    # Sparse-format methods pay both conversions.
+    agsparse = result.row_where(method="AGsparse(NCCL)")
+    assert agsparse["dense_to_sparse"] > 0
+    assert agsparse["sparse_to_dense"] > 0
+
+    # Including conversion, OmniReduce has the smallest total time.
+    totals = {row["method"]: row["total"] for row in result.rows}
+    assert totals["OmniReduce"] == min(totals.values())

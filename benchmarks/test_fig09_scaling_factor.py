@@ -1,0 +1,20 @@
+"""Figure 9: scaling factor, NCCL vs OmniReduce (8 workers, 10 Gbps)."""
+
+from repro.bench import fig09_scaling_factor
+
+
+def test_fig09(run_once, record):
+    result = record(run_once(fig09_scaling_factor))
+
+    for row in result.rows:
+        # OmniReduce improves scalability for every workload (paper).
+        assert row["omnireduce"] > row["nccl"]
+        # The NCCL bars are calibrated against the paper's measurements;
+        # simulation overheads keep them within ~20%.
+        assert row["nccl"] == row["paper_nccl"] * 1.0 or abs(
+            row["nccl"] - row["paper_nccl"]
+        ) / row["paper_nccl"] < 0.25
+
+    # Largest improvements on the sparsest models (paper: DeepLight 8.2x).
+    deeplight = result.row_where(workload="deeplight")
+    assert deeplight["omnireduce"] / deeplight["nccl"] > 4.0

@@ -1,0 +1,15 @@
+"""Figure 13: multi-GPU microbenchmark (6 servers x 8 GPUs)."""
+
+from repro.bench import fig13_multigpu_micro
+
+
+def test_fig13(run_once, record):
+    result = record(run_once(fig13_multigpu_micro))
+
+    for row in result.rows:
+        # OmniReduce never loses to NCCL in the multi-GPU setting (paper).
+        assert row["omnireduce"] <= row["nccl"] * 1.05
+
+    # Clear win at 99% sparsity (paper: up to 2.5x).
+    row99 = result.row_where(sparsity=99)
+    assert row99["nccl"] / row99["omnireduce"] > 1.5

@@ -1,0 +1,17 @@
+"""Figure 14: multi-GPU end-to-end training speedup."""
+
+from repro.bench import fig14_multigpu_training
+
+
+def test_fig14(run_once, record):
+    result = record(run_once(fig14_multigpu_training))
+
+    # Sparse models still gain; dense models do not regress (paper:
+    # 2.6x DeepLight ... 1.0x ResNet152).
+    assert result.row_where(workload="deeplight")["speedup"] > 1.5
+    for row in result.rows:
+        assert row["speedup"] > 0.9
+
+    # DeepLight remains the biggest winner.
+    speedups = {row["workload"]: row["speedup"] for row in result.rows}
+    assert max(speedups, key=speedups.get) == "deeplight"

@@ -1,0 +1,25 @@
+"""Figure 15: block size x sparsity with and without Block Fusion."""
+
+from repro.bench import fig15_block_size
+
+
+def test_fig15(run_once, record):
+    result = record(run_once(fig15_block_size))
+
+    def row(bs, fusion):
+        return result.row_where(block_size=bs, fusion=fusion)
+
+    # Without fusion, small blocks are badly hurt on dense data: tiny
+    # payloads waste the packet budget (paper: "very sensitive").
+    assert row(32, "NBF")["s0"] > row(256, "NBF")["s0"] * 2.0
+
+    # Block Fusion stabilizes performance across block sizes.
+    fused_dense = [row(bs, "BF")["s0"] for bs in (32, 64, 128, 256)]
+    assert max(fused_dense) < min(fused_dense) * 1.6
+
+    # Fusion never hurts small blocks.
+    for bs in (32, 64, 128):
+        assert row(bs, "BF")["s0"] <= row(bs, "NBF")["s0"] * 1.05
+
+    # Sparsity still pays off under fusion.
+    assert row(256, "BF")["s99"] < row(256, "BF")["s0"]

@@ -1,0 +1,27 @@
+"""Figure 16: block sparsity and within-block density vs block size."""
+
+from repro.bench import fig16_block_sparsity
+
+
+def test_fig16(run_once, record):
+    result = record(run_once(fig16_block_sparsity))
+
+    def row(workload, metric):
+        return result.row_where(workload=workload, metric=metric)
+
+    # Embedding models maintain block sparsity at packet-size blocks.
+    for name in ("deeplight", "lstm"):
+        sparsity = row(name, "block_sparsity")
+        assert sparsity["bs_256"] > 0.9
+        assert sparsity["bs_256"] > sparsity["bs_1"] * 0.85
+
+    # CV models lose their element-level sparsity almost immediately.
+    for name in ("vgg19", "resnet152"):
+        sparsity = row(name, "block_sparsity")
+        assert sparsity["bs_1"] > 0.15
+        assert sparsity["bs_32"] < 0.05
+
+    # Density within non-zero blocks stays high for row-structured
+    # embedding gradients (paper: "does not decrease too drastically").
+    assert row("lstm", "within_density")["bs_256"] > 0.5
+    assert row("bert", "within_density")["bs_256"] > 0.5

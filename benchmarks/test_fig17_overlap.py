@@ -1,0 +1,24 @@
+"""Figure 17: effect of non-zero block overlap among workers."""
+
+import math
+
+from repro.bench import fig17_overlap
+
+
+def test_fig17(run_once, record):
+    result = record(run_once(fig17_overlap))
+
+    # At very high sparsity the impact of overlap is small (paper).
+    row99 = result.row_where(sparsity=99, workers=8)
+    assert row99["all"] <= row99["none"]
+    assert row99["none"] / row99["all"] < 4.0
+
+    # In the middle band "all overlap" is clearly better than "none"
+    # (paper: significantly better for s in [60%, 90%]).
+    row90 = result.row_where(sparsity=90, workers=8)
+    assert row90["all"] < row90["random"]
+
+    # Dense tensors: overlap modes are irrelevant (union = everything).
+    row0 = result.row_where(sparsity=0, workers=8)
+    assert math.isnan(row0["none"])  # infeasible to generate disjointly
+    assert abs(row0["all"] - row0["random"]) / row0["random"] < 0.1

@@ -1,0 +1,19 @@
+"""Figure 18: in-network (P4) aggregator vs server aggregator."""
+
+from repro.bench import fig18_p4_aggregator
+
+
+def test_fig18(run_once, record):
+    result = record(run_once(fig18_p4_aggregator))
+
+    for row in result.rows:
+        # The switch offload is at least as fast as the single-server
+        # aggregator at the same block size (paper: "slightly faster").
+        assert row["p4_bs256"] >= row["server_bs256"] * 0.95
+
+    # The tiny bs=34 blocks pay packet-efficiency costs on dense data.
+    dense = result.row_where(sparsity=0)
+    assert dense["p4_bs34"] < dense["p4_bs256"]
+
+    # Sparsity still drives the overall speedup.
+    assert result.row_where(sparsity=99)["p4_bs256"] > dense["p4_bs256"]

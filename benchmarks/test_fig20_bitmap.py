@@ -1,0 +1,16 @@
+"""Figure 20: bitmap-calculation cost vs block size."""
+
+from repro.bench import fig20_bitmap_cost
+
+
+def test_fig20(run_once, record):
+    result = record(run_once(fig20_bitmap_cost))
+
+    times = {row["block_size"]: row["bitmap_ms"] for row in result.rows}
+    # Monotonically decreasing in block size.
+    ordered = [times[bs] for bs in sorted(times)]
+    assert ordered == sorted(ordered, reverse=True)
+    # Calibration anchors from the paper's V100 curve.
+    assert 20 < times[1] < 80       # tens of ms at block size 1
+    assert times[16] < 5            # negligible from 16 up
+    assert times[256] < 1

@@ -1,0 +1,19 @@
+"""Figure 21 / Appendix D: completion-time penalty under packet loss."""
+
+from repro.bench import fig21_loss_recovery
+
+
+def test_fig21(run_once, record):
+    result = record(run_once(fig21_loss_recovery))
+
+    worst = result.row_where(loss_rate="1.00%")
+    mild = result.row_where(loss_rate="0.01%")
+
+    # OmniReduce's per-packet retransmission degrades gracefully at every
+    # sparsity level; TCP collectives collapse at 1% loss (paper).
+    for key in ("omni_s0", "omni_s90", "omni_s99"):
+        assert worst[key] < worst["nccl_tcp"]
+        assert worst[key] < worst["gloo"]
+
+    # The penalty grows with the loss rate for the TCP baselines.
+    assert worst["nccl_tcp"] > mild["nccl_tcp"]

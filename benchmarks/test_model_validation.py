@@ -1,0 +1,17 @@
+"""§3.4 model validation: simulator vs closed-form completion times."""
+
+from repro.bench import model_validation
+
+
+def test_model_validation(run_once, record):
+    result = record(run_once(model_validation))
+
+    for row in result.rows:
+        # The ring simulation tracks the Patarasuk model within ~30%
+        # (headers, per-packet costs, store-and-forward of segments).
+        assert 0.9 < row["ring_ratio"] < 1.35
+        # OmniReduce's best case (full overlap, GDR) lands within ~2.5x
+        # of the idealized alpha + D*S/B bound -- the bound ignores the
+        # result multicast sharing the worker's ingress and all protocol
+        # metadata, so some slack is expected.
+        assert 0.9 < row["omni_ratio"] < 2.6

@@ -1,0 +1,18 @@
+"""Table 1: workload characteristics and OmniReduce communication."""
+
+from repro.bench import table1_workloads
+
+
+def test_table1(run_once, record):
+    result = record(run_once(table1_workloads))
+
+    assert len(result.rows) == 6
+    for row in result.rows:
+        # The generated gradients hit the paper's measured per-worker
+        # communication fraction within 2 points.
+        assert abs(row["comm_pct_measured"] - row["comm_pct_spec"]) < 2.0
+
+    deeplight = result.row_where(workload="deeplight")
+    assert deeplight["comm_pct_spec"] < 1.0  # 16 MB of 2.26 GB
+    vgg = result.row_where(workload="vgg19")
+    assert vgg["comm_pct_spec"] == 100.0

@@ -1,0 +1,48 @@
+"""End-to-end DDL scenario: training DeepLight and BERT across a cluster.
+
+Reproduces the paper's motivating story (Figure 1 / Figure 9 / Figure
+10) for two contrasting workloads: DeepLight (2.26 GB model, 99.7%
+sparse gradients) and ResNet152 (230 MB, dense).  For each we simulate
+a training iteration -- calibrated compute plus a packet-level
+simulation of the gradient AllReduce -- under NCCL ring and OmniReduce,
+at 2, 4 and 8 workers on a 10 Gbps fabric.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.ddl import WORKLOADS, TrainingSimulator
+from repro.netsim import ClusterSpec
+
+
+def main() -> None:
+    for name in ("deeplight", "resnet152"):
+        workload = WORKLOADS[name]
+        print(f"\n{name}: {workload.total_bytes / 1e9:.2f} GB model, "
+              f"{workload.element_sparsity:.1%} gradient sparsity, "
+              f"batch {workload.batch_size}")
+        print(f"{'workers':>8} {'nccl sf':>9} {'omni sf':>9} "
+              f"{'nccl iter':>10} {'omni iter':>10} {'speedup':>8}")
+        simulator = TrainingSimulator(workload, scale_elements=1 << 19, samples=1)
+        for workers in (2, 4, 8):
+            nccl = simulator.measure(
+                "ring",
+                ClusterSpec(workers=workers, aggregators=8,
+                            bandwidth_gbps=10, transport="tcp"),
+            )
+            omni = simulator.measure(
+                "omnireduce",
+                ClusterSpec(workers=workers, aggregators=8,
+                            bandwidth_gbps=10, transport="dpdk"),
+            )
+            print(f"{workers:>8} {nccl.scaling_factor:>9.3f} "
+                  f"{omni.scaling_factor:>9.3f} "
+                  f"{nccl.iteration_time_s:>9.2f}s "
+                  f"{omni.iteration_time_s:>9.2f}s "
+                  f"{omni.speedup_over(nccl):>7.2f}x")
+    print("\n(compare Figure 9: OmniReduce lifts DeepLight's 8-worker "
+          "scaling factor from ~0.04 to ~0.36 while ResNet152 is compute-"
+          "bound either way)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Sparse-native collectives: key-value AllReduce, AllGather, Broadcast.
+
+Three lesser-known corners of the system on one scenario -- aggregating
+embedding-table gradients where each worker touched a different handful
+of rows:
+
+* Algorithm 3 (§3.3): AllReduce directly on COO key-value data.
+* §7 generalized collectives: AllGather and Broadcast through the same
+  zero-block-skipping aggregator.
+
+Run:  python examples/sparse_embedding.py
+"""
+
+import numpy as np
+
+from repro import Cluster, ClusterSpec, OmniReduce
+from repro.core.sparse_block import SparseOmniReduce
+from repro.tensors import CooTensor
+
+
+def embedding_gradients(workers, vocab, dim, rows_per_worker, rng):
+    """Each worker's batch touches a few embedding rows."""
+    tensors = []
+    for _ in range(workers):
+        dense = np.zeros(vocab * dim, dtype=np.float32)
+        rows = rng.choice(vocab, size=rows_per_worker, replace=False)
+        for row in rows:
+            dense[row * dim : (row + 1) * dim] = rng.standard_normal(dim)
+        tensors.append(dense)
+    return tensors
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    workers, vocab, dim = 4, 2000, 32
+    tensors = embedding_gradients(workers, vocab, dim, rows_per_worker=40, rng=rng)
+    expected = np.sum(np.stack(tensors), axis=0)
+
+    def fresh_cluster():
+        return Cluster(
+            ClusterSpec(workers=workers, aggregators=2,
+                        bandwidth_gbps=10, transport="rdma")
+        )
+
+    # 1. Dense-block OmniReduce (what DDL training uses).
+    dense_result = OmniReduce(fresh_cluster()).allreduce(tensors)
+    assert np.allclose(dense_result.output, expected, rtol=1e-4, atol=1e-4)
+
+    # 2. Algorithm 3: the same reduction on key-value (COO) inputs.
+    coo_inputs = [CooTensor.from_dense(t) for t in tensors]
+    kv = SparseOmniReduce(fresh_cluster(), block_size=128)
+    kv_result = kv.allreduce(coo_inputs)
+    assert np.allclose(kv_result.output, expected, rtol=1e-4, atol=1e-4)
+
+    density = coo_inputs[0].density
+    print(f"embedding gradient: {vocab}x{dim} table, "
+          f"{density:.1%} dense per worker")
+    print(f"  dense-block AllReduce : {dense_result.time_s * 1e6:8.1f} us, "
+          f"{dense_result.bytes_sent / 1e3:7.1f} KB on the wire")
+    print(f"  key-value AllReduce   : {kv_result.time_s * 1e6:8.1f} us, "
+          f"{kv_result.bytes_sent / 1e3:7.1f} KB on the wire")
+
+    # 3. §7 collectives: AllGather and Broadcast reuse the aggregator.
+    shards = [rng.standard_normal(512).astype(np.float32) for _ in range(workers)]
+    gathered = OmniReduce(fresh_cluster()).allgather(shards)
+    assert np.allclose(gathered.output, np.concatenate(shards), rtol=1e-5)
+    print(f"  AllGather (4 x 2 KB)  : {gathered.time_s * 1e6:8.1f} us")
+
+    checkpoint = rng.standard_normal(4096).astype(np.float32)
+    broadcast = OmniReduce(fresh_cluster()).broadcast(checkpoint, root=0)
+    assert np.allclose(broadcast.outputs[3], checkpoint, rtol=1e-5)
+    print(f"  Broadcast (16 KB)     : {broadcast.time_s * 1e6:8.1f} us")
+
+
+if __name__ == "__main__":
+    main()

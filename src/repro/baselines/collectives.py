@@ -1,0 +1,137 @@
+"""Dense AllGather and Broadcast baselines (for the §7 comparison).
+
+§7 observes that OmniReduce's aggregator generalizes to AllGather and
+Broadcast and "improves the efficiency for these collectives" by not
+sending zero blocks.  These are the standard dense counterparts to
+compare against:
+
+* ring AllGather -- each worker forwards the piece it received last
+  round; ``N-1`` rounds, ``(N-1)/N * total`` bytes per worker -- the
+  bandwidth-optimal dense algorithm NCCL/Gloo use.
+* binomial-tree Broadcast -- ``ceil(log2 N)`` rounds; in round ``k``
+  every holder forwards to a worker at distance ``2^k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.collective import CollectiveResult
+from ..netsim.cluster import Cluster
+from .common import MeasuredRun, SegmentedChannel, fresh_prefix
+
+__all__ = ["ring_allgather", "tree_broadcast"]
+
+SEGMENT_BYTES = 65536
+
+
+def ring_allgather(
+    cluster: Cluster, tensors: Sequence[np.ndarray]
+) -> CollectiveResult:
+    """Dense ring AllGather: every worker ends with the concatenation."""
+    sim = cluster.sim
+    workers = cluster.spec.workers
+    if len(tensors) != workers:
+        raise ValueError(f"expected {workers} tensors, got {len(tensors)}")
+    flats = [np.ascontiguousarray(t).reshape(-1).astype(np.float32) for t in tensors]
+    if any(f.size == 0 for f in flats):
+        raise ValueError("cannot gather empty tensors")
+
+    prefix = fresh_prefix("ag")
+    flow = f"{prefix}.x"
+    run = MeasuredRun(cluster, flow)
+    hosts = cluster.worker_hosts
+    transport = cluster.transport
+    channels = [
+        SegmentedChannel(
+            transport.endpoint(hosts[i], f"{prefix}.w{i}"), flow, SEGMENT_BYTES
+        )
+        for i in range(workers)
+    ]
+    outputs: List[Optional[np.ndarray]] = [None] * workers
+
+    def worker_proc(rank: int):
+        channel = channels[rank]
+        succ = (rank + 1) % workers
+        pieces: List[Optional[np.ndarray]] = [None] * workers
+        pieces[rank] = flats[rank]
+        current = flats[rank]
+        for step in range(workers - 1):
+            channel.send(
+                hosts[succ], f"{prefix}.w{succ}", step, current,
+                max(1, current.size * 4),
+            )
+            current = yield from channel.recv(step)
+            origin = (rank - step - 1) % workers
+            pieces[origin] = current
+        outputs[rank] = np.concatenate(pieces)  # type: ignore[arg-type]
+        return sim.now
+
+    processes = [
+        sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
+        for rank in range(workers)
+    ]
+    sim.run(until=sim.all_of(processes))
+    return run.finish(list(outputs), rounds=workers - 1)
+
+
+def tree_broadcast(
+    cluster: Cluster, tensor: np.ndarray, root: int = 0
+) -> CollectiveResult:
+    """Binomial-tree Broadcast of ``tensor`` from ``root``."""
+    sim = cluster.sim
+    workers = cluster.spec.workers
+    if not 0 <= root < workers:
+        raise ValueError(f"root {root} out of range for {workers} workers")
+    flat = np.ascontiguousarray(tensor).reshape(-1).astype(np.float32)
+    if flat.size == 0:
+        raise ValueError("cannot broadcast an empty tensor")
+
+    prefix = fresh_prefix("bc")
+    flow = f"{prefix}.x"
+    run = MeasuredRun(cluster, flow)
+    hosts = cluster.worker_hosts
+    transport = cluster.transport
+    channels = [
+        SegmentedChannel(
+            transport.endpoint(hosts[i], f"{prefix}.w{i}"), flow, SEGMENT_BYTES
+        )
+        for i in range(workers)
+    ]
+    outputs: List[Optional[np.ndarray]] = [None] * workers
+    rounds = max(1, (workers - 1).bit_length()) if workers > 1 else 0
+
+    def worker_proc(rank: int):
+        channel = channels[rank]
+        # Work in root-relative rank space: virtual rank 0 is the root.
+        virtual = (rank - root) % workers
+        if virtual == 0:
+            data = flat
+        else:
+            # Receive in the round where a holder reaches this rank: the
+            # sender is at distance 2^k below, for the k where bit k is
+            # the highest set bit of the virtual rank.
+            recv_round = virtual.bit_length() - 1
+            data = yield from channel.recv(recv_round)
+        # Forward in every later round to virtual + 2^k, while in range.
+        start_round = 0 if virtual == 0 else virtual.bit_length()
+        for k in range(start_round, rounds):
+            target_virtual = virtual + (1 << k)
+            if target_virtual >= workers:
+                continue
+            target = (target_virtual + root) % workers
+            channel.send(
+                hosts[target], f"{prefix}.w{target}", k, data,
+                max(1, data.size * 4),
+            )
+        outputs[rank] = np.array(data, copy=True)
+        return sim.now
+
+    processes = [
+        sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
+        for rank in range(workers)
+    ]
+    sim.run(until=sim.all_of(processes))
+    return run.finish(list(outputs), rounds=rounds)

@@ -1,0 +1,149 @@
+"""Shared machinery for the baseline collectives.
+
+Every baseline measures itself the same way: snapshot the cluster's
+traffic counters, run its worker processes to completion, and return a
+:class:`~repro.core.collective.CollectiveResult`.  The segmented
+send/receive helpers keep large logical messages within the transport's
+payload limit and immune to retransmission-induced reordering (messages
+carry explicit tags, receivers buffer out-of-order segments).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.collective import CollectiveResult
+from ..netsim.cluster import Cluster
+from ..netsim.transport import Endpoint
+
+__all__ = [
+    "MeasuredRun",
+    "SegmentedChannel",
+    "fresh_prefix",
+    "validate_equal_tensors",
+    "LOCAL_REDUCE_PER_PAIR_S",
+    "LOCAL_REDUCE_BASE_S",
+]
+
+_op_ids = itertools.count()
+
+#: Cost model for local sparse reductions (merging key-value lists on
+#: the GPU): a fixed kernel cost plus a per-pair merge cost.  Calibrated
+#: so that AGsparse's serialized local reduction breaks even against
+#: dense ring AllReduce only near 98% sparsity (Figure 6) while SparCML's
+#: per-partition merges stay cheap.
+LOCAL_REDUCE_PER_PAIR_S = 4.0e-9
+LOCAL_REDUCE_BASE_S = 2.0e-5
+
+
+def fresh_prefix(name: str) -> str:
+    return f"{name}{next(_op_ids)}"
+
+
+def validate_equal_tensors(
+    cluster: Cluster, tensors: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    if len(tensors) != cluster.spec.workers:
+        raise ValueError(
+            f"expected {cluster.spec.workers} tensors, got {len(tensors)}"
+        )
+    flats = [np.ascontiguousarray(t).reshape(-1).astype(np.float32) for t in tensors]
+    size = flats[0].size
+    if size == 0:
+        raise ValueError("cannot reduce empty tensors")
+    if any(f.size != size for f in flats):
+        raise ValueError("all workers must supply tensors of equal length")
+    return flats
+
+
+class MeasuredRun:
+    """Snapshot cluster counters and build a CollectiveResult at the end."""
+
+    def __init__(self, cluster: Cluster, flow: str) -> None:
+        self.cluster = cluster
+        self.flow = flow
+        self.start = cluster.sim.now
+        stats = cluster.stats
+        self._bytes_before = stats.total_bytes_sent
+        self._packets_before = sum(stats.packets_sent.values())
+        self._flow_before = stats.flow_bytes.get(flow, 0)
+
+    def finish(self, outputs: List[np.ndarray], rounds: int = 0, **details) -> CollectiveResult:
+        stats = self.cluster.stats
+        return CollectiveResult(
+            outputs=outputs,
+            time_s=self.cluster.sim.now - self.start,
+            bytes_sent=stats.total_bytes_sent - self._bytes_before,
+            packets_sent=sum(stats.packets_sent.values()) - self._packets_before,
+            upward_bytes=stats.flow_bytes.get(self.flow, 0) - self._flow_before,
+            downward_bytes=0,
+            rounds=rounds,
+            retransmissions=0,
+            duplicates=0,
+            details=dict(details),
+        )
+
+
+class SegmentedChannel:
+    """Tagged, segmented message exchange over one endpoint.
+
+    ``send(dst_host, dst_port, tag, payload_object, nbytes)`` splits the
+    *byte accounting* into MTU-respecting segments; the payload object
+    travels with the final segment, earlier segments are pure filler.
+    ``recv(tag)`` is a generator that buffers out-of-order tags.
+    """
+
+    def __init__(self, endpoint: Endpoint, flow: str, segment_bytes: int) -> None:
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self.endpoint = endpoint
+        self.flow = flow
+        self.segment_bytes = min(
+            segment_bytes, endpoint.transport.max_payload_bytes()
+        )
+        self._body: Dict[Any, Any] = {}
+        self._arrived: Dict[Any, int] = {}
+        self._total: Dict[Any, int] = {}
+
+    def send(self, dst_host: str, dst_port: str, tag: Any, payload: Any, nbytes: int) -> None:
+        nbytes = max(1, nbytes)
+        nseg = -(-nbytes // self.segment_bytes)
+        for seg in range(nseg):
+            seg_bytes = min(self.segment_bytes, nbytes - seg * self.segment_bytes)
+            body = payload if seg == nseg - 1 else None
+            self.endpoint.send(
+                dst_host,
+                dst_port,
+                (tag, seg, nseg, body),
+                seg_bytes,
+                flow=self.flow,
+            )
+
+    def _complete(self, tag: Any) -> bool:
+        return tag in self._total and self._arrived.get(tag, 0) == self._total[tag]
+
+    def recv(self, tag: Any):
+        """Generator: yields recv events until message ``tag`` is complete
+        (every segment arrived), then returns its payload object."""
+        _, payload = yield from self.recv_any([tag])
+        return payload
+
+    def recv_any(self, tags):
+        """Generator: wait until any of ``tags`` is complete; returns
+        ``(tag, payload)`` for the first one that finishes."""
+        tags = list(tags)
+        while True:
+            for tag in tags:
+                if self._complete(tag):
+                    self._arrived.pop(tag, None)
+                    self._total.pop(tag, None)
+                    return tag, self._body.pop(tag)
+            packet = yield self.endpoint.recv()
+            got_tag, seg, nseg, body = packet.payload
+            self._arrived[got_tag] = self._arrived.get(got_tag, 0) + 1
+            self._total[got_tag] = nseg
+            if seg == nseg - 1:
+                self._body[got_tag] = body

@@ -1,0 +1,70 @@
+"""Uniform access to every AllReduce implementation in the repository.
+
+The benchmark harness iterates algorithms by name; each entry is a
+callable ``(cluster, tensors, **options) -> CollectiveResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..core.collective import CollectiveResult, OmniReduce
+from ..core.config import OmniReduceConfig
+from ..netsim.cluster import Cluster
+from .agsparse import agsparse_allreduce
+from .halving_doubling import halving_doubling_allreduce
+from .parallax import parallax_allreduce
+from .ps import ps_allreduce
+from .ring import ring_allreduce
+from .sparcml import sparcml_allreduce
+from .switchml import switchml_allreduce
+
+__all__ = ["ALGORITHMS", "run_allreduce"]
+
+
+def _omnireduce(cluster: Cluster, tensors: Sequence[np.ndarray], **opts):
+    config = opts.pop("config", None) or OmniReduceConfig(**opts)
+    return OmniReduce(cluster, config).allreduce(tensors)
+
+
+def _agsparse_gloo(cluster, tensors, **opts):
+    return agsparse_allreduce(cluster, tensors, backend="gloo", **opts)
+
+
+def _sparcml_ssar(cluster, tensors, **opts):
+    return sparcml_allreduce(cluster, tensors, mode="ssar", **opts)
+
+
+def _sparcml_dsar(cluster, tensors, **opts):
+    return sparcml_allreduce(cluster, tensors, mode="dsar", **opts)
+
+
+def _ps_sparse(cluster, tensors, **opts):
+    return ps_allreduce(cluster, tensors, sparse=True, **opts)
+
+
+ALGORITHMS: Dict[str, Callable[..., CollectiveResult]] = {
+    "omnireduce": _omnireduce,
+    "ring": ring_allreduce,  # NCCL / Gloo dense ring AllReduce
+    "halving-doubling": halving_doubling_allreduce,  # MPI/NCCL latency-optimal
+    "agsparse": agsparse_allreduce,  # AGsparse (NCCL flavour)
+    "agsparse-gloo": _agsparse_gloo,
+    "sparcml": sparcml_allreduce,  # auto mode
+    "sparcml-ssar": _sparcml_ssar,
+    "sparcml-dsar": _sparcml_dsar,
+    "ps": ps_allreduce,  # BytePS-style dense push-pull
+    "ps-sparse": _ps_sparse,
+    "parallax": parallax_allreduce,
+    "switchml": switchml_allreduce,
+}
+
+
+def run_allreduce(
+    name: str, cluster: Cluster, tensors: Sequence[np.ndarray], **options
+) -> CollectiveResult:
+    """Run the named AllReduce algorithm."""
+    if name not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name](cluster, tensors, **options)

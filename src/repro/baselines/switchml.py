@@ -1,0 +1,46 @@
+"""SwitchML* baseline (§6.1.1, §6.2.2).
+
+SwitchML [58] performs streaming aggregation exactly like OmniReduce's
+slot pipeline but has no notion of sparsity: every block is transmitted.
+The paper evaluates a server-based variant (SwitchML*) to isolate the
+contribution of streaming aggregation from that of zero-block skipping.
+
+Here SwitchML* is precisely OmniReduce with ``skip_zero_blocks=False``
+-- the same protocol engine streaming the dense tensor -- which makes
+the ablation exact by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.collective import CollectiveResult, OmniReduce
+from ..core.config import OmniReduceConfig
+from ..netsim.cluster import Cluster
+
+__all__ = ["SwitchMLAllReduce", "switchml_allreduce"]
+
+
+class SwitchMLAllReduce:
+    """Dense streaming aggregation (OmniReduce minus sparsity skipping)."""
+
+    def __init__(self, cluster: Cluster, config: Optional[OmniReduceConfig] = None):
+        base = config or OmniReduceConfig()
+        self._omni = OmniReduce(
+            cluster,
+            base.with_(skip_zero_blocks=False, charge_bitmap=False),
+        )
+
+    def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        result = self._omni.allreduce(tensors)
+        result.details["algorithm"] = "switchml*"
+        return result
+
+
+def switchml_allreduce(
+    cluster: Cluster, tensors: Sequence[np.ndarray], **kwargs
+) -> CollectiveResult:
+    """Convenience wrapper matching the baseline registry signature."""
+    return SwitchMLAllReduce(cluster, **kwargs).allreduce(tensors)

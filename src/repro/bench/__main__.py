@@ -1,0 +1,128 @@
+"""Command-line entry point: run any reproduced experiment by id.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench figure-6 figure-9
+    python -m repro.bench all
+
+Each experiment prints the same rows/series the paper's figure or table
+reports.  Sizes honour the REPRO_* environment variables documented in
+:mod:`repro.bench.harness`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from . import (
+    ablation_streams,
+    fig01_scalability,
+    fig04_dense_allreduce,
+    fig05_rdma_methods,
+    fig06_sparse_methods,
+    fig07_sparse_scalability,
+    fig08_format_conversion,
+    fig09_scaling_factor,
+    fig10_training_speedup,
+    fig11_compression_speedup,
+    fig12_compression_loss,
+    fig13_multigpu_micro,
+    fig14_multigpu_training,
+    fig15_block_size,
+    fig16_block_sparsity,
+    fig17_overlap,
+    fig18_p4_aggregator,
+    fig20_bitmap_cost,
+    fig21_loss_recovery,
+    format_table,
+    model_validation,
+    table1_workloads,
+    table2_overlap_breakdown,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure-1": fig01_scalability,
+    "figure-4": fig04_dense_allreduce,
+    "figure-5": fig05_rdma_methods,
+    "figure-6": fig06_sparse_methods,
+    "figure-7": fig07_sparse_scalability,
+    "figure-8": fig08_format_conversion,
+    "figure-9": fig09_scaling_factor,
+    "figure-10": fig10_training_speedup,
+    "figure-11": fig11_compression_speedup,
+    "figure-12": fig12_compression_loss,
+    "figure-13": fig13_multigpu_micro,
+    "figure-14": fig14_multigpu_training,
+    "figure-15": fig15_block_size,
+    "figure-16": fig16_block_sparsity,
+    "figure-17": fig17_overlap,
+    "figure-18": fig18_p4_aggregator,
+    "figure-20": fig20_bitmap_cost,
+    "figure-21": fig21_loss_recovery,
+    "table-1": table1_workloads,
+    "table-2": table2_overlap_breakdown,
+    "model-validation": model_validation,
+    "ablation-streams": ablation_streams,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables and figures of the OmniReduce paper.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each table to DIR/<experiment-id>.txt",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --save, additionally write DIR/<experiment-id>.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see available ids", file=sys.stderr)
+        return 2
+
+    save_dir = None
+    if args.save is not None:
+        import pathlib
+
+        save_dir = pathlib.Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        text = format_table(result)
+        print(text)
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        if save_dir is not None:
+            (save_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+            if args.json:
+                (save_dir / f"{result.experiment_id}.json").write_text(
+                    result.to_json() + "\n"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

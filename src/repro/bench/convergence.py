@@ -1,0 +1,180 @@
+"""Convergence experiments: Figures 11, 12 and Figure 20.
+
+Figure 11/12 reproduce the block-compression convergence study on the
+substituted small-model task (see DESIGN.md): four block compressors at
+roughly 1% compression-equivalent settings, with error feedback, real
+SGD, median of several seeds.
+
+Figure 20 is the bitmap-kernel cost curve (a calibrated cost model; the
+functional bitmap is numpy).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..compression import (
+    BlockRandomK,
+    BlockThreshold,
+    BlockTopK,
+    BlockTopKRatio,
+)
+from ..ddl import WORKLOADS, TrainingSimulator, train_distributed
+from ..netsim import ClusterSpec
+from ..tensors import V100_BITMAP_MODEL
+from .harness import ExperimentResult, sample_count
+
+__all__ = [
+    "fig11_compression_speedup",
+    "fig12_compression_loss",
+    "fig20_bitmap_cost",
+    "COMPRESSOR_FACTORIES",
+]
+
+#: The paper compresses BERT at k=1% of blocks (threshold tuned to ~1%).
+#: The proxy model is far smaller, so the equivalent aggressive setting
+#: is a small fraction of its blocks.
+COMPRESSION_FRACTION = 0.05
+PROXY_BLOCK_SIZE = 64
+
+COMPRESSOR_FACTORIES: Dict[str, Callable[[], object]] = {
+    "none": lambda: None,
+    "block_randomk": lambda: BlockRandomK(
+        COMPRESSION_FRACTION, PROXY_BLOCK_SIZE, rng=np.random.default_rng(99)
+    ),
+    "block_threshold": lambda: BlockThreshold(0.05, PROXY_BLOCK_SIZE),
+    "block_topk_ratio": lambda: BlockTopKRatio(COMPRESSION_FRACTION, PROXY_BLOCK_SIZE),
+    "block_topk": lambda: BlockTopK(COMPRESSION_FRACTION, PROXY_BLOCK_SIZE),
+}
+
+
+def _iterations() -> int:
+    return int(os.environ.get("REPRO_TRAIN_ITERS", 600))
+
+
+def _runs() -> int:
+    return int(os.environ.get("REPRO_TRAIN_RUNS", 3))
+
+
+def _train(name: str, seed: int):
+    factory = COMPRESSOR_FACTORIES[name]
+
+    def make():
+        built = factory()
+        if built is None:
+            from ..compression import IdentityCompressor
+
+            return IdentityCompressor()
+        return built
+
+    # Plain SGD (no momentum), as the error-feedback convergence theory
+    # of [62, 71] analyzes; momentum interacts badly with aggressive
+    # delta-compressors on this small proxy task.
+    return train_distributed(
+        compressor_factory=make,
+        workers=8,
+        iterations=_iterations(),
+        lr=0.3,
+        momentum=0.0,
+        seed=seed,
+    )
+
+
+def fig11_compression_speedup() -> ExperimentResult:
+    """Figure 11: model metric and training speedup per compressor.
+
+    The metric (F1) comes from real distributed SGD on the proxy task;
+    the speedup comes from the communication simulator with the BERT
+    gradient structure compressed by Block Top-k at the paper's 1%.
+    """
+    result = ExperimentResult(
+        "figure-11",
+        "Block compression: F1 (proxy task, median of runs) and speedup",
+        ["compressor", "f1_median", "f1_drop", "speedup"],
+    )
+    # Communication speedup on the BERT workload, compressed vs NCCL.
+    sim = TrainingSimulator(
+        WORKLOADS["bert"], scale_elements=1 << 19, samples=sample_count()
+    )
+    spec = ClusterSpec(workers=8, aggregators=8, bandwidth_gbps=10, transport="dpdk")
+    nccl = sim.measure("ring", spec.with_(transport="tcp"))
+
+    speedups = {"none": sim.measure("omnireduce", spec).speedup_over(nccl)}
+    for comp_name, compressor in (
+        ("block_randomk", BlockRandomK(0.01, 256, rng=np.random.default_rng(5))),
+        ("block_threshold", BlockTopK(0.01, 256)),  # threshold tuned to ~1%
+        ("block_topk_ratio", BlockTopK(0.01, 256)),
+        ("block_topk", BlockTopK(0.01, 256)),
+    ):
+        report = sim.measure("omnireduce", spec, compressor=compressor)
+        speedups[comp_name] = report.speedup_over(nccl)
+
+    baseline_f1 = None
+    for comp_name in COMPRESSOR_FACTORIES:
+        f1s = [_train(comp_name, seed).f1 for seed in range(_runs())]
+        median = float(np.median(f1s))
+        if comp_name == "none":
+            baseline_f1 = median
+        result.add_row(
+            compressor=comp_name,
+            f1_median=median,
+            f1_drop=(baseline_f1 - median) if baseline_f1 is not None else 0.0,
+            speedup=speedups[comp_name],
+        )
+    result.notes.append(
+        "paper: ~1.7x speedup on BERT at 10 Gbps; at most ~1 point F1 drop"
+    )
+    return result
+
+
+def fig12_compression_loss() -> ExperimentResult:
+    """Figure 12: median training loss curves under block compression."""
+    result = ExperimentResult(
+        "figure-12",
+        "Median training loss (EMA alpha=0.5) at selected iterations",
+        ["compressor", "iter_10pct", "iter_25pct", "iter_50pct", "iter_100pct"],
+    )
+    iterations = _iterations()
+    checkpoints = {
+        "iter_10pct": max(0, iterations // 10 - 1),
+        "iter_25pct": max(0, iterations // 4 - 1),
+        "iter_50pct": max(0, iterations // 2 - 1),
+        "iter_100pct": iterations - 1,
+    }
+    for comp_name in COMPRESSOR_FACTORIES:
+        curves = []
+        for seed in range(_runs()):
+            history = _train(comp_name, seed)
+            curves.append(history.smoothed_losses(alpha=0.5))
+        median_curve = np.median(np.array(curves), axis=0)
+        result.add_row(
+            compressor=comp_name,
+            **{key: float(median_curve[idx]) for key, idx in checkpoints.items()},
+        )
+    result.notes.append(
+        "paper: all block-based methods preserve convergence for BERT"
+    )
+    return result
+
+
+def fig20_bitmap_cost() -> ExperimentResult:
+    """Figure 20: bitmap calculation cost vs block size (100 MB tensor)."""
+    result = ExperimentResult(
+        "figure-20",
+        "Bitmap kernel time (ms) on a 100 MB float32 tensor",
+        ["block_size", "bitmap_ms"],
+    )
+    elements = 25_000_000
+    for block_size in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        result.add_row(
+            block_size=block_size,
+            bitmap_ms=V100_BITMAP_MODEL.time_s(elements, block_size) * 1e3,
+        )
+    result.notes.append(
+        "paper: tens of ms below block size 4, negligible from 16 up "
+        "(which is why OmniReduce only uses block sizes >= 16)"
+    )
+    return result

@@ -1,0 +1,26 @@
+"""Gradient compression: block-based sparsification (§4) and the
+supporting error-feedback / delta-compressor machinery (Appendix C)."""
+
+from .base import Compressor, IdentityCompressor, block_norms, num_blocks_of
+from .blockwise import BlockRandomK, BlockThreshold, BlockTopK, BlockTopKRatio
+from .delta import check_delta_compressor, compression_error_ratio, empirical_delta
+from .elementwise import RandomK, Threshold, TopK
+from .error_feedback import ErrorFeedback
+
+__all__ = [
+    "Compressor",
+    "IdentityCompressor",
+    "block_norms",
+    "num_blocks_of",
+    "BlockRandomK",
+    "BlockTopK",
+    "BlockTopKRatio",
+    "BlockThreshold",
+    "RandomK",
+    "TopK",
+    "Threshold",
+    "ErrorFeedback",
+    "compression_error_ratio",
+    "empirical_delta",
+    "check_delta_compressor",
+]

@@ -1,0 +1,69 @@
+"""Compressor interface and shared helpers.
+
+A compressor maps a gradient vector to a sparser vector of the same
+shape (non-selected entries zeroed).  Returning dense-with-zeros rather
+than an explicit sparse structure is deliberate: it is exactly the form
+OmniReduce consumes -- the paper's point is that block-sparsified
+gradients flow through the block-skipping collective with no format
+conversion (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Compressor", "block_norms", "num_blocks_of"]
+
+
+def num_blocks_of(length: int, block_size: int) -> int:
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    return -(-length // block_size)
+
+
+def block_norms(values: np.ndarray, block_size: int) -> np.ndarray:
+    """Per-block L2 norms of a flat vector (tail block zero-padded)."""
+    flat = np.ascontiguousarray(values).reshape(-1)
+    blocks = num_blocks_of(flat.size, block_size)
+    padded_len = blocks * block_size
+    if padded_len != flat.size:
+        padded = np.zeros(padded_len, dtype=flat.dtype)
+        padded[: flat.size] = flat
+        flat = padded
+    return np.sqrt((flat.reshape(blocks, block_size).astype(np.float64) ** 2).sum(axis=1))
+
+
+class Compressor:
+    """Base class for gradient compressors.
+
+    ``compress`` returns a same-shape array with unselected entries
+    zeroed.  ``params`` carries the current parameter vector for
+    compressors that need it (Block Top-k Ratio).
+    """
+
+    #: Human-readable name used in experiment output.
+    name = "identity"
+
+    def compress(
+        self, grad: np.ndarray, params: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def delta(self, length: int) -> Optional[float]:
+        """The delta of the delta-compressor bound, when known analytically
+        (Appendix C); ``None`` when data-dependent (threshold schemes)."""
+        return None
+
+
+class IdentityCompressor(Compressor):
+    """No compression (the paper's "No Compression" baseline)."""
+
+    name = "none"
+
+    def compress(self, grad, params=None):
+        return np.array(grad, copy=True)
+
+    def delta(self, length):
+        return 1.0

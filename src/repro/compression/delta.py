@@ -1,0 +1,67 @@
+"""Empirical verification of the delta-compressor property (Appendix C).
+
+A (possibly randomized) operator ``C`` is a delta-approximate compressor
+when ``E ||x - C(x)||^2 <= (1 - delta) ||x||^2`` for every ``x``.
+:func:`empirical_delta` estimates ``1 - E||x - C(x)||^2 / ||x||^2`` by
+Monte Carlo over repeated applications, and
+:func:`check_delta_compressor` asserts the Appendix C bound (with a
+statistical tolerance for randomized compressors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Compressor
+
+__all__ = ["compression_error_ratio", "empirical_delta", "check_delta_compressor"]
+
+
+def compression_error_ratio(
+    compressor: Compressor,
+    x: np.ndarray,
+    params: Optional[np.ndarray] = None,
+) -> float:
+    """``||x - C(x)||^2 / ||x||^2`` for one application (0 for x = 0)."""
+    x = np.asarray(x, dtype=np.float64)
+    norm_sq = float((x**2).sum())
+    if norm_sq == 0.0:
+        return 0.0
+    compressed = np.asarray(compressor.compress(x, params=params), dtype=np.float64)
+    return float(((x - compressed) ** 2).sum()) / norm_sq
+
+
+def empirical_delta(
+    compressor: Compressor,
+    x: np.ndarray,
+    trials: int = 1,
+    params: Optional[np.ndarray] = None,
+) -> float:
+    """Monte Carlo estimate of ``1 - E||x - C(x)||^2 / ||x||^2``."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    ratios = [
+        compression_error_ratio(compressor, x, params=params) for _ in range(trials)
+    ]
+    return 1.0 - float(np.mean(ratios))
+
+
+def check_delta_compressor(
+    compressor: Compressor,
+    x: np.ndarray,
+    trials: int = 50,
+    slack: float = 0.05,
+    params: Optional[np.ndarray] = None,
+) -> bool:
+    """True when the measured delta respects the analytic Appendix C bound.
+
+    ``slack`` absorbs Monte Carlo noise for randomized compressors.
+    Raises if the compressor declares no analytic delta.
+    """
+    declared = compressor.delta(np.asarray(x).size)
+    if declared is None:
+        raise ValueError(f"{compressor.name} declares no analytic delta")
+    measured = empirical_delta(compressor, x, trials=trials, params=params)
+    return measured >= declared - slack

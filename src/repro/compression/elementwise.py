@@ -1,0 +1,84 @@
+"""Element-wise sparsifiers from the literature (§4's starting point).
+
+Random-k [62], Top-k [3, 42] and hard threshold [15, 63] -- included
+both as comparison points for the block-based schemes and because the
+delta-compressor property tests should hold for them too (Random-k and
+Top-k are the classic delta = k/n compressors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Compressor
+
+__all__ = ["RandomK", "TopK", "Threshold"]
+
+
+def _resolve_k(k, length: int) -> int:
+    if isinstance(k, float):
+        if not 0.0 < k <= 1.0:
+            raise ValueError(f"fractional k must be in (0, 1], got {k}")
+        return max(1, int(round(k * length)))
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return min(int(k), length)
+
+
+class RandomK(Compressor):
+    """Keep ``k`` uniformly random elements (delta = k/n)."""
+
+    name = "randomk"
+
+    def __init__(self, k, rng: Optional[np.random.Generator] = None):
+        self.k = k
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def compress(self, grad, params=None):
+        flat = np.ascontiguousarray(grad).reshape(-1)
+        k = _resolve_k(self.k, flat.size)
+        keep = self.rng.choice(flat.size, size=k, replace=False)
+        out = np.zeros_like(flat)
+        out[keep] = flat[keep]
+        return out.reshape(np.asarray(grad).shape)
+
+    def delta(self, length):
+        return _resolve_k(self.k, length) / length
+
+
+class TopK(Compressor):
+    """Keep the ``k`` elements of largest magnitude (delta >= k/n)."""
+
+    name = "topk"
+
+    def __init__(self, k):
+        self.k = k
+
+    def compress(self, grad, params=None):
+        flat = np.ascontiguousarray(grad).reshape(-1)
+        k = _resolve_k(self.k, flat.size)
+        keep = np.argpartition(np.abs(flat), flat.size - k)[flat.size - k :]
+        out = np.zeros_like(flat)
+        out[keep] = flat[keep]
+        return out.reshape(np.asarray(grad).shape)
+
+    def delta(self, length):
+        return _resolve_k(self.k, length) / length
+
+
+class Threshold(Compressor):
+    """Keep elements with ``|g_i| > threshold`` (Strom [63])."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def compress(self, grad, params=None):
+        arr = np.asarray(grad)
+        out = np.where(np.abs(arr) > self.threshold, arr, 0)
+        return out.astype(arr.dtype)

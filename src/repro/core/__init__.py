@@ -1,0 +1,51 @@
+"""OmniReduce: the paper's primary contribution.
+
+Public entry points: :class:`OmniReduce` (collective operations over a
+cluster), :class:`OmniReduceConfig` (protocol tuning), and
+:class:`CollectiveResult` (outputs plus simulated timing/traffic).
+"""
+
+from .aggregator import RecoverySlotAggregator, SlotAggregator, SlotStats
+from .autotune import AutotuneChoice, autotune_block_size
+from .hierarchical import HierarchicalAllReduce
+from .sparse_block import SparseOmniReduce
+from .collective import CollectiveResult, OmniReduce
+from .config import OmniReduceConfig
+from .messages import (
+    LaneEntry,
+    ResultPacket,
+    WorkerPacket,
+    decode_immediate,
+    encode_immediate,
+)
+from .partition import FusionLayout, StreamRange, fusion_width, plan_streams, split_ranges
+from .prefetch import CopyEngine, PrefetchSchedule
+from .worker import RecoveryStreamWorker, StreamWorker, StreamWorkerStats
+
+__all__ = [
+    "OmniReduce",
+    "OmniReduceConfig",
+    "CollectiveResult",
+    "StreamWorker",
+    "RecoveryStreamWorker",
+    "StreamWorkerStats",
+    "SlotAggregator",
+    "RecoverySlotAggregator",
+    "SlotStats",
+    "LaneEntry",
+    "WorkerPacket",
+    "ResultPacket",
+    "encode_immediate",
+    "decode_immediate",
+    "FusionLayout",
+    "StreamRange",
+    "split_ranges",
+    "plan_streams",
+    "fusion_width",
+    "PrefetchSchedule",
+    "CopyEngine",
+    "AutotuneChoice",
+    "autotune_block_size",
+    "HierarchicalAllReduce",
+    "SparseOmniReduce",
+]

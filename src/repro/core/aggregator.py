@@ -1,0 +1,291 @@
+"""Aggregator-side protocol engines.
+
+:class:`SlotAggregator` is the Algorithm 1 aggregator slot (lossless
+transports) generalized with Block Fusion: a slot tracks, per fused
+column ("lane"), the per-worker next non-zero block table; a lane's
+current block is complete once ``current < min(next)`` over all workers,
+and the slot multicasts one result packet when *all* lanes complete
+(§3.2).
+
+:class:`RecoverySlotAggregator` is the Algorithm 2 slot (lossy
+transports): two-way versioned state, per-worker ``seen`` flags, a
+modulo-N round counter, overwrite-on-first-packet accumulator reset, and
+duplicate-request servicing by unicasting the stored round result.
+
+Correctness of the duplicate handling relies on per-connection FIFO
+delivery of the packets that *do* arrive, which both the simulated
+network and the paper's transports (UDP on a single path, RDMA RC)
+provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.kernel import Simulator
+from ..netsim.transport import Endpoint, Transport
+from ..tensors.blocks import INFINITY, NEG_INFINITY
+from .messages import LaneEntry, ResultPacket, WorkerPacket, encode_immediate
+from .partition import StreamRange
+
+__all__ = ["SlotAggregator", "RecoverySlotAggregator", "SlotStats"]
+
+
+@dataclass
+class SlotStats:
+    """Per-slot counters returned by an aggregator slot process."""
+
+    stream: int
+    rounds: int = 0
+    packets_received: int = 0
+    duplicates: int = 0
+    finish_s: float = 0.0
+
+
+def _combine(acc: Optional[np.ndarray], data: np.ndarray, reduction: str) -> np.ndarray:
+    """Apply the commutative reduction operator."""
+    if acc is None:
+        return data.copy()
+    if reduction == "sum":
+        acc += data
+    elif reduction == "max":
+        np.maximum(acc, data, out=acc)
+    else:  # min
+        np.minimum(acc, data, out=acc)
+    return acc
+
+
+def _ordered_reduce(
+    contributions: Dict[int, np.ndarray], reduction: str
+) -> Optional[np.ndarray]:
+    """Reduce buffered per-worker contributions in worker-id order (§7:
+    numeric reproducibility -- float sums become order-independent of
+    packet arrival)."""
+    acc: Optional[np.ndarray] = None
+    for worker_id in sorted(contributions):
+        acc = _combine(acc, contributions[worker_id], reduction)
+    return acc
+
+
+class _SlotBase:
+    """Shared wiring for both aggregator variants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        prefix: str,
+        stream_range: StreamRange,
+        width: int,
+        num_workers: int,
+        worker_hosts: Sequence[str],
+        agg_host: str,
+        block_size: int,
+        value_bytes: int = 4,
+        reduction: str = "sum",
+        deterministic: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.block_size = block_size
+        self.deterministic = deterministic
+        self.range = stream_range
+        self.stream = stream_range.stream
+        self.num_workers = num_workers
+        self.worker_hosts = list(worker_hosts)
+        self.value_bytes = value_bytes
+        self.reduction = reduction
+        self.width = min(width, max(1, stream_range.num_blocks))
+        self.endpoint: Endpoint = transport.endpoint(agg_host, f"{prefix}.a{self.stream}")
+        self._worker_port = f"{prefix}.w{self.stream}"
+        self.flow = f"{prefix}.down"
+        self.stats = SlotStats(stream=self.stream)
+        # Current block per lane: the initial row (first blocks of range).
+        count = min(self.width, stream_range.num_blocks)
+        self.current: List[int] = [stream_range.block_at(c) for c in range(count)]
+        self.num_lanes = count
+
+    def _multicast(self, result: ResultPacket) -> None:
+        result.immediate = encode_immediate(
+            "float32", self.reduction, self.stream, len(result.lanes)
+        )
+        payload_bytes = result.payload_bytes(self.value_bytes)
+        for host in self.worker_hosts:
+            self.endpoint.send(host, self._worker_port, result, payload_bytes, self.flow)
+
+    def _unicast(self, result: ResultPacket, worker_id: int) -> None:
+        self.endpoint.send(
+            self.worker_hosts[worker_id],
+            self._worker_port,
+            result,
+            result.payload_bytes(self.value_bytes),
+            self.flow,
+        )
+
+
+class SlotAggregator(_SlotBase):
+    """Algorithm 1 aggregator slot (lossless transport)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Per-worker next table, the algorithm's ``next[N]`` (l.18).
+        self._next_table = np.full(
+            (self.num_workers, self.num_lanes), NEG_INFINITY, dtype=np.int64
+        )
+        self._acc: List[Optional[np.ndarray]] = [None] * self.num_lanes
+        # Deterministic mode buffers contributions until the round ends.
+        self._pending: List[Dict[int, np.ndarray]] = [
+            {} for _ in range(self.num_lanes)
+        ]
+
+    def run(self):
+        """Generator process: aggregate until every lane reaches infinity."""
+        while not all(block == INFINITY for block in self.current):
+            received = yield self.endpoint.recv()
+            packet: WorkerPacket = received.payload
+            self.stats.packets_received += 1
+            for entry in packet.lanes:
+                if entry.data is not None:
+                    if self.deterministic:
+                        self._pending[entry.lane][packet.worker_id] = entry.data
+                    else:
+                        self._acc[entry.lane] = _combine(
+                            self._acc[entry.lane], entry.data, self.reduction
+                        )
+                self._next_table[packet.worker_id, entry.lane] = entry.next_block
+
+            mins = self._next_table.min(axis=0)
+            complete = all(
+                self.current[lane] == INFINITY or self.current[lane] < mins[lane]
+                for lane in range(self.num_lanes)
+            )
+            if not complete:
+                continue
+
+            lanes: List[LaneEntry] = []
+            for lane in range(self.num_lanes):
+                if self.current[lane] == INFINITY:
+                    continue
+                # acc is None only when every worker's block here was
+                # zero (the initial row): the result is then metadata-only
+                # -- zero blocks do not travel downward either.
+                if self.deterministic:
+                    data = _ordered_reduce(self._pending[lane], self.reduction)
+                    self._pending[lane] = {}
+                else:
+                    data = self._acc[lane]
+                lanes.append(
+                    LaneEntry(
+                        lane=lane,
+                        block=self.current[lane],
+                        next_block=int(mins[lane]),
+                        data=data,
+                    )
+                )
+                self.current[lane] = int(mins[lane])
+            self._acc = [None] * self.num_lanes
+            self.stats.rounds += 1
+            self._multicast(ResultPacket(stream=self.stream, version=0, lanes=lanes))
+
+        self.stats.finish_s = self.sim.now
+        return self.stats
+
+
+class RecoverySlotAggregator(_SlotBase):
+    """Algorithm 2 aggregator slot (lossy transport)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        lanes, workers = self.num_lanes, self.num_workers
+        self._acc = {0: [None] * lanes, 1: [None] * lanes}
+        self._pending = {
+            0: [dict() for _ in range(lanes)],
+            1: [dict() for _ in range(lanes)],
+        }
+        self._min_next = {
+            0: np.full(lanes, INFINITY, dtype=np.int64),
+            1: np.full(lanes, INFINITY, dtype=np.int64),
+        }
+        self._seen = {0: np.zeros(workers, bool), 1: np.zeros(workers, bool)}
+        self._count = {0: 0, 1: 0}
+        self._last_result: Dict[int, ResultPacket] = {}
+
+    def run(self):
+        """Generator process: count-driven rounds with duplicate service.
+
+        The process never returns on its own: after the final round it
+        keeps answering retransmitted requests (a worker may have lost
+        the last result).  The collective runner stops the simulation
+        when every worker finishes.
+        """
+        while True:
+            received = yield self.endpoint.recv()
+            packet: WorkerPacket = received.payload
+            self.stats.packets_received += 1
+            version = packet.version
+            worker = packet.worker_id
+
+            if self._seen[version][worker]:
+                # Duplicate (retransmission).  If this version's round
+                # already completed, the worker must have missed the
+                # result: resend it unicast (Alg. 2 l.47-49).
+                self.stats.duplicates += 1
+                if self._count[version] == 0 and version in self._last_result:
+                    self._unicast(self._last_result[version], worker)
+                continue
+
+            self._seen[version][worker] = True
+            self._seen[version ^ 1][worker] = False
+            self._count[version] += 1
+            first_of_round = self._count[version] == 1
+            if first_of_round:
+                self._min_next[version][:] = INFINITY
+                self._acc[version] = [None] * self.num_lanes
+                self._pending[version] = [dict() for _ in range(self.num_lanes)]
+
+            for entry in packet.lanes:
+                if entry.data is not None:
+                    if self.deterministic:
+                        self._pending[version][entry.lane][worker] = entry.data
+                    else:
+                        self._acc[version][entry.lane] = _combine(
+                            self._acc[version][entry.lane], entry.data, self.reduction
+                        )
+                self._min_next[version][entry.lane] = min(
+                    self._min_next[version][entry.lane], entry.next_block
+                )
+
+            if self._count[version] < self.num_workers:
+                continue
+
+            # Round complete (Alg. 2: count wrapped to zero).
+            self._count[version] = 0
+            lanes: List[LaneEntry] = []
+            for lane in range(self.num_lanes):
+                if self.current[lane] == INFINITY:
+                    continue
+                if self.deterministic:
+                    data = _ordered_reduce(
+                        self._pending[version][lane], self.reduction
+                    )
+                else:
+                    data = self._acc[version][lane]  # None => metadata-only
+                next_block = int(self._min_next[version][lane])
+                lanes.append(
+                    LaneEntry(
+                        lane=lane,
+                        block=self.current[lane],
+                        next_block=next_block,
+                        data=data,
+                    )
+                )
+                self.current[lane] = next_block
+            result = ResultPacket(stream=self.stream, version=version, lanes=lanes)
+            self._last_result[version] = result
+            self.stats.rounds += 1
+            self._multicast(result)
+            if all(block == INFINITY for block in self.current):
+                self.stats.finish_s = self.sim.now
+                # Stay alive to service duplicate final-round requests.

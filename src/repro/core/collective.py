@@ -1,0 +1,404 @@
+"""The OmniReduce collective: wiring workers and aggregator slots.
+
+:class:`OmniReduce` materializes the protocol on a
+:class:`~repro.netsim.cluster.Cluster`: it partitions the block space
+across aggregator shards and streams, spawns one worker process per
+(worker, stream) and one slot process per stream, runs the simulation to
+completion, and reports both the numerically exact AllReduce output and
+the simulated timing/traffic statistics.
+
+§7's generalized collectives are provided as wrappers: AllGather is a
+sparse AllReduce with no block overlap, Broadcast one where only the
+root contributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.cluster import Cluster
+from ..netsim.transport import DatagramTransport
+from ..tensors.bitmap import V100_BITMAP_MODEL, BitmapCostModel
+from ..tensors.blocks import BlockView
+from .aggregator import RecoverySlotAggregator, SlotAggregator
+from .config import MAX_STREAMS, OmniReduceConfig
+from .partition import FusionLayout, fusion_width, plan_streams
+from .prefetch import CopyEngine, PrefetchSchedule
+from .worker import RecoveryStreamWorker, StreamWorker
+
+__all__ = ["OmniReduce", "CollectiveResult"]
+
+#: Default RDMA/TCP message payload: slots work at message granularity (§5).
+DEFAULT_MESSAGE_BYTES = 16384
+
+_operation_ids = itertools.count()
+
+
+class _ShiftedReadiness:
+    """Adapter shifting a (relative) readiness schedule to absolute
+    simulation time."""
+
+    def __init__(self, inner, offset_s: float) -> None:
+        self._inner = inner
+        self._offset = offset_s
+        if hasattr(inner, "total_bytes"):
+            self.total_bytes = inner.total_bytes
+
+    def available_at(self, end_offset: int) -> float:
+        return self._inner.available_at(end_offset) + self._offset
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective operation.
+
+    ``outputs[w]`` is worker ``w``'s result tensor (all equal for
+    AllReduce).  Timing fields are simulated seconds; traffic fields are
+    wire bytes including protocol headers.
+    """
+
+    outputs: List[np.ndarray]
+    time_s: float
+    bytes_sent: int
+    packets_sent: int
+    upward_bytes: int
+    downward_bytes: int
+    rounds: int
+    retransmissions: int
+    duplicates: int
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def output(self) -> np.ndarray:
+        """The reduced tensor (workers agree for AllReduce)."""
+        return self.outputs[0]
+
+    def goodput_gbps(self) -> float:
+        """Payload goodput: reduced bytes per worker over completion time."""
+        if self.time_s <= 0:
+            return float("inf")
+        return self.outputs[0].nbytes * 8.0 / self.time_s / 1e9
+
+
+class OmniReduce:
+    """OmniReduce collective operations over a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[OmniReduceConfig] = None,
+        bitmap_model: BitmapCostModel = V100_BITMAP_MODEL,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or OmniReduceConfig()
+        self.bitmap_model = bitmap_model
+
+    # -- public API --------------------------------------------------------
+
+    def allreduce(
+        self,
+        tensors: Sequence[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]] = None,
+        gradient_readiness: Optional[Sequence] = None,
+    ) -> CollectiveResult:
+        """Sum-reduce (by default) the workers' tensors; everyone gets
+        the result.  ``tensors[w]`` is worker ``w``'s input.
+
+        ``worker_start_delays[w]`` injects compute skew: worker ``w``
+        joins the collective that many seconds late (stragglers).  The
+        self-clocked protocol tolerates any skew -- a slot's round simply
+        waits for its slowest contributor.
+
+        ``gradient_readiness[w]`` models compute/communication overlap
+        (§5: aggregation runs "whenever a part of the gradient is
+        ready"): an object with ``available_at(byte_offset)`` -- e.g.
+        :class:`~repro.core.prefetch.LinearReadiness` for a backward pass
+        producing gradients back to front -- gates when each block may be
+        transmitted.  Readiness times are relative to the collective's
+        start.
+        """
+        tensors = self._validate_inputs(tensors)
+        if worker_start_delays is not None:
+            if len(worker_start_delays) != self.cluster.spec.workers:
+                raise ValueError("need one start delay per worker")
+            if any(d < 0 for d in worker_start_delays):
+                raise ValueError("start delays must be non-negative")
+        if gradient_readiness is not None and len(gradient_readiness) != (
+            self.cluster.spec.workers
+        ):
+            raise ValueError("need one readiness schedule per worker")
+        return self._run(tensors, worker_start_delays, gradient_readiness)
+
+    def allreduce_bucket(
+        self, buckets: Sequence[Sequence[np.ndarray]]
+    ) -> CollectiveResult:
+        """DDP-style bucketed AllReduce: reduce a *list* of tensors (e.g.
+        one gradient per layer) as a single fused flat collective.
+
+        ``buckets[w]`` is worker ``w``'s list; shapes must agree across
+        workers position by position.  The returned result carries
+        ``bucket_outputs`` -- per-worker lists of reduced tensors in the
+        original shapes -- alongside the usual flat ``outputs``.
+        """
+        if len(buckets) != self.cluster.spec.workers:
+            raise ValueError("need exactly one bucket per worker")
+        if not buckets[0]:
+            raise ValueError("buckets must contain at least one tensor")
+        shapes = [np.asarray(t).shape for t in buckets[0]]
+        for w, bucket in enumerate(buckets):
+            if [np.asarray(t).shape for t in bucket] != shapes:
+                raise ValueError(f"worker {w}'s bucket shapes differ from worker 0's")
+        flats = [
+            np.concatenate([np.asarray(t, dtype=np.float32).reshape(-1) for t in bucket])
+            for bucket in buckets
+        ]
+        result = self._run(flats)
+        sizes = [int(np.prod(shape)) if shape else 1 for shape in shapes]
+        offsets = np.cumsum([0] + sizes)
+        result.bucket_outputs = [  # type: ignore[attr-defined]
+            [
+                output[offsets[i] : offsets[i + 1]].reshape(shapes[i])
+                for i in range(len(shapes))
+            ]
+            for output in result.outputs
+        ]
+        return result
+
+    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        """Concatenate the workers' tensors at every worker (§7).
+
+        Realized as a sparse AllReduce with no block overlap: worker
+        ``w`` contributes its tensor at segment ``w`` of the output and
+        zeros elsewhere, so only its own segment's blocks are non-zero
+        and no zero padding is ever transmitted.
+        """
+        if len(tensors) != self.cluster.spec.workers:
+            raise ValueError("need exactly one tensor per worker")
+        flats = [np.ascontiguousarray(t).reshape(-1) for t in tensors]
+        sizes = [f.size for f in flats]
+        total = sum(sizes)
+        offsets = np.cumsum([0] + sizes[:-1])
+        padded = []
+        for flat, offset in zip(flats, offsets):
+            contribution = np.zeros(total, dtype=np.float32)
+            contribution[offset : offset + flat.size] = flat
+            padded.append(contribution)
+        return self._run(padded)
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        """Distribute ``tensor`` from ``root`` to every worker (§7):
+        an AllReduce where the other ``N-1`` contributions are empty."""
+        workers = self.cluster.spec.workers
+        if not 0 <= root < workers:
+            raise ValueError(f"root {root} out of range for {workers} workers")
+        flat = np.ascontiguousarray(tensor).reshape(-1).astype(np.float32)
+        contributions = [
+            flat.copy() if w == root else np.zeros(flat.size, dtype=np.float32)
+            for w in range(workers)
+        ]
+        return self._run(contributions)
+
+    # -- internals ----------------------------------------------------------
+
+    def _validate_inputs(self, tensors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(tensors) != self.cluster.spec.workers:
+            raise ValueError(
+                f"expected {self.cluster.spec.workers} tensors, got {len(tensors)}"
+            )
+        flats = [np.ascontiguousarray(t).reshape(-1) for t in tensors]
+        size = flats[0].size
+        if size == 0:
+            raise ValueError("cannot reduce empty tensors")
+        if any(f.size != size for f in flats):
+            raise ValueError("all workers must supply tensors of equal length")
+        return flats
+
+    def _use_recovery(self) -> bool:
+        if self.config.recovery is not None:
+            return self.config.recovery
+        return isinstance(self.cluster.transport, DatagramTransport)
+
+    def _payload_budget(self) -> int:
+        """Target payload per packet, clamped to the transport's limit
+        (a datagram transport cannot carry more than one MTU)."""
+        limit = self.cluster.transport.max_payload_bytes()
+        if self.config.message_bytes is not None:
+            return min(self.config.message_bytes, limit)
+        if isinstance(self.cluster.transport, DatagramTransport):
+            return limit
+        return min(DEFAULT_MESSAGE_BYTES, limit)
+
+    def _run(
+        self,
+        tensors: List[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]] = None,
+        gradient_readiness: Optional[Sequence] = None,
+    ) -> CollectiveResult:
+        spec = self.cluster.spec
+        config = self.config
+        sim = self.cluster.sim
+        transport = self.cluster.transport
+        op_id = next(_operation_ids)
+        prefix = f"or{op_id}"
+        start = sim.now
+        value_bytes = 4
+
+        outputs = [t.astype(np.float32, copy=True) for t in tensors]
+        views = [BlockView(out, config.block_size) for out in outputs]
+        total_blocks = views[0].blocks
+
+        bitmap_delay = 0.0
+        if config.charge_bitmap:
+            bitmap_delay = self.bitmap_model.time_s(outputs[0].size, config.block_size)
+
+        start_delays = (
+            list(worker_start_delays)
+            if worker_start_delays is not None
+            else [0.0] * spec.workers
+        )
+        readiness_schedules: List[Optional[_ShiftedReadiness]] = []
+        for worker_id in range(spec.workers):
+            if gradient_readiness is None:
+                readiness_schedules.append(None)
+            else:
+                readiness_schedules.append(
+                    _ShiftedReadiness(
+                        gradient_readiness[worker_id],
+                        start + start_delays[worker_id],
+                    )
+                )
+
+        tensor_bytes = outputs[0].size * value_bytes
+        prefetches: List[Optional[PrefetchSchedule]] = []
+        down_engines: List[Optional[CopyEngine]] = []
+        pcie_bps = spec.pcie_gbps * 1e9
+        for worker_id in range(spec.workers):
+            if spec.gdr:
+                prefetches.append(None)
+                down_engines.append(None)
+            else:
+                prefetches.append(
+                    PrefetchSchedule(
+                        tensor_bytes,
+                        pcie_bps,
+                        start_s=start + bitmap_delay + start_delays[worker_id],
+                    )
+                )
+                down_engines.append(CopyEngine(pcie_bps))
+
+        budget = self._payload_budget()
+        width = fusion_width(config.block_size, value_bytes, budget, config.fusion)
+        plan = plan_streams(total_blocks, spec.num_shards, config.streams_per_shard)
+        if len(plan) > MAX_STREAMS:
+            raise ValueError(
+                f"{len(plan)} streams exceed the 12-bit slot id space of §5 "
+                f"({MAX_STREAMS}); lower streams_per_shard or the shard count"
+            )
+        recovery = self._use_recovery()
+
+        stats_before = self.cluster.stats
+        bytes_before = stats_before.total_bytes_sent
+        packets_before = sum(stats_before.packets_sent.values())
+        up_before = stats_before.flow_bytes.get(f"{prefix}.up", 0)
+        down_before = stats_before.flow_bytes.get(f"{prefix}.down", 0)
+
+        slot_processes = []
+        worker_processes = []
+        slots = []
+        stream_workers = []
+        for stream_range in plan:
+            agg_host = self.cluster.aggregator_hosts[stream_range.shard]
+            slot_cls = RecoverySlotAggregator if recovery else SlotAggregator
+            slot = slot_cls(
+                sim,
+                transport,
+                prefix,
+                stream_range,
+                width,
+                spec.workers,
+                self.cluster.worker_hosts,
+                agg_host,
+                block_size=config.block_size,
+                value_bytes=value_bytes,
+                reduction=config.reduction,
+                deterministic=config.deterministic,
+            )
+            slots.append(slot)
+            slot_processes.append(sim.spawn(slot.run(), name=f"{prefix}-slot{slot.stream}"))
+
+            for worker_id in range(spec.workers):
+                layout = FusionLayout(
+                    views[worker_id],
+                    stream_range,
+                    width,
+                    assume_dense=not config.skip_zero_blocks,
+                )
+                common = dict(
+                    sim=sim,
+                    transport=transport,
+                    prefix=prefix,
+                    worker_id=worker_id,
+                    worker_host=self.cluster.worker_hosts[worker_id],
+                    agg_host=agg_host,
+                    layout=layout,
+                    view=views[worker_id],
+                    value_bytes=value_bytes,
+                    prefetch=prefetches[worker_id],
+                    down_engine=down_engines[worker_id],
+                    start_delay_s=bitmap_delay + start_delays[worker_id],
+                    reduction=config.reduction,
+                    readiness=readiness_schedules[worker_id],
+                )
+                if recovery:
+                    worker = RecoveryStreamWorker(timeout_s=config.timeout_s, **common)
+                else:
+                    worker = StreamWorker(**common)
+                stream_workers.append(worker)
+                worker_processes.append(
+                    sim.spawn(worker.run(), name=f"{prefix}-w{worker_id}s{slot.stream}")
+                )
+
+        done = sim.all_of(worker_processes)
+        sim.run(until=done)
+
+        finish = sim.now
+        for engine in down_engines:
+            if engine is not None:
+                finish = max(finish, engine.free_at)
+
+        stats = self.cluster.stats
+        retransmissions = sum(w.stats.retransmissions for w in stream_workers)
+        duplicates = sum(s.stats.duplicates for s in slots)
+        rounds = max((s.stats.rounds for s in slots), default=0)
+        return CollectiveResult(
+            outputs=outputs,
+            time_s=finish - start,
+            bytes_sent=stats.total_bytes_sent - bytes_before,
+            packets_sent=sum(stats.packets_sent.values()) - packets_before,
+            upward_bytes=stats.flow_bytes.get(f"{prefix}.up", 0) - up_before,
+            downward_bytes=stats.flow_bytes.get(f"{prefix}.down", 0) - down_before,
+            rounds=rounds,
+            retransmissions=retransmissions,
+            duplicates=duplicates,
+            details={
+                "bitmap_delay_s": bitmap_delay,
+                "fusion_width": width,
+                "streams": len(plan),
+                "recovery": float(recovery),
+                # Aggregator state is the slot pool: one (or two, with
+                # recovery's versioning) block-sized accumulators per
+                # lane per stream -- independent of both tensor size and
+                # worker count, the §3 space-complexity claim.
+                "aggregator_pool_bytes": float(
+                    len(plan)
+                    * width
+                    * config.block_size
+                    * value_bytes
+                    * (2 if recovery else 1)
+                ),
+            },
+        )

@@ -1,0 +1,92 @@
+"""OmniReduce configuration.
+
+Defaults follow the paper: 256-element blocks (§6.4), Block Fusion on
+(§3.2), 256 outstanding packets per worker for DPDK (§5, realized here as
+streams), and loss recovery enabled automatically on lossy transports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["OmniReduceConfig"]
+
+#: Slot id is a 12-bit field in the RDMA immediate (§5).
+MAX_STREAMS = 1 << 12
+
+
+@dataclass(frozen=True)
+class OmniReduceConfig:
+    """Tuning knobs for the OmniReduce collective.
+
+    Attributes
+    ----------
+    block_size:
+        Elements per block (the paper's ``bs``; default 256, §6.4).
+    streams_per_shard:
+        Independent aggregation streams per aggregator shard (§3.1.1).
+        Each stream owns one slot; more streams deepen the pipeline that
+        masks aggregation latency.  The default of 32 gives 256 slots on
+        the paper's 8-aggregator testbed, matching its "256 outstanding
+        packets per worker" (§5).
+    fusion:
+        Enable Block Fusion (§3.2): pack multiple blocks per packet when
+        the block size underfills the transport payload.
+    message_bytes:
+        Target payload bytes per packet/message.  ``None`` derives it
+        from the transport: the MTU payload for datagrams, 16 KiB for
+        RDMA messages (slots work at message granularity, §5).
+    skip_zero_blocks:
+        The point of OmniReduce.  Disabling it yields SwitchML*-style
+        pure streaming aggregation (every block transmitted), used for
+        the ablation in §6.2.2.
+    recovery:
+        Force Algorithm 2 (timers + acks + versioned slots) on or off.
+        ``None`` selects it automatically for lossy transports.
+    timeout_s:
+        Retransmission timer for Algorithm 2.
+    charge_bitmap:
+        Charge the GPU bitmap-calculation time (Appendix B.1) at the
+        start of the collective.
+    reduction:
+        Reduction operator: ``"sum"`` (default), ``"max"`` or ``"min"``.
+        All are commutative, as §3.1 requires.
+    deterministic:
+        Numeric reproducibility (§7): aggregate each block's
+        contributions in worker-id order instead of arrival order, making
+        floating-point sums bit-identical across runs and deployments.
+        Costs aggregator memory (contributions are buffered per worker
+        until the round completes); §7's pipelined variant would bound
+        the latency overhead by O(log2 N), which we do not model.
+    """
+
+    block_size: int = 256
+    streams_per_shard: int = 32
+    fusion: bool = True
+    message_bytes: Optional[int] = None
+    skip_zero_blocks: bool = True
+    recovery: Optional[bool] = None
+    timeout_s: float = 1e-3
+    charge_bitmap: bool = True
+    reduction: str = "sum"
+    deterministic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if not 1 <= self.streams_per_shard <= MAX_STREAMS:
+            raise ValueError(
+                f"streams_per_shard must be in [1, {MAX_STREAMS}], "
+                f"got {self.streams_per_shard}"
+            )
+        if self.message_bytes is not None and self.message_bytes < 16:
+            raise ValueError("message_bytes too small to carry one element")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.reduction not in ("sum", "max", "min"):
+            raise ValueError(f"unsupported reduction {self.reduction!r}")
+
+    def with_(self, **changes) -> "OmniReduceConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

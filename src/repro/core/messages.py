@@ -1,0 +1,132 @@
+"""Protocol messages and wire-size accounting.
+
+A protocol exchange consists of :class:`WorkerPacket` (worker ->
+aggregator) and :class:`ResultPacket` (aggregator -> workers), each
+carrying one :class:`LaneEntry` per Block Fusion column that has data.
+Without fusion a packet simply carries a single lane.
+
+The module also implements the 32-bit immediate-value metadata encoding
+described in §5 (data type 2 bits, opcode 2 bits, slot id 12 bits, block
+count 16 bits); the RDMA path attaches it to every message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LaneEntry",
+    "WorkerPacket",
+    "ResultPacket",
+    "encode_immediate",
+    "decode_immediate",
+    "DATA_TYPES",
+    "OPCODES",
+]
+
+#: Bytes for a block index / next-offset field on the wire.
+OFFSET_BYTES = 4
+#: Fixed per-packet metadata (block num field etc.).
+PACKET_FIXED_BYTES = 4
+
+#: 2-bit data type codes (§5).
+DATA_TYPES = {"float32": 0, "float16": 1, "int32": 2, "int8": 3}
+#: 2-bit AllReduce opcodes (§5); §7 generalizes to AllGather/Broadcast.
+OPCODES = {"sum": 0, "max": 1, "min": 2, "gather": 3}
+
+
+def encode_immediate(data_type: str, opcode: str, slot_id: int, num_blocks: int) -> int:
+    """Pack metadata into a 32-bit RDMA immediate value (§5)."""
+    if data_type not in DATA_TYPES:
+        raise ValueError(f"unknown data type {data_type!r}")
+    if opcode not in OPCODES:
+        raise ValueError(f"unknown opcode {opcode!r}")
+    if not 0 <= slot_id < (1 << 12):
+        raise ValueError(f"slot id {slot_id} does not fit in 12 bits")
+    if not 0 <= num_blocks < (1 << 16):
+        raise ValueError(f"block count {num_blocks} does not fit in 16 bits")
+    return (
+        (DATA_TYPES[data_type] << 30)
+        | (OPCODES[opcode] << 28)
+        | (slot_id << 16)
+        | num_blocks
+    )
+
+
+def decode_immediate(imm: int) -> Tuple[str, str, int, int]:
+    """Inverse of :func:`encode_immediate`."""
+    if not 0 <= imm < (1 << 32):
+        raise ValueError(f"immediate {imm} is not a 32-bit value")
+    data_type_code = (imm >> 30) & 0x3
+    opcode_code = (imm >> 28) & 0x3
+    slot_id = (imm >> 16) & 0xFFF
+    num_blocks = imm & 0xFFFF
+    data_type = next(k for k, v in DATA_TYPES.items() if v == data_type_code)
+    opcode = next(k for k, v in OPCODES.items() if v == opcode_code)
+    return data_type, opcode, slot_id, num_blocks
+
+
+@dataclass
+class LaneEntry:
+    """One fused block inside a packet.
+
+    ``block`` is the global block index being transmitted (or, in a
+    result packet, the block the data aggregates).  ``next_block`` is the
+    sender's next non-zero block in this lane / the aggregator's next
+    request.  ``data`` is ``None`` in pure-metadata entries (acks, and
+    result lanes that finished).
+    """
+
+    lane: int
+    block: int
+    next_block: int
+    data: Optional[np.ndarray] = None
+
+    def payload_bytes(self, value_bytes: int = 4) -> int:
+        size = 2 * OFFSET_BYTES  # block index + next offset
+        if self.data is not None:
+            size += self.data.size * value_bytes
+        return size
+
+
+@dataclass
+class WorkerPacket:
+    """Worker -> aggregator: fused non-zero blocks plus look-ahead metadata.
+
+    ``immediate`` carries the §5 32-bit metadata word the RDMA path
+    attaches to every message (type, opcode, slot id, block count).
+    """
+
+    worker_id: int
+    stream: int
+    version: int
+    lanes: List[LaneEntry] = field(default_factory=list)
+    is_ack: bool = False
+    immediate: Optional[int] = None
+
+    def payload_bytes(self, value_bytes: int = 4) -> int:
+        return PACKET_FIXED_BYTES + sum(
+            lane.payload_bytes(value_bytes) for lane in self.lanes
+        )
+
+    @property
+    def has_data(self) -> bool:
+        return any(lane.data is not None for lane in self.lanes)
+
+
+@dataclass
+class ResultPacket:
+    """Aggregator -> workers: aggregated blocks plus next-block requests."""
+
+    stream: int
+    version: int
+    lanes: List[LaneEntry] = field(default_factory=list)
+    immediate: Optional[int] = None
+
+    def payload_bytes(self, value_bytes: int = 4) -> int:
+        return PACKET_FIXED_BYTES + sum(
+            lane.payload_bytes(value_bytes) for lane in self.lanes
+        )

@@ -1,0 +1,216 @@
+"""Block partitioning across aggregator shards and streams, and the
+Block Fusion column layout (§3.2).
+
+The tensor's blocks are split first across aggregator shards (each
+shard owns a contiguous disjoint range, §3), then *interleaved* across
+the shard's ``S`` parallel streams: stream ``j`` owns blocks
+``shard_lo + j, shard_lo + j + S, ...``.  Interleaving keeps every
+stream's pipeline busy even when non-zero blocks cluster (embedding
+gradients put the dense layers in one contiguous stretch); a contiguous
+per-stream split would hand that stretch to a few streams and serialize
+their rounds while the rest idle.
+
+Inside a stream, Block Fusion views the stream's block sequence as a
+matrix with ``width`` columns: the stream's ``k``-th block belongs to
+column ``k % width`` and fused packets carry at most one block per
+column, with per-column next-offset metadata found by scanning down the
+column (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..tensors.blocks import BlockView, INFINITY
+from .messages import OFFSET_BYTES, PACKET_FIXED_BYTES
+
+__all__ = ["StreamRange", "split_ranges", "plan_streams", "fusion_width", "FusionLayout"]
+
+
+def split_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into up to ``parts`` contiguous, near-equal,
+    non-empty ranges.  Fewer ranges are returned when ``total < parts``."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    ranges = []
+    base = total // parts
+    extra = total % parts
+    lo = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        ranges.append((lo, lo + size))
+        lo += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class StreamRange:
+    """One stream's slice of the block space: ``lo, lo+stride, ... < hi``."""
+
+    shard: int
+    stream: int  # global stream id (unique across shards)
+    lo: int
+    hi: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.hi < self.lo:
+            raise ValueError("hi must be >= lo")
+
+    @property
+    def num_blocks(self) -> int:
+        if self.hi <= self.lo:
+            return 0
+        return -(-(self.hi - self.lo) // self.stride)
+
+    def block_at(self, k: int) -> int:
+        """The stream's ``k``-th block (global block index)."""
+        if not 0 <= k < self.num_blocks:
+            raise IndexError(f"position {k} out of range [0, {self.num_blocks})")
+        return self.lo + k * self.stride
+
+    def contains(self, block: int) -> bool:
+        return (
+            self.lo <= block < self.hi and (block - self.lo) % self.stride == 0
+        )
+
+    def position_of(self, block: int) -> int:
+        """Inverse of :meth:`block_at`."""
+        if not self.contains(block):
+            raise ValueError(f"block {block} not in stream {self.stream}")
+        return (block - self.lo) // self.stride
+
+
+def plan_streams(
+    total_blocks: int, num_shards: int, streams_per_shard: int
+) -> List[StreamRange]:
+    """Assign globally striped block sequences to (shard, stream) pairs.
+
+    With ``T = num_shards * streams_per_shard`` total streams, stream
+    ``i`` owns blocks ``i, i+T, i+2T, ...`` and belongs to shard
+    ``i % num_shards``.  Striping balances both levels at once: every
+    stream's pipeline and every aggregator shard's NIC see an even slice
+    of the tensor even when non-zero blocks cluster (embedding models
+    put all dense layers in one contiguous stretch -- a contiguous shard
+    split would hand that stretch to one aggregator and serialize its
+    multicast egress).  Streams receive globally unique ids so that a
+    packet's stream id alone identifies the slot, matching the 12-bit
+    slot id of §5.
+    """
+    if num_shards < 1 or streams_per_shard < 1:
+        raise ValueError("num_shards and streams_per_shard must be >= 1")
+    total_streams = min(num_shards * streams_per_shard, max(0, total_blocks))
+    plan: List[StreamRange] = []
+    for i in range(total_streams):
+        plan.append(
+            StreamRange(
+                shard=i % num_shards,
+                stream=i,
+                lo=i,
+                hi=total_blocks,
+                stride=total_streams,
+            )
+        )
+    return plan
+
+
+def fusion_width(
+    block_size: int,
+    value_bytes: int,
+    payload_budget: int,
+    enabled: bool = True,
+) -> int:
+    """Number of blocks fused per packet so the payload fills the budget.
+
+    With fusion disabled the width is 1 (the basic solution).  The width
+    never drops below 1: a block larger than the budget still travels,
+    just in an under-utilized packet (DPDK enforces its own MTU at the
+    transport, so callers must budget accordingly).
+    """
+    if not enabled:
+        return 1
+    per_block = block_size * value_bytes + 2 * OFFSET_BYTES
+    width = (payload_budget - PACKET_FIXED_BYTES) // per_block
+    return max(1, int(width))
+
+
+class FusionLayout:
+    """Per-stream fused-column bookkeeping over a worker's block view.
+
+    Precomputes, for each of the ``width`` columns, the sorted list of
+    the worker's transmittable blocks in that column, so that the
+    per-lane "next non-zero" scans are O(log n) lookups.  In
+    ``assume_dense`` mode (SwitchML*, §6.2.2) every block of the stream
+    is transmittable regardless of content.
+    """
+
+    def __init__(
+        self,
+        view: BlockView,
+        stream_range: StreamRange,
+        width: int,
+        assume_dense: bool = False,
+    ) -> None:
+        if width < 1:
+            raise ValueError("fusion width must be >= 1")
+        self.view = view
+        self.range = stream_range
+        self.width = min(width, max(1, stream_range.num_blocks))
+        lo, hi, stride = stream_range.lo, stream_range.hi, stream_range.stride
+        if assume_dense:
+            in_range = np.arange(lo, hi, stride, dtype=np.int64)
+        else:
+            indices = view.nonzero_indices
+            pos_lo = int(np.searchsorted(indices, lo, side="left"))
+            pos_hi = int(np.searchsorted(indices, hi, side="left"))
+            window = indices[pos_lo:pos_hi]
+            in_range = window[(window - lo) % stride == 0]
+        self._columns: List[np.ndarray] = []
+        if in_range.size:
+            positions = (in_range - lo) // stride
+            lanes = positions % self.width
+            for lane in range(self.width):
+                self._columns.append(np.asarray(in_range[lanes == lane]))
+        else:
+            self._columns = [np.empty(0, dtype=np.int64) for _ in range(self.width)]
+
+    @property
+    def num_lanes(self) -> int:
+        return self.width
+
+    def lane_of(self, block: int) -> int:
+        """Column index of a global block number."""
+        return self.range.position_of(block) % self.width
+
+    def first_row(self) -> List[int]:
+        """Block indices of the initial row (one per lane, lane order)."""
+        count = min(self.width, self.range.num_blocks)
+        return [self.range.block_at(c) for c in range(count)]
+
+    def is_listed(self, lane: int, block: int) -> bool:
+        """True when ``block`` is one of the lane's transmittable blocks
+        (non-zero, or every block in dense mode)."""
+        column = self._columns[lane]
+        pos = int(np.searchsorted(column, block, side="left"))
+        return pos < column.size and int(column[pos]) == block
+
+    def next_in_lane(self, lane: int, after_block: int) -> int:
+        """Worker's next transmittable block in ``lane`` strictly after
+        ``after_block``; :data:`~repro.tensors.blocks.INFINITY` if none."""
+        column = self._columns[lane]
+        pos = int(np.searchsorted(column, after_block, side="right"))
+        if pos >= column.size:
+            return INFINITY
+        return int(column[pos])
+
+    def nonzero_in_lane(self, lane: int) -> np.ndarray:
+        return self._columns[lane]

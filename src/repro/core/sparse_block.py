@@ -1,0 +1,217 @@
+"""Sparse (key-value) block format extension -- Algorithm 3 (§3.3).
+
+The input at each worker is a COO tensor: sorted keys with values.
+Workers stream blocks of ``bs`` key-value pairs; each packet carries
+``nextkey``, the smallest key the worker has not yet sent.  The
+aggregator keeps a keyed memory (a hashtable), tracks every worker's
+``nextkey``, and whenever the global frontier ``min(nextkey)`` advances
+it flushes the aggregated pairs below the frontier to all workers.
+A worker sends its next block exactly when the announced frontier
+reaches its own next unsent key (it was one of the holders of the
+frontier).
+
+The paper presents this for completeness and leaves the practical
+realization as future work (§3.3); accordingly this implementation runs
+on the lossless transport without stream parallelism, but supports
+key-space sharding across aggregator nodes, which parallelizes the same
+way block sharding does for the dense format.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.cluster import Cluster
+from ..tensors.blocks import INFINITY, NEG_INFINITY
+from ..tensors.sparse import CooTensor, INDEX_BYTES, VALUE_BYTES
+from .collective import CollectiveResult
+
+__all__ = ["SparseOmniReduce"]
+
+_op_ids = itertools.count()
+
+
+@dataclass
+class _KvPacket:
+    worker_id: int
+    keys: np.ndarray
+    values: np.ndarray
+    nextkey: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return max(1, int(self.keys.size) * (INDEX_BYTES + VALUE_BYTES) + 8)
+
+
+@dataclass
+class _KvResult:
+    keys: np.ndarray
+    values: np.ndarray
+    frontier: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return max(1, int(self.keys.size) * (INDEX_BYTES + VALUE_BYTES) + 8)
+
+
+class SparseOmniReduce:
+    """Algorithm 3: streaming aggregation of key-value (COO) tensors."""
+
+    def __init__(
+        self, cluster: Cluster, block_size: int = 256, shards: Optional[int] = None
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.cluster = cluster
+        self.block_size = block_size
+        self.shards = shards if shards is not None else cluster.spec.num_shards
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.shards > len(cluster.aggregator_hosts):
+            raise ValueError("more shards than aggregator hosts")
+
+    def allreduce(self, tensors: Sequence[CooTensor]) -> CollectiveResult:
+        cluster = self.cluster
+        sim = cluster.sim
+        workers = cluster.spec.workers
+        if len(tensors) != workers:
+            raise ValueError(f"expected {workers} COO tensors, got {len(tensors)}")
+        length = tensors[0].length
+        if any(t.length != length for t in tensors):
+            raise ValueError("all workers must supply tensors of equal dense length")
+
+        op_id = next(_op_ids)
+        prefix = f"skv{op_id}"
+        start = sim.now
+        stats = cluster.stats
+        bytes_before = stats.total_bytes_sent
+        packets_before = sum(stats.packets_sent.values())
+
+        transport = cluster.transport
+        worker_hosts = cluster.worker_hosts
+        # Key space split into contiguous shards.
+        bounds = np.linspace(0, length, self.shards + 1).astype(np.int64)
+        outputs: List[Dict[int, float]] = [dict() for _ in range(workers)]
+
+        worker_processes = []
+        for shard in range(self.shards):
+            key_lo, key_hi = int(bounds[shard]), int(bounds[shard + 1])
+            agg_host = cluster.aggregator_hosts[shard]
+            agg_port = f"{prefix}.a{shard}"
+            worker_port = f"{prefix}.s{shard}.w"
+            agg_endpoint = transport.endpoint(agg_host, agg_port)
+
+            def aggregator_proc(
+                endpoint=agg_endpoint, lo=key_lo, hi=key_hi, worker_port=worker_port
+            ):
+                memory: Dict[int, float] = {}
+                nextkey = np.full(workers, NEG_INFINITY, dtype=np.int64)
+                sent_to = lo
+                done = False
+                while not done:
+                    received = yield endpoint.recv()
+                    packet: _KvPacket = received.payload
+                    for key, value in zip(packet.keys, packet.values):
+                        memory[int(key)] = memory.get(int(key), 0.0) + float(value)
+                    nextkey[packet.worker_id] = packet.nextkey
+                    frontier = int(nextkey.min())
+                    if frontier <= sent_to:
+                        continue
+                    flush_keys = sorted(
+                        k for k in memory if sent_to <= k < min(frontier, hi)
+                    )
+                    result = _KvResult(
+                        keys=np.array(flush_keys, dtype=np.int64),
+                        values=np.array(
+                            [memory[k] for k in flush_keys], dtype=np.float32
+                        ),
+                        frontier=frontier,
+                    )
+                    for key in flush_keys:
+                        del memory[key]
+                    sent_to = frontier
+                    for rank_i, host in enumerate(worker_hosts):
+                        endpoint.send(
+                            host, f"{worker_port}{rank_i}", result,
+                            result.payload_bytes, f"{prefix}.down",
+                        )
+                    done = frontier >= INFINITY
+
+            sim.spawn(aggregator_proc(), name=f"{prefix}-agg{shard}")
+
+            for rank in range(workers):
+                coo = tensors[rank].slice_range(key_lo, key_hi)
+                # Keys re-based by slice_range; shift back to global.
+                keys = coo.indices + key_lo
+                values = coo.values
+
+                def worker_proc(
+                    rank=rank, keys=keys, values=values, shard=shard,
+                    agg_host=agg_host, agg_port=agg_port, worker_port=worker_port,
+                ):
+                    endpoint = transport.endpoint(
+                        worker_hosts[rank], f"{worker_port}{rank}"
+                    )
+                    cursor = 0
+                    bs = self.block_size
+
+                    def send_block():
+                        nonlocal cursor
+                        hi_cut = min(cursor + bs, keys.size)
+                        nextkey = (
+                            int(keys[hi_cut]) if hi_cut < keys.size else INFINITY
+                        )
+                        packet = _KvPacket(
+                            worker_id=rank,
+                            keys=keys[cursor:hi_cut],
+                            values=values[cursor:hi_cut],
+                            nextkey=nextkey,
+                        )
+                        cursor = hi_cut
+                        endpoint.send(
+                            agg_host, agg_port, packet,
+                            packet.payload_bytes, f"{prefix}.up",
+                        )
+
+                    send_block()
+                    while True:
+                        received = yield endpoint.recv()
+                        result: _KvResult = received.payload
+                        store = outputs[rank]
+                        for key, value in zip(result.keys, result.values):
+                            store[int(key)] = float(value)
+                        if result.frontier >= INFINITY:
+                            return sim.now
+                        if cursor < keys.size and result.frontier >= int(keys[cursor]):
+                            send_block()
+
+                worker_processes.append(
+                    sim.spawn(worker_proc(), name=f"{prefix}-w{rank}s{shard}")
+                )
+
+        sim.run(until=sim.all_of(worker_processes))
+
+        coo_outputs = []
+        for store in outputs:
+            keys = np.array(sorted(store), dtype=np.int64)
+            values = np.array([store[int(k)] for k in keys], dtype=np.float32)
+            coo_outputs.append(CooTensor(indices=keys, values=values, length=length))
+        dense_outputs = [c.to_dense() for c in coo_outputs]
+        result = CollectiveResult(
+            outputs=dense_outputs,
+            time_s=sim.now - start,
+            bytes_sent=stats.total_bytes_sent - bytes_before,
+            packets_sent=sum(stats.packets_sent.values()) - packets_before,
+            upward_bytes=stats.flow_bytes.get(f"{prefix}.up", 0),
+            downward_bytes=stats.flow_bytes.get(f"{prefix}.down", 0),
+            rounds=0,
+            retransmissions=0,
+            duplicates=0,
+            details={"format": "sparse-kv", "shards": float(self.shards)},
+        )
+        result.coo_outputs = coo_outputs  # type: ignore[attr-defined]
+        return result

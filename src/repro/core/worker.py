@@ -1,0 +1,337 @@
+"""Worker-side protocol engines.
+
+:class:`StreamWorker` implements Algorithm 1 (lossless networks: the
+RDMA and TCP paths) generalized with Block Fusion: each stream runs the
+basic algorithm independently per fused column ("lane"), and a packet
+carries the union of lanes that have data.
+
+:class:`RecoveryStreamWorker` implements the worker side of Algorithm 2
+(lossy networks: the DPDK path): every round it answers the aggregator
+with either data or an empty acknowledgment, associates a retransmission
+timer with every packet, and alternates the slot version bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+from ..netsim.kernel import Simulator
+from ..netsim.transport import Endpoint, Transport
+from ..tensors.blocks import BlockView, INFINITY
+from .messages import LaneEntry, ResultPacket, WorkerPacket, encode_immediate
+from .partition import FusionLayout
+from .prefetch import CopyEngine, PrefetchSchedule
+
+__all__ = ["StreamWorker", "RecoveryStreamWorker", "StreamWorkerStats"]
+
+
+@dataclass
+class StreamWorkerStats:
+    """Per-stream counters returned by a worker stream process."""
+
+    worker_id: int
+    stream: int
+    finish_s: float = 0.0
+    packets_sent: int = 0
+    blocks_sent: int = 0
+    acks_sent: int = 0
+    retransmissions: int = 0
+    rounds: int = 0
+
+
+class _StreamWorkerBase:
+    """Shared wiring for both protocol variants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        prefix: str,
+        worker_id: int,
+        worker_host: str,
+        agg_host: str,
+        layout: FusionLayout,
+        view: BlockView,
+        value_bytes: int = 4,
+        prefetch: Optional[PrefetchSchedule] = None,
+        down_engine: Optional[CopyEngine] = None,
+        start_delay_s: float = 0.0,
+        reduction: str = "sum",
+        readiness=None,
+    ) -> None:
+        self.sim = sim
+        self.worker_id = worker_id
+        self.layout = layout
+        self.view = view
+        self.value_bytes = value_bytes
+        self.prefetch = prefetch
+        self.down_engine = down_engine
+        self.readiness = readiness
+        self.start_delay_s = start_delay_s
+        self.agg_host = agg_host
+        stream = layout.range.stream
+        self.stream = stream
+        self.agg_port = f"{prefix}.a{stream}"
+        self.endpoint: Endpoint = transport.endpoint(worker_host, f"{prefix}.w{stream}")
+        self.flow = f"{prefix}.up"
+        self.reduction = reduction
+        self.stats = StreamWorkerStats(worker_id=worker_id, stream=stream)
+        # Worker-local next non-zero pointer per lane (the algorithm's
+        # ``next`` variable), initialized past the first row.
+        self.my_next: List[int] = [
+            layout.next_in_lane(lane, block)
+            for lane, block in enumerate(layout.first_row())
+        ]
+
+    # -- data movement helpers -------------------------------------------
+
+    def _block_available_at(self, block: int) -> float:
+        """When the block can be transmitted: the gradient has been
+        produced (readiness schedule, compute/comm overlap) *and* its
+        bytes are host-resident (chunk prefetch)."""
+        available = self.sim.now
+        end_byte = (block + 1) * self.layout.view.block_size * self.value_bytes
+        if self.readiness is not None:
+            offset = min(end_byte, self.readiness.total_bytes) if hasattr(
+                self.readiness, "total_bytes"
+            ) else end_byte
+            available = max(available, self.readiness.available_at(offset))
+        if self.prefetch is not None:
+            available = max(
+                available,
+                self.prefetch.available_at(min(end_byte, self.prefetch.total_bytes)),
+            )
+        return available
+
+    def _store_result_lanes(self, packet: ResultPacket) -> None:
+        """Write aggregated blocks into the local tensor; book the
+        host->GPU copy on the downward engine."""
+        nbytes = 0
+        for entry in packet.lanes:
+            if entry.data is not None:
+                self.view.set_block(entry.block, entry.data)
+                nbytes += entry.data.size * self.value_bytes
+        if nbytes and self.down_engine is not None:
+            self.down_engine.reserve(nbytes, self.sim.now)
+
+    def _initial_packet(self, version: int = 0) -> WorkerPacket:
+        """First-row packet (§3.1): one lane entry per column.
+
+        A lane carries data only when its first block is transmittable
+        (non-zero, or unconditionally in dense/SwitchML* mode); otherwise
+        the entry is metadata-only, delivering just the worker's initial
+        ``next`` so the aggregator can build its look-ahead table without
+        zero blocks ever crossing the wire.
+        """
+        entries = []
+        for lane, block in enumerate(self.layout.first_row()):
+            data = None
+            if self.layout.is_listed(lane, block):
+                data = self.view.get_block(block)
+            entries.append(
+                LaneEntry(
+                    lane=lane,
+                    block=block,
+                    next_block=self.my_next[lane],
+                    data=data,
+                )
+            )
+        return WorkerPacket(
+            worker_id=self.worker_id,
+            stream=self.stream,
+            version=version,
+            lanes=entries,
+        )
+
+    def _send(self, packet: WorkerPacket) -> None:
+        # Attach the §5 32-bit immediate (type, opcode, slot id, blocks).
+        packet.immediate = encode_immediate(
+            "float32", self.reduction, self.stream, len(packet.lanes)
+        )
+        self.endpoint.send(
+            self.agg_host,
+            self.agg_port,
+            packet,
+            packet.payload_bytes(self.value_bytes),
+            flow=self.flow,
+        )
+        self.stats.packets_sent += 1
+        if packet.is_ack:
+            self.stats.acks_sent += 1
+        else:
+            self.stats.blocks_sent += sum(
+                1 for entry in packet.lanes if entry.data is not None
+            )
+
+    def _data_delay(self, packet: WorkerPacket) -> float:
+        """Seconds to wait until every data block in ``packet`` has been
+        prefetched into host memory."""
+        avail = self.sim.now
+        for entry in packet.lanes:
+            if entry.data is not None:
+                avail = max(avail, self._block_available_at(entry.block))
+        return max(0.0, avail - self.sim.now)
+
+
+class StreamWorker(_StreamWorkerBase):
+    """Algorithm 1 worker (lossless transport)."""
+
+    def run(self):
+        """Generator process: one stream of the basic protocol."""
+        sim = self.sim
+        if self.start_delay_s > 0:
+            yield sim.timeout(self.start_delay_s)
+        if self.layout.range.num_blocks == 0:
+            self.stats.finish_s = sim.now
+            return self.stats
+
+        first = self._initial_packet()
+        delay = self._data_delay(first)
+        if delay > 0:
+            yield sim.timeout(delay)
+        self._send(first)
+
+        lanes_done = [False] * self.layout.num_lanes
+        while not all(lanes_done):
+            received = yield self.endpoint.recv()
+            result: ResultPacket = received.payload
+            self.stats.rounds += 1
+            self._store_result_lanes(result)
+
+            response_lanes: List[LaneEntry] = []
+            for entry in result.lanes:
+                requested = entry.next_block
+                if requested == INFINITY:
+                    lanes_done[entry.lane] = True
+                    continue
+                if requested == self.my_next[entry.lane]:
+                    next_after = self.layout.next_in_lane(entry.lane, requested)
+                    self.my_next[entry.lane] = next_after
+                    response_lanes.append(
+                        LaneEntry(
+                            lane=entry.lane,
+                            block=requested,
+                            next_block=next_after,
+                            data=self.view.get_block(requested),
+                        )
+                    )
+            if response_lanes:
+                packet = WorkerPacket(
+                    worker_id=self.worker_id,
+                    stream=self.stream,
+                    version=0,
+                    lanes=response_lanes,
+                )
+                delay = self._data_delay(packet)
+                if delay > 0:
+                    yield sim.timeout(delay)
+                self._send(packet)
+
+        self.stats.finish_s = sim.now
+        return self.stats
+
+
+class RecoveryStreamWorker(_StreamWorkerBase):
+    """Algorithm 2 worker (lossy transport): acks, timers, versions."""
+
+    def __init__(self, *args, timeout_s: float = 1e-3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.timeout_s = timeout_s
+        self._outstanding: Optional[WorkerPacket] = None
+        self._timer = None
+
+    # -- timer management --------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        self._timer = self.sim.call_after(self.timeout_s, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        if self._outstanding is None:
+            return
+        self.stats.retransmissions += 1
+        self._send(self._outstanding)
+        self._arm_timer()
+
+    def _transmit(self, packet: WorkerPacket) -> None:
+        self._outstanding = packet
+        self._send(packet)
+        self._arm_timer()
+
+    def run(self):
+        """Generator process: one stream of the loss-tolerant protocol."""
+        sim = self.sim
+        if self.start_delay_s > 0:
+            yield sim.timeout(self.start_delay_s)
+        if self.layout.range.num_blocks == 0:
+            self.stats.finish_s = sim.now
+            return self.stats
+
+        version = 0
+        first = self._initial_packet(version)
+        delay = self._data_delay(first)
+        if delay > 0:
+            yield sim.timeout(delay)
+        self._transmit(first)
+
+        while True:
+            received = yield self.endpoint.recv()
+            result: ResultPacket = received.payload
+            if result.version != version:
+                continue  # duplicate result for an already-processed round
+            self._cancel_timer()
+            self._outstanding = None
+            self.stats.rounds += 1
+            self._store_result_lanes(result)
+
+            active = [entry for entry in result.lanes if entry.next_block != INFINITY]
+            if not active:
+                break  # every lane signalled infinity: reduction complete
+
+            version ^= 1
+            response_lanes: List[LaneEntry] = []
+            has_data = False
+            for entry in active:
+                requested = entry.next_block
+                if requested == self.my_next[entry.lane]:
+                    next_after = self.layout.next_in_lane(entry.lane, requested)
+                    self.my_next[entry.lane] = next_after
+                    response_lanes.append(
+                        LaneEntry(
+                            lane=entry.lane,
+                            block=requested,
+                            next_block=next_after,
+                            data=self.view.get_block(requested),
+                        )
+                    )
+                    has_data = True
+                else:
+                    # Empty acknowledgment lane: echo my next (Alg. 2 l.19).
+                    response_lanes.append(
+                        LaneEntry(
+                            lane=entry.lane,
+                            block=requested,
+                            next_block=self.my_next[entry.lane],
+                            data=None,
+                        )
+                    )
+            packet = WorkerPacket(
+                worker_id=self.worker_id,
+                stream=self.stream,
+                version=version,
+                lanes=response_lanes,
+                is_ack=not has_data,
+            )
+            delay = self._data_delay(packet)
+            if delay > 0:
+                yield sim.timeout(delay)
+            self._transmit(packet)
+
+        self.stats.finish_s = sim.now
+        return self.stats

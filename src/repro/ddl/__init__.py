@@ -1,0 +1,31 @@
+"""Distributed deep learning layer: workload models, gradient structure
+generators, the end-to-end training-iteration simulator, and real
+small-model distributed SGD for the compression convergence experiments."""
+
+from .endtoend import EndToEndReport, EndToEndRun
+from .gradients import GradientModel
+from .trainer import TrainingReport, TrainingSimulator
+from .training import (
+    MLP,
+    SyntheticTask,
+    TrainHistory,
+    f1_score,
+    train_distributed,
+)
+from .workloads import NCCL_SCALING_FACTOR_8W_10G, WORKLOADS, WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "NCCL_SCALING_FACTOR_8W_10G",
+    "GradientModel",
+    "TrainingSimulator",
+    "TrainingReport",
+    "SyntheticTask",
+    "MLP",
+    "TrainHistory",
+    "train_distributed",
+    "f1_score",
+    "EndToEndRun",
+    "EndToEndReport",
+]

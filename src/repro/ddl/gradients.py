@@ -1,0 +1,177 @@
+"""Synthetic gradient generators that reproduce each workload's measured
+sparsity structure (Table 1, Table 2, Figure 16).
+
+The paper's DNN gradients have two structurally different parts:
+
+* **Embedding gradients** are row-sparse: a mini-batch touches a few
+  rows of a huge embedding table and only those rows have non-zero
+  gradients (footnote 2 of the paper).  We generate rows of
+  ``embedding_dim`` contiguous elements, with a per-worker row density
+  chosen so that the block density at the reference 256-element block
+  size matches Table 1's measured per-worker communication fraction,
+  and a fraction of each worker's rows drawn from a pool shared by all
+  workers so that the Table 2 "All" overlap row matches.
+* **Dense-layer gradients** are element-sparse but unstructured (ReLU
+  zeros): non-zero blocks at any practical block size, exactly why
+  VGG19/ResNet152 show 100% OmniReduce communication despite 20-30%
+  element sparsity.
+
+Because the structure is generated at element level, measuring block
+sparsity of the *same* tensor across block sizes reproduces the
+Figure 16 curves.
+
+Gradients are generated at a scaled-down element count (full models are
+GBs); the scaling preserves densities and overlap fractions, so
+simulated communication times scale back linearly in the
+bandwidth-dominated regime (see :mod:`repro.ddl.trainer`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .workloads import WorkloadSpec
+
+__all__ = ["GradientModel"]
+
+#: Reference block size used for density calibration (the paper's default).
+REFERENCE_BLOCK_SIZE = 256
+
+
+class GradientModel:
+    """Generates per-worker gradients with a workload's sparsity structure."""
+
+    def __init__(self, spec: WorkloadSpec, block_size: int = REFERENCE_BLOCK_SIZE):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.spec = spec
+        self.block_size = block_size
+
+    # -- derived structure parameters --------------------------------------
+
+    @property
+    def embedding_block_density_target(self) -> float:
+        """Block density required of the embedding region so the overall
+        per-worker block density hits Table 1's comm fraction."""
+        spec = self.spec
+        if spec.embedding_fraction == 0.0:
+            return 0.0
+        dense_share = 1.0 - spec.embedding_fraction
+        target = (spec.comm_fraction - dense_share) / spec.embedding_fraction
+        return float(np.clip(target, 0.0, 1.0))
+
+    @property
+    def row_density(self) -> float:
+        """Per-worker probability that an embedding row is touched.
+
+        With ``r`` rows per reference block, a block is non-zero when any
+        of its rows is touched: ``d_block = 1 - (1 - d_row)^r``.
+        """
+        rows_per_block = max(1, self.block_size // max(1, self.spec.embedding_dim))
+        d_block = self.embedding_block_density_target
+        if d_block >= 1.0:
+            return 1.0
+        return 1.0 - (1.0 - d_block) ** (1.0 / rows_per_block)
+
+    @property
+    def shared_row_fraction(self) -> float:
+        """Fraction of each worker's touched embedding rows drawn from the
+        shared pool.
+
+        Table 2's "All" row counts *blocks* transmitted with full overlap,
+        and the dense-layer region is block-dense at every worker, so it
+        contributes fully-overlapped blocks on its own.  The shared
+        fraction of embedding rows is solved so that the total matches:
+
+            all_target * comm = dense_share + emb_nonzero * f
+        """
+        spec = self.spec
+        if spec.embedding_fraction == 0.0 or spec.comm_fraction == 0.0:
+            return 1.0
+        dense_share = 1.0 - spec.embedding_fraction  # block density contribution
+        emb_nonzero = spec.comm_fraction - dense_share
+        if emb_nonzero <= 0:
+            return 1.0
+        f = (spec.all_overlap_fraction * spec.comm_fraction - dense_share) / emb_nonzero
+        return float(np.clip(f, 0.0, 1.0))
+
+    def region_split(self, total_elements: int) -> int:
+        """Elements of the dense region; the rest is the embedding region
+        (rounded to whole rows)."""
+        dim = max(1, self.spec.embedding_dim)
+        emb_elements = int(round(total_elements * self.spec.embedding_fraction))
+        emb_elements = (emb_elements // dim) * dim
+        return total_elements - emb_elements
+
+    # -- generation ----------------------------------------------------------
+
+    def generate(
+        self,
+        workers: int,
+        total_elements: int = 1 << 20,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[np.ndarray]:
+        """Per-worker gradient tensors of ``total_elements`` each."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if total_elements < 1:
+            raise ValueError("total_elements must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        spec = self.spec
+        dim = max(1, spec.embedding_dim)
+        dense_elements = self.region_split(total_elements)
+        emb_elements = total_elements - dense_elements
+        rows = emb_elements // dim if dim else 0
+
+        # Shared embedding rows (Table 2 "All" overlap structure).
+        d_row = self.row_density
+        touched_per_worker = int(round(d_row * rows)) if rows else 0
+        shared_count = int(round(self.shared_row_fraction * touched_per_worker))
+        shared_rows = (
+            rng.choice(rows, size=shared_count, replace=False)
+            if shared_count
+            else np.empty(0, dtype=np.int64)
+        )
+        shared_set = set(int(r) for r in shared_rows)
+
+        tensors = []
+        dense_sparsity = spec.element_sparsity if spec.embedding_fraction == 0 else 0.0
+        for _ in range(workers):
+            tensor = np.zeros(total_elements, dtype=np.float32)
+            # Dense-layer region: unstructured element sparsity.
+            if dense_elements:
+                values = rng.standard_normal(dense_elements).astype(np.float32)
+                if dense_sparsity > 0:
+                    mask = rng.random(dense_elements) < dense_sparsity
+                    values[mask] = 0.0
+                tensor[:dense_elements] = values
+            # Embedding region: row-sparse with controlled overlap.
+            if rows and touched_per_worker:
+                independent_needed = touched_per_worker - shared_count
+                own_rows = list(shared_rows)
+                if independent_needed > 0:
+                    candidates = rng.choice(
+                        rows,
+                        size=min(rows, independent_needed + shared_count),
+                        replace=False,
+                    )
+                    for row in candidates:
+                        if int(row) not in shared_set:
+                            own_rows.append(int(row))
+                            if len(own_rows) == touched_per_worker:
+                                break
+                for row in own_rows:
+                    lo = dense_elements + int(row) * dim
+                    values = rng.standard_normal(dim).astype(np.float32)
+                    if not values.any():
+                        values[0] = 1.0
+                    tensor[lo : lo + dim] = values
+            tensors.append(tensor)
+        return tensors
+
+    def expected_block_density(self) -> float:
+        """The per-worker block density the generator targets
+        (Table 1's communication fraction)."""
+        return self.spec.comm_fraction

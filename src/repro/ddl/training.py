@@ -1,0 +1,230 @@
+"""Real distributed SGD with error-feedback compression (Figures 11-12).
+
+The paper fine-tunes BERT on SQuAD to show that the §4 block-based
+compressors preserve convergence.  We cannot run BERT here, so the
+substitution (documented in DESIGN.md) is a small two-layer MLP trained
+on a synthetic classification task, with *genuine* data-parallel SGD:
+each worker computes gradients on its own shard, applies error-feedback
+compression, and the compressed gradients are averaged -- numerically
+identical to what OmniReduce would aggregate.  The claim being
+reproduced is the lemma's model-agnostic consequence: delta-compressor +
+error feedback converges, with at most a small metric drop at 1%
+compression.
+
+Outputs mirror the paper's plots: per-iteration training loss
+(Figure 12) and a final F1 score (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..compression.base import Compressor, IdentityCompressor
+from ..compression.error_feedback import ErrorFeedback
+
+__all__ = ["SyntheticTask", "MLP", "TrainHistory", "train_distributed", "f1_score"]
+
+
+@dataclass
+class SyntheticTask:
+    """A binary classification task with a planted nonlinear rule."""
+
+    features: int = 64
+    train_samples: int = 4096
+    test_samples: int = 1024
+    noise: float = 0.15
+    seed: int = 0
+
+    def generate(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        total = self.train_samples + self.test_samples
+        x = rng.standard_normal((total, self.features)).astype(np.float32)
+        # Planted rule: sign of a random quadratic form (nonlinear, so the
+        # hidden layer matters), flipped with probability `noise`.
+        w1 = rng.standard_normal(self.features)
+        w2 = rng.standard_normal(self.features)
+        logits = (x @ w1) * (x @ w2) / self.features
+        y = (logits > 0).astype(np.int64)
+        flip = rng.random(total) < self.noise
+        y[flip] = 1 - y[flip]
+        split = self.train_samples
+        return x[:split], y[:split], x[split:], y[split:]
+
+
+class MLP:
+    """Two-layer perceptron with a flat parameter vector interface."""
+
+    def __init__(self, features: int, hidden: int, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.features = features
+        self.hidden = hidden
+        scale1 = np.sqrt(2.0 / features)
+        scale2 = np.sqrt(2.0 / hidden)
+        self._w1 = (rng.standard_normal((features, hidden)) * scale1).astype(np.float32)
+        self._b1 = np.zeros(hidden, dtype=np.float32)
+        self._w2 = (rng.standard_normal((hidden, 1)) * scale2).astype(np.float32)
+        self._b2 = np.zeros(1, dtype=np.float32)
+
+    # -- flat parameter vector ----------------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        return self._w1.size + self._b1.size + self._w2.size + self._b2.size
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate(
+            [self._w1.ravel(), self._b1, self._w2.ravel(), self._b2]
+        ).astype(np.float32)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        if flat.size != self.num_params:
+            raise ValueError(f"expected {self.num_params} params, got {flat.size}")
+        i = 0
+        for attr, shape in (
+            ("_w1", (self.features, self.hidden)),
+            ("_b1", (self.hidden,)),
+            ("_w2", (self.hidden, 1)),
+            ("_b2", (1,)),
+        ):
+            size = int(np.prod(shape))
+            setattr(self, attr, flat[i : i + size].reshape(shape).astype(np.float32))
+            i += size
+
+    # -- forward / backward ---------------------------------------------------
+
+    def _forward(self, x: np.ndarray):
+        pre = x @ self._w1 + self._b1
+        act = np.maximum(pre, 0.0)
+        logits = (act @ self._w2 + self._b2).ravel()
+        return pre, act, logits
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        _, _, logits = self._forward(x)
+        return _sigmoid(logits)
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Binary cross-entropy loss and flat gradient."""
+        n = x.shape[0]
+        pre, act, logits = self._forward(x)
+        prob = _sigmoid(logits)
+        eps = 1e-7
+        loss = float(
+            -np.mean(y * np.log(prob + eps) + (1 - y) * np.log(1 - prob + eps))
+        )
+        dlogits = (prob - y).reshape(-1, 1) / n
+        dw2 = act.T @ dlogits
+        db2 = dlogits.sum(axis=0)
+        dact = dlogits @ self._w2.T
+        dpre = dact * (pre > 0)
+        dw1 = x.T @ dpre
+        db1 = dpre.sum(axis=0)
+        grad = np.concatenate(
+            [dw1.ravel(), db1.ravel(), dw2.ravel(), db2.ravel()]
+        ).astype(np.float32)
+        return loss, grad
+
+
+def _sigmoid(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(logits, dtype=np.float64)
+    pos = logits >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-logits[pos]))
+    exp_l = np.exp(logits[~pos])
+    out[~pos] = exp_l / (1.0 + exp_l)
+    return out
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Binary F1 (the metric Figure 11 tracks for SQuAD)."""
+    tp = int(np.sum((y_pred == 1) & (y_true == 1)))
+    fp = int(np.sum((y_pred == 1) & (y_true == 0)))
+    fn = int(np.sum((y_pred == 0) & (y_true == 1)))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass
+class TrainHistory:
+    """Per-iteration training loss plus final evaluation metrics."""
+
+    losses: List[float] = field(default_factory=list)
+    f1: float = 0.0
+    accuracy: float = 0.0
+    compressor: str = "none"
+
+    def smoothed_losses(self, alpha: float = 0.5) -> List[float]:
+        """EMA smoothing as applied in Figure 12."""
+        out: List[float] = []
+        ema = None
+        for loss in self.losses:
+            ema = loss if ema is None else alpha * loss + (1 - alpha) * ema
+            out.append(ema)
+        return out
+
+
+def train_distributed(
+    compressor_factory: Optional[Callable[[], Compressor]] = None,
+    workers: int = 8,
+    iterations: int = 300,
+    batch_size: int = 32,
+    lr: float = 0.1,
+    momentum: float = 0.9,
+    hidden: int = 128,
+    task: Optional[SyntheticTask] = None,
+    seed: int = 0,
+    error_feedback: bool = True,
+) -> TrainHistory:
+    """Data-parallel SGD with per-worker error-feedback compression.
+
+    Every worker holds an identical model replica; per step each computes
+    a gradient on a batch from its shard, compresses it (with error
+    feedback by default, as the §4 convergence theory requires), and the
+    compressed gradients are averaged into one update -- exactly the
+    value an OmniReduce AllReduce would produce.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    task = task if task is not None else SyntheticTask(seed=seed)
+    x_train, y_train, x_test, y_test = task.generate()
+    shards = np.array_split(np.arange(x_train.shape[0]), workers)
+
+    model = MLP(task.features, hidden, seed=seed)
+    factory = compressor_factory if compressor_factory is not None else IdentityCompressor
+    feedbacks = [ErrorFeedback(factory()) for _ in range(workers)]
+    compressor_name = feedbacks[0].compressor.name
+    rng = np.random.default_rng(seed + 1)
+    velocity = np.zeros(model.num_params, dtype=np.float32)
+    history = TrainHistory(compressor=compressor_name)
+
+    for _ in range(iterations):
+        params = model.get_params()
+        agg = np.zeros(model.num_params, dtype=np.float32)
+        step_loss = 0.0
+        for w in range(workers):
+            shard = shards[w]
+            batch = rng.choice(shard, size=min(batch_size, shard.size), replace=False)
+            loss, grad = model.loss_and_grad(x_train[batch], y_train[batch])
+            step_loss += loss / workers
+            if error_feedback:
+                sent = feedbacks[w].step(grad, params=params)
+            else:
+                sent = feedbacks[w].compressor.compress(grad, params=params)
+            agg += sent
+        agg /= workers
+        velocity = momentum * velocity + agg
+        model.set_params(params - lr * velocity)
+        history.losses.append(step_loss)
+
+    prob = model.predict_proba(x_test)
+    pred = (prob > 0.5).astype(np.int64)
+    history.f1 = f1_score(y_test, pred)
+    history.accuracy = float(np.mean(pred == y_test))
+    return history

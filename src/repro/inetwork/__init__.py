@@ -1,0 +1,5 @@
+"""In-network (programmable switch) aggregation extension (§7)."""
+
+from .switch import FixedPointCodec, InNetworkOmniReduce, P4SwitchSpec
+
+__all__ = ["FixedPointCodec", "P4SwitchSpec", "InNetworkOmniReduce"]

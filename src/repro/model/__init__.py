@@ -1,0 +1,27 @@
+"""Analytical performance models from §3.4 of the paper."""
+
+from .perf import (
+    PerfModel,
+    agsparse_time_s,
+    allgather_time_s,
+    broadcast_tree_time_s,
+    omnireduce_time_s,
+    ps_time_s,
+    ring_time_s,
+    sparcml_split_allgather_time_s,
+    speedup_vs_agsparse,
+    speedup_vs_ring,
+)
+
+__all__ = [
+    "PerfModel",
+    "ring_time_s",
+    "agsparse_time_s",
+    "omnireduce_time_s",
+    "ps_time_s",
+    "sparcml_split_allgather_time_s",
+    "allgather_time_s",
+    "broadcast_tree_time_s",
+    "speedup_vs_ring",
+    "speedup_vs_agsparse",
+]

@@ -1,0 +1,216 @@
+"""Analytical performance model (§3.4).
+
+Closed-form completion times for the three algorithms compared in the
+paper, following Patarasuk & Yuan's latency-bandwidth modelling:
+
+* ring AllReduce:      ``T = 2 (N-1) (alpha + S / (N B))``
+* AGsparse AllReduce:  ``T = (N-1) (alpha + 2 D S / B)``
+* OmniReduce:          ``T = alpha + D S / B``
+  (dedicated aggregators whose combined bandwidth matches ``N B``;
+  in colocated mode the effective per-role bandwidth halves:
+  ``T = alpha + 2 D S / B``)
+
+``S`` is the tensor size in *bytes*, ``D`` the data density (1 -
+sparsity), ``B`` the per-host bandwidth in bytes/second, ``alpha`` the
+one-way latency.  The speedup factors of the paper's §3.4 table are
+provided directly, and :func:`crossover_density` answers "below which
+density does OmniReduce beat ring by factor k".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "PerfModel",
+    "ring_time_s",
+    "agsparse_time_s",
+    "omnireduce_time_s",
+    "ps_time_s",
+    "sparcml_split_allgather_time_s",
+    "allgather_time_s",
+    "broadcast_tree_time_s",
+    "speedup_vs_ring",
+    "speedup_vs_agsparse",
+]
+
+
+def _validate(workers: int, size_bytes: float, bandwidth_Bps: float, density: float):
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    if bandwidth_Bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+
+
+def ring_time_s(
+    workers: int, size_bytes: float, bandwidth_Bps: float, alpha_s: float = 0.0
+) -> float:
+    """Bandwidth-optimal ring AllReduce time (dense, §3.4)."""
+    _validate(workers, size_bytes, bandwidth_Bps, 1.0)
+    return 2 * (workers - 1) * (alpha_s + size_bytes / (workers * bandwidth_Bps))
+
+
+def agsparse_time_s(
+    workers: int,
+    size_bytes: float,
+    bandwidth_Bps: float,
+    density: float,
+    alpha_s: float = 0.0,
+) -> float:
+    """AGsparse time: AllGather of 2*D*S (keys and values) per worker."""
+    _validate(workers, size_bytes, bandwidth_Bps, density)
+    return (workers - 1) * (alpha_s + 2 * density * size_bytes / bandwidth_Bps)
+
+
+def omnireduce_time_s(
+    workers: int,
+    size_bytes: float,
+    bandwidth_Bps: float,
+    density: float,
+    alpha_s: float = 0.0,
+    colocated: bool = False,
+) -> float:
+    """OmniReduce best-case time: ``alpha + D S / B`` (doubled colocated)."""
+    _validate(workers, size_bytes, bandwidth_Bps, density)
+    factor = 2.0 if colocated else 1.0
+    return alpha_s + factor * density * size_bytes / bandwidth_Bps
+
+
+def ps_time_s(
+    workers: int,
+    size_bytes: float,
+    bandwidth_Bps: float,
+    servers: Optional[int] = None,
+    alpha_s: float = 0.0,
+) -> float:
+    """Dense push-pull parameter server (BytePS-like).
+
+    Each worker pushes and pulls ``S`` bytes; with ``K`` servers, every
+    server moves ``N S / K`` in each direction.  The completion time is
+    the slower of the worker edge and the server edge, plus a round trip.
+    """
+    _validate(workers, size_bytes, bandwidth_Bps, 1.0)
+    servers = servers if servers is not None else workers
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    worker_edge = 2 * size_bytes / bandwidth_Bps
+    server_edge = 2 * workers * size_bytes / (servers * bandwidth_Bps)
+    return 2 * alpha_s + max(worker_edge, server_edge)
+
+
+def sparcml_split_allgather_time_s(
+    workers: int,
+    size_bytes: float,
+    bandwidth_Bps: float,
+    density: float,
+    alpha_s: float = 0.0,
+    index_overhead: float = 2.0,
+) -> float:
+    """SparCML SSAR_Split_allgather, bandwidth terms only.
+
+    Phase 1 scatters sparse slices (each worker sends ``(N-1)/N`` of its
+    ``2 D S`` key-value bytes); phase 2 ring-allgathers the reduced
+    partitions, whose union density is at most ``min(1, N D)``.
+    ``index_overhead`` is 2 for 4-byte keys alongside 4-byte values.
+    """
+    _validate(workers, size_bytes, bandwidth_Bps, density)
+    scatter = (workers - 1) / workers * index_overhead * density * size_bytes
+    union = min(1.0, workers * density)
+    gather = (workers - 1) / workers * index_overhead * union * size_bytes
+    return 2 * (workers - 1) * alpha_s + (scatter + gather) / bandwidth_Bps
+
+
+def allgather_time_s(
+    workers: int, total_bytes: float, bandwidth_Bps: float, alpha_s: float = 0.0
+) -> float:
+    """Dense ring AllGather of ``total_bytes`` (sum over workers)."""
+    _validate(workers, total_bytes, bandwidth_Bps, 1.0)
+    return (workers - 1) * (alpha_s + total_bytes / (workers * bandwidth_Bps))
+
+
+def broadcast_tree_time_s(
+    workers: int, size_bytes: float, bandwidth_Bps: float, alpha_s: float = 0.0
+) -> float:
+    """Binomial-tree Broadcast: ``ceil(log2 N)`` store-and-forward rounds."""
+    _validate(workers, size_bytes, bandwidth_Bps, 1.0)
+    if workers == 1:
+        return 0.0
+    rounds = (workers - 1).bit_length()
+    return rounds * (alpha_s + size_bytes / bandwidth_Bps)
+
+
+def speedup_vs_ring(workers: int, density: float, colocated: bool = False) -> float:
+    """§3.4 table: ``SU = 2 (N-1) / (N D)`` (halved colocated)."""
+    _validate(workers, 1.0, 1.0, density)
+    if density == 0.0:
+        return float("inf")
+    factor = 0.5 if colocated else 1.0
+    return factor * 2 * (workers - 1) / (workers * density)
+
+
+def speedup_vs_agsparse(workers: int, colocated: bool = False) -> float:
+    """§3.4 table: ``SU = 2 (N-1)`` independent of density."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    factor = 0.5 if colocated else 1.0
+    return factor * 2 * (workers - 1)
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Bundled model for one cluster configuration.
+
+    ``bandwidth_gbps`` is the per-host link speed; tensor sizes are in
+    bytes; ``alpha_s`` the one-way network latency.
+    """
+
+    workers: int
+    bandwidth_gbps: float
+    alpha_s: float = 5e-6
+    colocated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    def ring(self, size_bytes: float) -> float:
+        return ring_time_s(self.workers, size_bytes, self.bandwidth_Bps, self.alpha_s)
+
+    def agsparse(self, size_bytes: float, density: float) -> float:
+        return agsparse_time_s(
+            self.workers, size_bytes, self.bandwidth_Bps, density, self.alpha_s
+        )
+
+    def omnireduce(self, size_bytes: float, density: float) -> float:
+        return omnireduce_time_s(
+            self.workers,
+            size_bytes,
+            self.bandwidth_Bps,
+            density,
+            self.alpha_s,
+            self.colocated,
+        )
+
+    def crossover_density(self) -> float:
+        """Density below which OmniReduce beats ring AllReduce.
+
+        Solves ``omnireduce(S, D) = ring(S)`` in the bandwidth-dominated
+        regime: ``D* = 2 (N-1) / N`` (capped at 1), halved colocated.
+        OmniReduce wins at *any* density when ``D* >= 1`` -- the
+        fundamental scalability gain that persists even for dense data.
+        """
+        d = 2 * (self.workers - 1) / self.workers
+        if self.colocated:
+            d /= 2
+        return min(1.0, d)

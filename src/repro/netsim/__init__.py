@@ -1,0 +1,80 @@
+"""Discrete-event network simulation substrate.
+
+This package replaces the paper's physical 10/100 Gbps testbeds.  It
+provides a deterministic event kernel (:mod:`~repro.netsim.kernel`), a
+full-bisection fabric of hosts with full-duplex NICs
+(:mod:`~repro.netsim.network`), loss models (:mod:`~repro.netsim.loss`),
+the three transports the paper's implementation targets
+(:mod:`~repro.netsim.transport`), and declarative cluster construction
+(:mod:`~repro.netsim.cluster`).
+"""
+
+from .cluster import Cluster, ClusterSpec, TRANSPORTS
+from .kernel import (
+    AllOf,
+    DeadlockError,
+    Event,
+    Process,
+    Queue,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .loss import BernoulliLoss, BurstLoss, DeterministicLoss, LossModel, NoLoss
+from .network import Host, HostConfig, Network, NetworkStats, gbps
+from .packet import (
+    DATAGRAM_HEADER_BYTES,
+    ETHERNET_HEADER_BYTES,
+    ETHERNET_MTU,
+    IP_UDP_HEADER_BYTES,
+    Packet,
+    RDMA_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+)
+from .crosstraffic import CrossTrafficGenerator
+from .topology import LeafSpineTopology
+from .trace import PacketTracer, TraceEvent, attach_tracer
+from .transport import DatagramTransport, Endpoint, RdmaTransport, TcpTransport, Transport
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "Queue",
+    "Process",
+    "SimulationError",
+    "DeadlockError",
+    "Packet",
+    "Host",
+    "HostConfig",
+    "Network",
+    "NetworkStats",
+    "gbps",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+    "DeterministicLoss",
+    "Transport",
+    "Endpoint",
+    "RdmaTransport",
+    "DatagramTransport",
+    "TcpTransport",
+    "Cluster",
+    "ClusterSpec",
+    "PacketTracer",
+    "TraceEvent",
+    "attach_tracer",
+    "CrossTrafficGenerator",
+    "LeafSpineTopology",
+    "TRANSPORTS",
+    "ETHERNET_MTU",
+    "ETHERNET_HEADER_BYTES",
+    "IP_UDP_HEADER_BYTES",
+    "DATAGRAM_HEADER_BYTES",
+    "RDMA_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+]

@@ -1,0 +1,186 @@
+"""Cluster construction: from a declarative spec to hosts + transport.
+
+:class:`ClusterSpec` captures the knobs the paper's testbeds vary
+(worker/aggregator counts, link speed, transport, colocated vs dedicated
+aggregators, GPU-direct RDMA) and :class:`Cluster` materializes a
+simulator, a network with one host per machine, and the chosen transport.
+
+Host naming follows the paper's deployment:
+
+* ``worker-<i>`` -- GPU worker machines.
+* ``agg-<j>`` -- dedicated aggregator machines (CPU-only, cheaper).
+* In colocated mode there are no ``agg-*`` hosts: aggregator shard ``j``
+  runs on ``worker-j``'s host and shares its NIC and CPU, which is where
+  the paper's "benefit diminishes by a factor of 2" comes from (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .kernel import Simulator
+from .loss import BernoulliLoss, LossModel, NoLoss
+from .network import Host, HostConfig, Network, gbps
+from .transport import DatagramTransport, RdmaTransport, TcpTransport, Transport
+
+__all__ = ["ClusterSpec", "Cluster", "TRANSPORTS"]
+
+TRANSPORTS = ("rdma", "dpdk", "tcp")
+
+#: Per-packet CPU costs by transport (seconds).  DPDK polling cores move
+#: roughly 1 Mpps per core; RDMA offloads most of the per-packet work to
+#: the NIC; kernel TCP is the slowest path.
+_TRANSPORT_OVERHEADS = {
+    "rdma": (0.3e-6, 0.3e-6),
+    "dpdk": (1.0e-6, 1.0e-6),
+    "tcp": (2.0e-6, 2.0e-6),
+}
+
+
+@dataclass
+class ClusterSpec:
+    """Declarative description of a testbed.
+
+    ``aggregators`` is the number of dedicated aggregator machines; it is
+    ignored in ``colocated`` mode where every worker hosts one shard.
+    ``gdr`` enables GPU-direct RDMA (workers skip the GPU->host copy
+    stage).  ``pcie_gbps`` is the effective GPU<->host copy rate used
+    when ``gdr`` is off.
+    """
+
+    workers: int = 8
+    aggregators: int = 8
+    bandwidth_gbps: float = 10.0
+    latency_s: float = 5e-6
+    transport: str = "rdma"
+    colocated: bool = False
+    gdr: bool = False
+    pcie_gbps: float = 96.0
+    cores: int = 4
+    loss_rate: float = 0.0
+    seed: int = 0
+    #: Per-worker NIC speed overrides for heterogeneous clusters
+    #: (e.g. one worker on an older fabric, the regime BlueConnect-style
+    #: systems target, §8).  ``None`` entries keep ``bandwidth_gbps``.
+    worker_bandwidth_gbps: Optional[Tuple[Optional[float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if not self.colocated and self.aggregators < 1:
+            raise ValueError("need at least one aggregator (or colocated mode)")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
+            )
+        if self.bandwidth_gbps <= 0 or self.pcie_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.gdr and self.transport != "rdma":
+            raise ValueError("GPU-direct requires the RDMA transport")
+        if self.worker_bandwidth_gbps is not None:
+            if len(self.worker_bandwidth_gbps) != self.workers:
+                raise ValueError("need one bandwidth override entry per worker")
+            if any(b is not None and b <= 0 for b in self.worker_bandwidth_gbps):
+                raise ValueError("bandwidth overrides must be positive")
+
+    def worker_bandwidth(self, worker_id: int) -> float:
+        """Effective NIC speed of worker ``worker_id`` in Gbps."""
+        if self.worker_bandwidth_gbps is not None:
+            override = self.worker_bandwidth_gbps[worker_id]
+            if override is not None:
+                return override
+        return self.bandwidth_gbps
+
+    def with_(self, **changes) -> "ClusterSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of aggregator shards actually deployed."""
+        return self.workers if self.colocated else self.aggregators
+
+
+class Cluster:
+    """A materialized testbed: simulator + network + transport + hosts."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        loss: Optional[LossModel] = None,
+        topology=None,
+    ) -> None:
+        """``topology`` (e.g.
+        :class:`~repro.netsim.topology.LeafSpineTopology`) replaces the
+        default full-bisection fabric; hosts join racks in construction
+        order (workers first, then aggregators)."""
+        self.spec = spec
+        self.sim = Simulator()
+        if loss is None:
+            if spec.loss_rate > 0:
+                loss = BernoulliLoss(
+                    spec.loss_rate, np.random.default_rng(spec.seed + 7919)
+                )
+            else:
+                loss = NoLoss()
+        self.network = Network(
+            self.sim, latency_s=spec.latency_s, loss=loss, topology=topology
+        )
+
+        rx_ovh, tx_ovh = _TRANSPORT_OVERHEADS[spec.transport]
+        host_config = HostConfig(
+            bandwidth_bps=gbps(spec.bandwidth_gbps),
+            rx_overhead_s=rx_ovh,
+            tx_overhead_s=tx_ovh,
+            cores=spec.cores,
+        )
+
+        self.worker_hosts: List[str] = []
+        for i in range(spec.workers):
+            name = f"worker-{i}"
+            bandwidth = spec.worker_bandwidth(i)
+            if bandwidth == spec.bandwidth_gbps:
+                config_i = host_config
+            else:
+                config_i = HostConfig(
+                    bandwidth_bps=gbps(bandwidth),
+                    rx_overhead_s=rx_ovh,
+                    tx_overhead_s=tx_ovh,
+                    cores=spec.cores,
+                )
+            self.network.add_host(name, config_i)
+            self.worker_hosts.append(name)
+
+        self.aggregator_hosts: List[str] = []
+        if spec.colocated:
+            # Shards share worker hosts (and their NICs).
+            self.aggregator_hosts = list(self.worker_hosts)
+        else:
+            for j in range(spec.aggregators):
+                name = f"agg-{j}"
+                self.network.add_host(name, host_config)
+                self.aggregator_hosts.append(name)
+
+        self.transport = self._build_transport()
+
+    def _build_transport(self) -> Transport:
+        if self.spec.transport == "rdma":
+            return RdmaTransport(self.network)
+        if self.spec.transport == "dpdk":
+            return DatagramTransport(self.network)
+        return TcpTransport(self.network)
+
+    @property
+    def stats(self):
+        return self.network.stats
+
+    def host(self, name: str) -> Host:
+        return self.network.host(name)
+
+    def run(self, until=None, max_time: float = float("inf")):
+        return self.sim.run(until=until, max_time=max_time)

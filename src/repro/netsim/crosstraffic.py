@@ -1,0 +1,102 @@
+"""Background cross-traffic injection.
+
+The paper's testbeds are dedicated; production clusters are not.  This
+module generates competing flows on the simulated fabric so collectives
+can be studied under contention (the regime that motivates multi-tenant
+in-network aggregation systems like ATP [38], discussed in §7/§8).
+
+A :class:`CrossTrafficGenerator` runs one process per (src, dst) pair
+that emits fixed-size packets at exponentially distributed intervals
+calibrated to an offered load (a fraction of the link rate).  Traffic
+shares the hosts' NICs with the collective -- contention happens exactly
+where it would physically, at the endpoints' serialization stages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cluster import Cluster
+from .kernel import Process
+from .packet import Packet
+
+__all__ = ["CrossTrafficGenerator"]
+
+_ids = itertools.count()
+
+
+class CrossTrafficGenerator:
+    """Injects background flows between host pairs at a target load."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pairs: Sequence[Tuple[str, str]],
+        load: float,
+        packet_bytes: int = 1500,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """``load`` is each flow's offered fraction of its sender's link
+        rate, in (0, 1]."""
+        if not 0.0 < load <= 1.0:
+            raise ValueError(f"load must be in (0, 1], got {load}")
+        if packet_bytes < 1:
+            raise ValueError("packet_bytes must be >= 1")
+        if not pairs:
+            raise ValueError("need at least one (src, dst) pair")
+        for src, dst in pairs:
+            if src not in cluster.network.hosts or dst not in cluster.network.hosts:
+                raise ValueError(f"unknown host in pair ({src}, {dst})")
+        self.cluster = cluster
+        self.pairs = list(pairs)
+        self.load = load
+        self.packet_bytes = packet_bytes
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.flow = f"xtraffic{next(_ids)}"
+        self._running = False
+        self._processes: List[Process] = []
+        self.packets_injected = 0
+
+    def start(self) -> None:
+        """Begin injecting (runs until :meth:`stop`)."""
+        if self._running:
+            raise RuntimeError("generator already running")
+        self._running = True
+        sim = self.cluster.sim
+        for src, dst in self.pairs:
+            self._processes.append(
+                sim.spawn(self._flow_proc(src, dst), name=f"{self.flow}-{src}-{dst}")
+            )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _flow_proc(self, src: str, dst: str):
+        sim = self.cluster.sim
+        network = self.cluster.network
+        bandwidth = network.hosts[src].config.bandwidth_bps
+        # Mean inter-packet gap for the offered load.
+        packet_time = self.packet_bytes * 8.0 / bandwidth
+        mean_gap = packet_time / self.load
+        # Sink mailbox so delivered packets do not accumulate unread --
+        # register it once; deliveries are counted in network stats.
+        network.hosts[dst].port(f"{self.flow}.sink")
+        while self._running:
+            gap = float(self.rng.exponential(mean_gap))
+            yield sim.timeout(gap)
+            if not self._running:
+                return
+            network.transmit(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    payload=None,
+                    size_bytes=self.packet_bytes,
+                    port=f"{self.flow}.sink",
+                    flow=self.flow,
+                )
+            )
+            self.packets_injected += 1

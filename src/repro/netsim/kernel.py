@@ -1,0 +1,334 @@
+"""Discrete-event simulation kernel.
+
+The kernel executes *processes* (generator coroutines) against a virtual
+clock.  A process performs simulated work by yielding :class:`Event`
+objects; the kernel resumes the generator when the event fires and sends
+the event's value back into the generator.
+
+Three event flavours cover everything the protocol code needs:
+
+* :class:`Timeout` -- fires after a fixed simulated delay.
+* :class:`Signal` -- fired manually by other code (one-shot rendezvous).
+* :class:`Queue` -- a FIFO mailbox; ``queue.get()`` returns an event that
+  fires when an item is available.
+
+In addition the simulator exposes raw cancellable callbacks
+(:meth:`Simulator.call_at` / :meth:`Simulator.cancel`) which the
+loss-recovery code uses for retransmission timers.
+
+The design follows the "explicit is better than implicit" rule: no global
+simulator instance exists; every component receives the simulator object
+it belongs to.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "Queue",
+    "Process",
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+]
+
+#: Type of a process body: a generator that yields events.
+ProcessBody = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked but
+    no future event can unblock them."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: pending -> triggered -> processed.
+    Waiters registered before the trigger are resumed with the event's
+    value; registering after the trigger resumes the waiter immediately
+    (at the current simulated time).
+    """
+
+    __slots__ = ("sim", "_value", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._value: Any = None
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, scheduling all waiters at the current time."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.call_at(self.sim.now, callback, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            self.sim.call_at(self.sim.now, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        sim.call_at(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Signal(Event):
+    """A manually-triggered one-shot event (a rendezvous point)."""
+
+    __slots__ = ()
+
+
+class AllOf(Event):
+    """Event that fires once all of the given events have fired.
+
+    The value is the list of the child events' values, in input order.
+    An empty input fires immediately.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._child_fired)
+
+    def _child_fired(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self._children])
+
+
+class Queue:
+    """Unbounded FIFO mailbox connecting simulated components.
+
+    ``put`` never blocks.  ``get`` returns an :class:`Event` that fires
+    with the oldest item as soon as one is available (immediately if the
+    queue is non-empty).
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process is itself an event that fires with the generator's return
+    value when the generator finishes, so processes can wait on other
+    processes.
+    """
+
+    __slots__ = ("body", "name")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
+        super().__init__(sim)
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        sim.call_at(sim.now, self._resume, _INIT)
+
+    def _resume(self, event_or_init: Any) -> None:
+        if event_or_init is _INIT:
+            send_value = None
+        else:
+            send_value = event_or_init.value
+        try:
+            target = self.body.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class _InitSentinel:
+    pass
+
+
+_INIT = _InitSentinel()
+
+
+class _Scheduled:
+    """Heap entry for a scheduled callback.  Cancellation clears ``fn``."""
+
+    __slots__ = ("time", "seq", "fn", "args")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+
+    def __lt__(self, other: "_Scheduled") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[_Scheduled] = []
+        self._seq = itertools.count()
+        self._live_callbacks = 0
+
+    # -- scheduling primitives -------------------------------------------
+
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> _Scheduled:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        entry = _Scheduled(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, entry)
+        self._live_callbacks += 1
+        return entry
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> _Scheduled:
+        """Schedule ``fn(*args)`` after a relative simulated ``delay``."""
+        return self.call_at(self.now + delay, fn, *args)
+
+    def cancel(self, handle: _Scheduled) -> None:
+        """Cancel a scheduled callback (safe to call after it fired)."""
+        if handle.fn is not None:
+            handle.fn = None
+            handle.args = ()
+            self._live_callbacks -= 1
+
+    # -- event construction helpers --------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def signal(self) -> Signal:
+        return Signal(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def queue(self, name: str = "") -> Queue:
+        return Queue(self, name)
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a new process executing the generator ``body``."""
+        return Process(self, body, name)
+
+    # -- main loop --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False when idle."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.fn is None:
+                continue  # cancelled
+            self._live_callbacks -= 1
+            self.now = entry.time
+            fn, args = entry.fn, entry.args
+            entry.fn = None
+            entry.args = ()
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[Event] = None, max_time: float = float("inf")) -> Any:
+        """Run until ``until`` fires, the clock passes ``max_time``, or the
+        event heap drains.
+
+        Returns ``until.value`` when ``until`` is given and fired.  Raises
+        :class:`DeadlockError` if ``until`` is given but can never fire.
+        """
+        while True:
+            if until is not None and until.triggered:
+                return until.value
+            if not self._heap or self._live_callbacks == 0:
+                if until is not None and not until.triggered:
+                    raise DeadlockError(
+                        f"simulation drained at t={self.now} before target event fired"
+                    )
+                return None
+            if self._heap[0].time > max_time:
+                return None
+            self.step()

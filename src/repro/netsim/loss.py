@@ -1,0 +1,123 @@
+"""Packet loss models.
+
+The paper's Appendix D emulates loss "assuming uniform probability at a
+given loss rate"; :class:`BernoulliLoss` reproduces exactly that.  The
+other models support failure-injection tests (bursts, targeted drops of
+specific packets) that exercise the recovery protocol more adversarially
+than uniform loss does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .packet import Packet
+
+__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "BurstLoss", "DeterministicLoss"]
+
+
+class LossModel:
+    """Decides, per packet, whether the network drops it."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any internal state (between experiment repetitions)."""
+
+
+class NoLoss(LossModel):
+    """Lossless network (the RDMA RC environment of §3.1)."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Drop each packet independently with probability ``rate``."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.dropped = 0
+        self.seen = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        self.seen += 1
+        if self.rate == 0.0:
+            return False
+        drop = bool(self.rng.random() < self.rate)
+        if drop:
+            self.dropped += 1
+        return drop
+
+    def reset(self) -> None:
+        self.dropped = 0
+        self.seen = 0
+
+
+class BurstLoss(LossModel):
+    """Gilbert-Elliott-style bursty loss.
+
+    Two states: in the *good* state packets pass; in the *bad* state every
+    packet drops.  Transition probabilities control average loss rate and
+    burst length.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._bad = False
+        self.dropped = 0
+        self.seen = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        self.seen += 1
+        if self._bad:
+            if self.rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self._bad = True
+        if self._bad:
+            self.dropped += 1
+        return self._bad
+
+    def reset(self) -> None:
+        self._bad = False
+        self.dropped = 0
+        self.seen = 0
+
+
+class DeterministicLoss(LossModel):
+    """Drop exactly the packets selected by a predicate.
+
+    Used by failure-injection tests, e.g. "drop the 3rd data packet from
+    worker 1" to pin down a specific recovery path.
+    """
+
+    def __init__(self, predicate: Callable[[Packet], bool]) -> None:
+        self.predicate = predicate
+        self.dropped = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        drop = bool(self.predicate(packet))
+        if drop:
+            self.dropped += 1
+        return drop
+
+    def reset(self) -> None:
+        self.dropped = 0

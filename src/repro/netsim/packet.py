@@ -1,0 +1,60 @@
+"""Packet representation used by the simulated network.
+
+A packet carries an arbitrary ``payload`` object (the protocol layers
+define their own message types) together with the *wire size* used for
+timing.  The wire size must include protocol headers; helpers for the
+header sizes used throughout the reproduction live here so that every
+component charges the same overheads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Packet",
+    "ETHERNET_HEADER_BYTES",
+    "IP_UDP_HEADER_BYTES",
+    "DATAGRAM_HEADER_BYTES",
+    "RDMA_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "ETHERNET_MTU",
+]
+
+#: Ethernet header + FCS + preamble/IPG accounted as fixed per-frame bytes.
+ETHERNET_HEADER_BYTES = 38
+#: IPv4 (20) + UDP (8) headers.
+IP_UDP_HEADER_BYTES = 28
+#: Total per-datagram overhead for the DPDK/UDP transport.
+DATAGRAM_HEADER_BYTES = ETHERNET_HEADER_BYTES + IP_UDP_HEADER_BYTES
+#: RoCE v2: Ethernet + IP/UDP + BTH (12) + RETH/IMM (20) + ICRC (4).
+RDMA_HEADER_BYTES = ETHERNET_HEADER_BYTES + IP_UDP_HEADER_BYTES + 36
+#: Ethernet + IPv4 + TCP (20, no options).
+TCP_HEADER_BYTES = ETHERNET_HEADER_BYTES + 20 + 20
+#: Standard Ethernet payload MTU.
+ETHERNET_MTU = 1500
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A unit of transmission on the simulated network.
+
+    ``size_bytes`` is the total wire size (payload + headers) and drives
+    serialization time; ``payload`` is opaque to the network layer.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    port: str = "default"
+    flow: str = ""
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")

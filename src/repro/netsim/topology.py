@@ -1,0 +1,80 @@
+"""Fabric topologies beyond full bisection.
+
+The paper's testbeds (and the default :class:`~repro.netsim.network.Network`)
+assume a full-bisection fabric: contention only at end hosts.  Real
+datacenter fabrics are often *oversubscribed*: a rack's servers share
+uplinks whose aggregate capacity is a fraction of the servers' NICs.
+
+:class:`LeafSpineTopology` models that with two extra serialization
+stages on cross-rack paths -- the source rack's uplink and the
+destination rack's downlink, each a shared pipe of
+``rack_size x NIC / oversubscription`` capacity.  Intra-rack traffic is
+unaffected.  Attach it via ``Network(..., topology=...)``; hosts join
+racks in registration order (workers first, then aggregators, matching
+:class:`~repro.netsim.cluster.Cluster` construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["LeafSpineTopology"]
+
+
+class _SharedPipe:
+    """A serialization stage shared by many flows (one rack uplink)."""
+
+    __slots__ = ("rate_bps", "free_at")
+
+    def __init__(self, rate_bps: float) -> None:
+        self.rate_bps = rate_bps
+        self.free_at = 0.0
+
+    def traverse(self, now: float, size_bytes: int) -> float:
+        """Book the pipe; returns the time the last bit leaves it."""
+        start = max(now, self.free_at)
+        self.free_at = start + size_bytes * 8.0 / self.rate_bps
+        return self.free_at
+
+
+class LeafSpineTopology:
+    """Racks of ``rack_size`` hosts with oversubscribed uplinks.
+
+    ``uplink_gbps`` is the *total* uplink capacity per rack, each
+    direction.  An oversubscription factor ``f`` for hosts with ``B``
+    NICs corresponds to ``uplink_gbps = rack_size * B / f``.
+    """
+
+    def __init__(self, rack_size: int, uplink_gbps: float) -> None:
+        if rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if uplink_gbps <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.rack_size = rack_size
+        self.uplink_gbps = uplink_gbps
+        self._rack_of: Dict[str, int] = {}
+        self._uplinks: Dict[int, _SharedPipe] = {}
+        self._downlinks: Dict[int, _SharedPipe] = {}
+
+    def register(self, host_name: str) -> None:
+        """Assign the next host to a rack (called by the network)."""
+        rack = len(self._rack_of) // self.rack_size
+        self._rack_of[host_name] = rack
+        if rack not in self._uplinks:
+            self._uplinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
+            self._downlinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
+
+    def rack_of(self, host_name: str) -> int:
+        return self._rack_of[host_name]
+
+    def same_rack(self, src: str, dst: str) -> bool:
+        return self._rack_of[src] == self._rack_of[dst]
+
+    def traverse_core(self, now: float, src: str, dst: str, size_bytes: int) -> float:
+        """Book the cross-rack path (source uplink, then destination
+        downlink); returns the exit time.  Intra-rack paths pass through
+        untouched."""
+        if self.same_rack(src, dst):
+            return now
+        after_up = self._uplinks[self._rack_of[src]].traverse(now, size_bytes)
+        return self._downlinks[self._rack_of[dst]].traverse(after_up, size_bytes)

@@ -1,0 +1,155 @@
+"""Packet tracing and link-utilization telemetry.
+
+An optional observability layer over :class:`~repro.netsim.network.Network`:
+attach a :class:`PacketTracer` and every transmission/delivery/drop is
+recorded with its simulated timestamp.  From the trace one can compute
+per-host utilization over any window, per-flow timelines, and queueing
+delays -- the quantities one would pull from switch counters and NIC
+telemetry on a physical testbed.
+
+Tracing is opt-in because traces of large experiments are big; the
+network itself keeps only aggregate counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .network import Network
+from .packet import Packet
+
+__all__ = ["TraceEvent", "PacketTracer", "attach_tracer"]
+
+#: Event kinds recorded by the tracer.
+SENT = "sent"
+DELIVERED = "delivered"
+DROPPED = "dropped"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed packet event."""
+
+    time_s: float
+    kind: str  # sent / delivered / dropped
+    src: str
+    dst: str
+    size_bytes: int
+    flow: str
+    pkt_id: int
+
+
+class PacketTracer:
+    """Records packet events and derives telemetry from them."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._sent_at: Dict[int, float] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, time_s: float, kind: str, packet: Packet) -> None:
+        self.events.append(
+            TraceEvent(
+                time_s=time_s,
+                kind=kind,
+                src=packet.src,
+                dst=packet.dst,
+                size_bytes=packet.size_bytes,
+                flow=packet.flow,
+                pkt_id=packet.pkt_id,
+            )
+        )
+        if kind == SENT:
+            self._sent_at[packet.pkt_id] = time_s
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def flow_timeline(self, flow: str) -> List[TraceEvent]:
+        """All events of one flow, in time order."""
+        return sorted(
+            (e for e in self.events if e.flow == flow), key=lambda e: e.time_s
+        )
+
+    def bytes_sent_by_host(self) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for event in self.of_kind(SENT):
+            out[event.src] += event.size_bytes
+        return dict(out)
+
+    def egress_utilization(
+        self, host: str, bandwidth_bps: float, window: Optional[Tuple[float, float]] = None
+    ) -> float:
+        """Fraction of ``host``'s egress capacity used over ``window``.
+
+        Defaults to the full span of the trace.  Utilization is
+        serialization time of the host's transmitted bytes divided by
+        the window length.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        sent = [e for e in self.of_kind(SENT) if e.src == host]
+        if not sent:
+            return 0.0
+        if window is None:
+            lo = min(e.time_s for e in self.events)
+            hi = max(e.time_s for e in self.events)
+        else:
+            lo, hi = window
+        if hi <= lo:
+            raise ValueError("window must have positive length")
+        in_window = [e for e in sent if lo <= e.time_s <= hi]
+        busy = sum(e.size_bytes for e in in_window) * 8.0 / bandwidth_bps
+        return min(1.0, busy / (hi - lo))
+
+    def delivery_latencies(self) -> List[float]:
+        """Send-to-delivery latency of every delivered packet."""
+        out = []
+        for event in self.of_kind(DELIVERED):
+            sent = self._sent_at.get(event.pkt_id)
+            if sent is not None:
+                out.append(event.time_s - sent)
+        return out
+
+    def drop_rate(self) -> float:
+        sent = len(self.of_kind(SENT))
+        if sent == 0:
+            return 0.0
+        return len(self.of_kind(DROPPED)) / sent
+
+
+def attach_tracer(network: Network) -> PacketTracer:
+    """Instrument ``network`` with a tracer (monkey-patches its hooks).
+
+    Returns the tracer; detaching is not supported -- build a fresh
+    network for untraced runs.
+    """
+    tracer = PacketTracer()
+    original_transmit = network.transmit
+    original_deliver = network._deliver
+
+    def traced_transmit(packet, lossy=True, on_drop=None):
+        tracer.record(network.sim.now, SENT, packet)
+
+        def traced_drop(pkt):
+            tracer.record(network.sim.now, DROPPED, pkt)
+            if on_drop is not None:
+                on_drop(pkt)
+
+        original_transmit(packet, lossy=lossy, on_drop=traced_drop)
+
+    def traced_deliver(dst, packet):
+        tracer.record(network.sim.now, DELIVERED, packet)
+        original_deliver(dst, packet)
+
+    network.transmit = traced_transmit  # type: ignore[method-assign]
+    network._deliver = traced_deliver  # type: ignore[method-assign]
+    return tracer

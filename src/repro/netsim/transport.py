@@ -1,0 +1,282 @@
+"""Transports layered on the simulated network.
+
+Three transports mirror the paper's implementation options (§5):
+
+* :class:`RdmaTransport` -- RoCE v2 RC semantics: at-most-once, in-order,
+  lossless delivery.  Messages may exceed the MTU; per-frame header
+  overhead is charged for every MTU-sized fragment without simulating the
+  fragments individually.
+* :class:`DatagramTransport` -- the DPDK/UDP path: one packet per send,
+  payload must fit the MTU, subject to the network's loss model.  Loss
+  recovery is the *protocol's* job (Algorithm 2).
+* :class:`TcpTransport` -- reliable delivery over a lossy network with a
+  simplified loss-recovery cost: each drop triggers a retransmission
+  after ``rto_s`` and stalls the connection for ``penalty_s``
+  (approximating the congestion-window collapse the paper blames for the
+  sharp degradation of Gloo/NCCL-TCP in Appendix D).
+
+All transports share the same endpoint API so collectives are written
+once and run over any of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .kernel import Event, Queue, Simulator
+from .network import Network
+from .packet import (
+    DATAGRAM_HEADER_BYTES,
+    ETHERNET_MTU,
+    Packet,
+    RDMA_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+)
+
+__all__ = [
+    "Endpoint",
+    "Transport",
+    "RdmaTransport",
+    "DatagramTransport",
+    "TcpTransport",
+]
+
+
+class Endpoint:
+    """A (host, port) attachment through which a component communicates."""
+
+    def __init__(self, transport: "Transport", host_name: str, port: str) -> None:
+        self.transport = transport
+        self.host_name = host_name
+        self.port = port
+        self._mailbox: Queue = transport.network.host(host_name).port(port)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.transport.network.sim
+
+    def send(
+        self,
+        dst_host: str,
+        dst_port: str,
+        payload: Any,
+        payload_bytes: int,
+        flow: str = "",
+    ) -> None:
+        """Transmit ``payload`` (non-blocking)."""
+        self.transport.send(
+            self.host_name, dst_host, dst_port, payload, payload_bytes, flow
+        )
+
+    def recv(self) -> Event:
+        """Event that fires with the next delivered :class:`Packet`."""
+        return self._mailbox.get()
+
+    def try_recv(self) -> Tuple[bool, Optional[Packet]]:
+        return self._mailbox.try_get()
+
+    def pending(self) -> int:
+        return len(self._mailbox)
+
+
+class Transport:
+    """Base class: owns the network reference and endpoint construction."""
+
+    #: Human-readable transport name, used in experiment output.
+    name = "abstract"
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    def endpoint(self, host_name: str, port: str) -> Endpoint:
+        return Endpoint(self, host_name, port)
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        dst_port: str,
+        payload: Any,
+        payload_bytes: int,
+        flow: str,
+    ) -> None:
+        raise NotImplementedError
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Total wire size for a message of ``payload_bytes``."""
+        raise NotImplementedError
+
+    def max_payload_bytes(self) -> int:
+        """Largest payload a single protocol packet may carry."""
+        raise NotImplementedError
+
+
+class RdmaTransport(Transport):
+    """Reliable, in-order, lossless messaging (RoCE v2 RC)."""
+
+    name = "rdma"
+
+    def __init__(self, network: Network, mtu: int = ETHERNET_MTU) -> None:
+        super().__init__(network)
+        self.mtu = mtu
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        frames = max(1, math.ceil(payload_bytes / self.mtu))
+        return payload_bytes + frames * RDMA_HEADER_BYTES
+
+    def max_payload_bytes(self) -> int:
+        # RDMA messages can be large; the protocol chooses message sizes.
+        return 1 << 30
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        dst_port: str,
+        payload: Any,
+        payload_bytes: int,
+        flow: str,
+    ) -> None:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=self.wire_bytes(payload_bytes),
+            port=dst_port,
+            flow=flow,
+        )
+        self.network.transmit(packet, lossy=False)
+
+
+class DatagramTransport(Transport):
+    """Unreliable datagrams (the DPDK/UDP path)."""
+
+    name = "dpdk"
+
+    def __init__(self, network: Network, mtu: int = ETHERNET_MTU) -> None:
+        super().__init__(network)
+        self.mtu = mtu
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        return payload_bytes + DATAGRAM_HEADER_BYTES
+
+    def max_payload_bytes(self) -> int:
+        return self.mtu - (DATAGRAM_HEADER_BYTES - 38)  # IP/UDP inside MTU
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        dst_port: str,
+        payload: Any,
+        payload_bytes: int,
+        flow: str,
+    ) -> None:
+        if payload_bytes > self.max_payload_bytes():
+            raise ValueError(
+                f"datagram payload {payload_bytes} B exceeds max "
+                f"{self.max_payload_bytes()} B; packetize at the protocol layer"
+            )
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=self.wire_bytes(payload_bytes),
+            port=dst_port,
+            flow=flow,
+        )
+        self.network.transmit(packet, lossy=True)
+
+
+@dataclass
+class _TcpConnState:
+    stalled_until: float = 0.0
+    retransmissions: int = 0
+
+
+class TcpTransport(Transport):
+    """Reliable delivery with a congestion-collapse cost model for loss.
+
+    Delivery is guaranteed: a dropped segment is retransmitted ``rto_s``
+    after its would-be arrival.  Each drop additionally stalls the
+    connection for ``penalty_s`` (all subsequent sends on the same
+    src->dst pair wait), a deliberately coarse stand-in for cwnd halving
+    plus slow-start recovery.  With ``penalty_s`` at a few RTTs this
+    reproduces the Appendix D observation that TCP collectives degrade
+    sharply at 1% loss while OmniReduce's selective retransmission
+    degrades gracefully.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        network: Network,
+        mtu: int = ETHERNET_MTU,
+        rto_s: float = 200e-6,
+        penalty_s: float = 400e-6,
+    ) -> None:
+        super().__init__(network)
+        self.mtu = mtu
+        self.rto_s = rto_s
+        self.penalty_s = penalty_s
+        self._conns: Dict[Tuple[str, str], _TcpConnState] = {}
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        mss = self.mtu - 40
+        segments = max(1, math.ceil(payload_bytes / mss))
+        return payload_bytes + segments * TCP_HEADER_BYTES
+
+    def max_payload_bytes(self) -> int:
+        # A TCP "send" is a stream write; segmentation is charged in
+        # wire_bytes.  Loss granularity is the whole message, which makes
+        # the penalty model conservative for huge messages, so protocol
+        # layers should keep messages around MTU..64KiB.
+        return 1 << 20
+
+    def _conn(self, src: str, dst: str) -> _TcpConnState:
+        key = (src, dst)
+        if key not in self._conns:
+            self._conns[key] = _TcpConnState()
+        return self._conns[key]
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(c.retransmissions for c in self._conns.values())
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        dst_port: str,
+        payload: Any,
+        payload_bytes: int,
+        flow: str,
+    ) -> None:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=self.wire_bytes(payload_bytes),
+            port=dst_port,
+            flow=flow,
+        )
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        sim = self.network.sim
+        conn = self._conn(packet.src, packet.dst)
+        if sim.now < conn.stalled_until:
+            sim.call_at(conn.stalled_until, self._transmit, packet)
+            return
+        self.network.transmit(packet, lossy=True, on_drop=self._on_drop)
+
+    def _on_drop(self, packet: Packet) -> None:
+        sim = self.network.sim
+        conn = self._conn(packet.src, packet.dst)
+        conn.retransmissions += 1
+        retransmit_at = sim.now + self.rto_s
+        conn.stalled_until = max(conn.stalled_until, retransmit_at) + self.penalty_s
+        sim.call_at(retransmit_at, self._transmit, packet)

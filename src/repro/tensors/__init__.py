@@ -1,0 +1,70 @@
+"""Tensor formats, block decomposition, sparsity metrics, and generators."""
+
+from .bitmap import BitmapCostModel, V100_BITMAP_MODEL
+from .blocks import INFINITY, NEG_INFINITY, BlockView, block_nonzero_bitmap, num_blocks
+from .convert import (
+    ConversionCostModel,
+    DEFAULT_CONVERSION_MODEL,
+    coo_to_dense,
+    dense_to_coo,
+)
+from .encodings import (
+    BitmaskEncoded,
+    RunLengthEncoded,
+    best_encoding,
+    bitmask_bytes,
+    coo_bytes,
+    encode_bitmask,
+    encode_run_length,
+    run_length_bytes,
+)
+from .generator import (
+    OVERLAP_MODES,
+    block_sparse_tensor,
+    block_sparse_tensors,
+    element_sparse_tensor,
+    nonzero_block_count,
+)
+from .metrics import (
+    block_sparsity,
+    density_within_nonzero_blocks,
+    element_sparsity,
+    global_block_density,
+    overlap_breakdown,
+)
+from .sparse import CooTensor, INDEX_BYTES, VALUE_BYTES
+
+__all__ = [
+    "BlockView",
+    "block_nonzero_bitmap",
+    "num_blocks",
+    "INFINITY",
+    "NEG_INFINITY",
+    "BitmapCostModel",
+    "V100_BITMAP_MODEL",
+    "CooTensor",
+    "INDEX_BYTES",
+    "VALUE_BYTES",
+    "ConversionCostModel",
+    "DEFAULT_CONVERSION_MODEL",
+    "dense_to_coo",
+    "coo_to_dense",
+    "OVERLAP_MODES",
+    "block_sparse_tensor",
+    "block_sparse_tensors",
+    "element_sparse_tensor",
+    "nonzero_block_count",
+    "element_sparsity",
+    "block_sparsity",
+    "density_within_nonzero_blocks",
+    "global_block_density",
+    "overlap_breakdown",
+    "BitmaskEncoded",
+    "RunLengthEncoded",
+    "encode_bitmask",
+    "encode_run_length",
+    "best_encoding",
+    "coo_bytes",
+    "bitmask_bytes",
+    "run_length_bytes",
+]

@@ -1,0 +1,59 @@
+"""Cost model for non-zero block detection (the GPU bitmap kernel).
+
+Appendix B.1 of the paper measures the bitmap-calculation time on a V100
+as a function of block size (Figure 20): tiny blocks (< 4 elements) are
+very expensive because the kernel performs one reduction per block, and
+the cost becomes negligible for block sizes >= 16.
+
+The reproduction computes the bitmap itself with numpy
+(:func:`repro.tensors.blocks.block_nonzero_bitmap`); this module supplies
+the *simulated* time the GPU kernel would take, so that experiments can
+charge it where the paper does.
+
+The model is ``time = base + per_block * num_blocks + per_element * n``:
+a fixed launch overhead, a per-block reduction/atomic cost (dominant for
+small blocks), and a streaming per-element read cost (dominant for large
+blocks).  Constants are calibrated to Figure 20's V100 curve: ~40 ms at
+block size 1 on a 100 MB float tensor, ~2 ms at block size 16, under
+1 ms for >= 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .blocks import num_blocks
+
+__all__ = ["BitmapCostModel", "V100_BITMAP_MODEL"]
+
+
+@dataclass(frozen=True)
+class BitmapCostModel:
+    """Simulated duration of the bitmap kernel.
+
+    Attributes
+    ----------
+    base_s:
+        Fixed kernel launch overhead.
+    per_block_s:
+        Cost per produced bitmap bit (block-level reduction + atomic).
+    per_element_s:
+        Streaming read cost per tensor element (memory bandwidth bound).
+    """
+
+    base_s: float = 1.0e-4
+    per_block_s: float = 1.5e-9
+    per_element_s: float = 8.0e-12
+
+    def __post_init__(self) -> None:
+        if min(self.base_s, self.per_block_s, self.per_element_s) < 0:
+            raise ValueError("cost model constants must be non-negative")
+
+    def time_s(self, length: int, block_size: int) -> float:
+        """Simulated bitmap time for a tensor of ``length`` elements."""
+        blocks = num_blocks(length, block_size)
+        return self.base_s + self.per_block_s * blocks + self.per_element_s * length
+
+
+#: Constants calibrated against the paper's Figure 20 (V100, 100 MB tensor).
+V100_BITMAP_MODEL = BitmapCostModel()

@@ -1,0 +1,172 @@
+"""Synthetic tensor generators with controlled sparsity and overlap.
+
+The paper's microbenchmarks generate tensors "randomly" at a target
+sparsity and study how the *overlap* of non-zero blocks across workers
+affects performance (§6.4.2, Figure 17, Table 2).  Three overlap modes
+exist there:
+
+* ``"all"`` -- every worker's non-zero blocks sit at the same offsets
+  (the best case for streaming aggregation),
+* ``"none"`` -- disjoint offsets (the AllGather-friendly extreme),
+* ``"random"`` -- independent uniform placement per worker.
+
+``overlap_fraction`` additionally interpolates between "all" and
+"random" for ablation studies.
+
+Sparsity here is *block* sparsity: the fraction of all-zero blocks.
+(Uniform element-level sparsity would destroy block sparsity -- at 99%
+element sparsity and 256-element blocks, a uniformly random tensor has
+almost no zero block -- so the paper's tensors are necessarily
+block-structured; see DESIGN.md.)  :func:`element_sparse_tensor` is
+provided for sensitivity studies on unstructured sparsity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .blocks import num_blocks
+
+__all__ = [
+    "OVERLAP_MODES",
+    "block_sparse_tensor",
+    "block_sparse_tensors",
+    "element_sparse_tensor",
+    "nonzero_block_count",
+]
+
+OVERLAP_MODES = ("random", "all", "none")
+
+
+def nonzero_block_count(length: int, block_size: int, sparsity: float) -> int:
+    """Number of non-zero blocks for a target block sparsity."""
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    blocks = num_blocks(length, block_size)
+    return int(round((1.0 - sparsity) * blocks))
+
+
+def _fill_blocks(
+    length: int,
+    block_size: int,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    dtype,
+) -> np.ndarray:
+    tensor = np.zeros(length, dtype=dtype)
+    for block in positions:
+        start = int(block) * block_size
+        end = min(start + block_size, length)
+        values = rng.standard_normal(end - start).astype(dtype)
+        # Guarantee the block is non-zero even if the RNG produced zeros.
+        if not values.any():
+            values[0] = dtype(1.0) if not isinstance(dtype, type) else 1.0
+        tensor[start:end] = values
+    return tensor
+
+
+def block_sparse_tensor(
+    length: int,
+    block_size: int,
+    sparsity: float,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float32,
+) -> np.ndarray:
+    """One tensor with the given block sparsity, blocks placed uniformly."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    blocks = num_blocks(length, block_size)
+    k = nonzero_block_count(length, block_size, sparsity)
+    positions = rng.choice(blocks, size=k, replace=False) if k else np.array([], int)
+    return _fill_blocks(length, block_size, positions, rng, dtype)
+
+
+def block_sparse_tensors(
+    num_workers: int,
+    length: int,
+    block_size: int,
+    sparsity: float,
+    overlap: str = "random",
+    overlap_fraction: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float32,
+) -> List[np.ndarray]:
+    """Per-worker tensors with controlled cross-worker block overlap.
+
+    ``overlap_fraction`` (when given, with ``overlap="random"``) pins that
+    fraction of each worker's non-zero blocks to a shared position set and
+    scatters the rest independently.
+    """
+    if overlap not in OVERLAP_MODES:
+        raise ValueError(f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    blocks = num_blocks(length, block_size)
+    k = nonzero_block_count(length, block_size, sparsity)
+
+    if overlap == "all":
+        shared = rng.choice(blocks, size=k, replace=False) if k else np.array([], int)
+        position_sets = [shared] * num_workers
+    elif overlap == "none":
+        if k * num_workers > blocks:
+            raise ValueError(
+                f"cannot place {k} disjoint non-zero blocks per worker for "
+                f"{num_workers} workers in {blocks} blocks; raise sparsity"
+            )
+        pool = rng.permutation(blocks)
+        position_sets = [pool[i * k : (i + 1) * k] for i in range(num_workers)]
+    else:  # random
+        if overlap_fraction is not None:
+            if not 0.0 <= overlap_fraction <= 1.0:
+                raise ValueError("overlap_fraction must be in [0, 1]")
+            shared_k = int(round(overlap_fraction * k))
+            shared = (
+                rng.choice(blocks, size=shared_k, replace=False)
+                if shared_k
+                else np.array([], int)
+            )
+            shared_set = set(int(b) for b in shared)
+            position_sets = []
+            for _ in range(num_workers):
+                remaining = np.array(
+                    [b for b in range(blocks) if b not in shared_set], dtype=int
+                )
+                extra = k - shared_k
+                own = (
+                    rng.choice(remaining, size=extra, replace=False)
+                    if extra
+                    else np.array([], int)
+                )
+                position_sets.append(np.concatenate([shared, own]))
+        else:
+            position_sets = [
+                rng.choice(blocks, size=k, replace=False) if k else np.array([], int)
+                for _ in range(num_workers)
+            ]
+
+    return [
+        _fill_blocks(length, block_size, positions, rng, dtype)
+        for positions in position_sets
+    ]
+
+
+def element_sparse_tensor(
+    length: int,
+    sparsity: float,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Tensor with uniformly random *element* sparsity (unstructured)."""
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    tensor = np.zeros(length, dtype=dtype)
+    nnz = int(round((1.0 - sparsity) * length))
+    if nnz:
+        positions = rng.choice(length, size=nnz, replace=False)
+        values = rng.standard_normal(nnz).astype(dtype)
+        values[values == 0] = 1.0
+        tensor[positions] = values
+    return tensor

@@ -1,0 +1,102 @@
+"""Sparsity metrics: block sparsity, within-block density, overlap breakdown.
+
+These reproduce the measurements behind Figure 16 (block sparsity and
+density-within-block as functions of block size) and Table 2 (the
+breakdown of transmitted non-zero blocks by how many workers share each
+block position).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .blocks import block_nonzero_bitmap
+
+__all__ = [
+    "element_sparsity",
+    "block_sparsity",
+    "density_within_nonzero_blocks",
+    "overlap_breakdown",
+    "global_block_density",
+]
+
+
+def element_sparsity(tensor: np.ndarray) -> float:
+    """Fraction of exactly-zero elements."""
+    flat = np.asarray(tensor).reshape(-1)
+    if flat.size == 0:
+        return 0.0
+    return 1.0 - np.count_nonzero(flat) / flat.size
+
+
+def block_sparsity(tensor: np.ndarray, block_size: int) -> float:
+    """Fraction of all-zero blocks (Figure 16, left)."""
+    bitmap = block_nonzero_bitmap(np.asarray(tensor), block_size)
+    if bitmap.size == 0:
+        return 0.0
+    return 1.0 - np.count_nonzero(bitmap) / bitmap.size
+
+
+def density_within_nonzero_blocks(tensor: np.ndarray, block_size: int) -> float:
+    """Average fraction of non-zero elements inside non-zero blocks
+    (Figure 16, right).  Returns 0.0 for an all-zero tensor."""
+    flat = np.ascontiguousarray(np.asarray(tensor)).reshape(-1)
+    bitmap = block_nonzero_bitmap(flat, block_size)
+    nonzero_blocks = int(np.count_nonzero(bitmap))
+    if nonzero_blocks == 0:
+        return 0.0
+    total_nnz = int(np.count_nonzero(flat))
+    # Tail block may be shorter; count its true capacity.
+    blocks = bitmap.size
+    capacity = 0
+    for block in np.flatnonzero(bitmap):
+        start = int(block) * block_size
+        capacity += min(block_size, flat.size - start)
+    return total_nnz / capacity
+
+
+def global_block_density(tensors: Sequence[np.ndarray], block_size: int) -> float:
+    """Fraction of block positions that are non-zero in *any* worker.
+
+    This is the density OmniReduce actually pays for: a position needs a
+    protocol round as soon as one worker holds data there (§6.1.1).
+    """
+    if not tensors:
+        return 0.0
+    union = None
+    for tensor in tensors:
+        bitmap = block_nonzero_bitmap(np.asarray(tensor), block_size)
+        union = bitmap if union is None else (union | bitmap)
+    if union is None or union.size == 0:
+        return 0.0
+    return float(np.count_nonzero(union)) / union.size
+
+
+def overlap_breakdown(
+    tensors: Sequence[np.ndarray], block_size: int
+) -> Dict[int, float]:
+    """Table 2: share of *transmitted* non-zero blocks by overlap count.
+
+    For each block position, let ``c`` be the number of workers whose
+    block there is non-zero; those workers each transmit one block.  The
+    result maps ``c`` to the fraction of all transmitted blocks whose
+    position has overlap count ``c``.  Keys range over 1..N; the paper's
+    "None" row is ``c == 1`` and "All" is ``c == N``.
+    """
+    if not tensors:
+        return {}
+    bitmaps = np.stack(
+        [block_nonzero_bitmap(np.asarray(t), block_size) for t in tensors]
+    )
+    counts = bitmaps.sum(axis=0)  # overlap count per block position
+    total_sent = int(counts.sum())
+    if total_sent == 0:
+        return {}
+    breakdown: Dict[int, float] = {}
+    for c in range(1, len(tensors) + 1):
+        sent_at_c = int(counts[counts == c].sum())
+        if sent_at_c:
+            breakdown[c] = sent_at_c / total_sent
+    return breakdown

@@ -1,0 +1,107 @@
+"""Sparse tensor representation (coordinate list / COO).
+
+State-of-the-art sparse AllReduce baselines (AGsparse, SparCML) operate
+on key-value data: a sorted list of indices plus the corresponding
+values (§2).  :class:`CooTensor` is that representation.  Keys are
+``int32`` (the paper's ``c_i = 4``) and values default to ``float32``
+(``c_v = 4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CooTensor", "INDEX_BYTES", "VALUE_BYTES"]
+
+#: Bytes per stored index (int32), the paper's c_i.
+INDEX_BYTES = 4
+#: Bytes per stored value (float32), the paper's c_v.
+VALUE_BYTES = 4
+
+
+@dataclass
+class CooTensor:
+    """Sparse vector as (sorted indices, values) with a known dense length."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.indices.shape != self.values.shape:
+            raise ValueError("indices and values must have the same shape")
+        if self.indices.ndim != 1:
+            raise ValueError("COO tensors are one-dimensional")
+        if self.length < 0:
+            raise ValueError("dense length must be non-negative")
+        if self.indices.size:
+            if int(self.indices.min()) < 0 or int(self.indices.max()) >= self.length:
+                raise ValueError("index out of dense range")
+            if np.any(np.diff(self.indices) <= 0):
+                raise ValueError("indices must be strictly increasing")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.length if self.length else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the key-value representation."""
+        return self.nnz * (INDEX_BYTES + VALUE_BYTES)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CooTensor":
+        flat = np.ascontiguousarray(dense).reshape(-1)
+        indices = np.flatnonzero(flat)
+        return cls(indices=indices, values=flat[indices].copy(), length=flat.size)
+
+    def to_dense(self, dtype=np.float32) -> np.ndarray:
+        dense = np.zeros(self.length, dtype=dtype)
+        dense[self.indices] = self.values
+        return dense
+
+    def add(self, other: "CooTensor") -> "CooTensor":
+        """Sparse sum of two COO tensors (union of supports)."""
+        if self.length != other.length:
+            raise ValueError("cannot add COO tensors of different dense lengths")
+        if self.nnz == 0:
+            return CooTensor(other.indices.copy(), other.values.copy(), other.length)
+        if other.nnz == 0:
+            return CooTensor(self.indices.copy(), self.values.copy(), self.length)
+        merged = np.concatenate([self.indices, other.indices])
+        values = np.concatenate([self.values, other.values])
+        order = np.argsort(merged, kind="stable")
+        merged = merged[order]
+        values = values[order]
+        unique, start = np.unique(merged, return_index=True)
+        summed = np.add.reduceat(values, start)
+        return CooTensor(indices=unique, values=summed, length=self.length)
+
+    def slice_range(self, start: int, stop: int) -> "CooTensor":
+        """COO restriction to dense index range [start, stop), re-based."""
+        if not 0 <= start <= stop <= self.length:
+            raise ValueError(f"bad slice [{start}, {stop}) for length {self.length}")
+        lo = int(np.searchsorted(self.indices, start, side="left"))
+        hi = int(np.searchsorted(self.indices, stop, side="left"))
+        return CooTensor(
+            indices=self.indices[lo:hi] - start,
+            values=self.values[lo:hi].copy(),
+            length=stop - start,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CooTensor):
+            return NotImplemented
+        return (
+            self.length == other.length
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )

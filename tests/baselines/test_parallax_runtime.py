@@ -1,0 +1,103 @@
+"""Tests for the Parallax runtime sparsity monitor and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AGsparseAllReduce, ParallaxRuntime
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+
+def make_cluster(workers=4):
+    return Cluster(
+        ClusterSpec(workers=workers, aggregators=4, bandwidth_gbps=10, transport="tcp")
+    )
+
+
+def inputs(workers=4, sparsity=0.5, blocks=32, seed=0):
+    return block_sparse_tensors(
+        workers, blocks * 16, 16, sparsity, rng=np.random.default_rng(seed)
+    )
+
+
+def test_runtime_profiles_then_commits():
+    runtime = ParallaxRuntime(make_cluster(), warmup=2)
+    first = runtime.allreduce(inputs(seed=0))
+    assert first.details["parallax_phase"] == "profiling"
+    assert runtime.choice is None
+    second = runtime.allreduce(inputs(seed=1))
+    assert second.details["parallax_phase"] == "committed"
+    assert runtime.choice in ("sparse-ps", "allreduce")
+
+
+def test_runtime_commits_dense_to_allreduce():
+    runtime = ParallaxRuntime(make_cluster(), warmup=1)
+    runtime.allreduce(inputs(sparsity=0.0))
+    assert runtime.choice == "allreduce"
+
+
+def test_runtime_commits_very_sparse_to_ps():
+    runtime = ParallaxRuntime(make_cluster(), warmup=1)
+    runtime.allreduce(
+        block_sparse_tensors(
+            4, 16 * 256, 16, 0.99, overlap="none", rng=np.random.default_rng(3)
+        )
+    )
+    assert runtime.choice == "sparse-ps"
+
+
+def test_runtime_choice_sticky():
+    runtime = ParallaxRuntime(make_cluster(), warmup=1)
+    runtime.allreduce(inputs(sparsity=0.0))
+    committed = runtime.choice
+    # Later sparse gradients do not change the committed path -- the
+    # profiling limitation the paper contrasts OmniReduce against.
+    runtime.allreduce(inputs(sparsity=0.95, seed=9))
+    assert runtime.choice == committed
+
+
+def test_runtime_results_always_correct():
+    runtime = ParallaxRuntime(make_cluster(), warmup=2)
+    for seed in range(4):
+        tensors = inputs(seed=seed, sparsity=0.7)
+        result = runtime.allreduce(tensors)
+        np.testing.assert_allclose(
+            result.output, np.sum(np.stack(tensors), axis=0), rtol=1e-4, atol=1e-4
+        )
+
+
+def test_runtime_validation():
+    with pytest.raises(ValueError):
+        ParallaxRuntime(make_cluster(), warmup=0)
+
+
+def test_agsparse_memory_grows_with_workers():
+    """§2: AGsparse buffers N pieces; OmniReduce's pool is constant."""
+    peaks = {}
+    for workers in (2, 4, 8):
+        cluster = Cluster(
+            ClusterSpec(workers=workers, aggregators=2, bandwidth_gbps=10,
+                        transport="tcp")
+        )
+        result = AGsparseAllReduce(cluster).allreduce(
+            inputs(workers=workers, sparsity=0.5)
+        )
+        peaks[workers] = result.details["peak_buffer_bytes"]
+    assert peaks[2] < peaks[4] < peaks[8]
+
+
+def test_omnireduce_pool_independent_of_workers_and_size():
+    pools = {}
+    for workers, blocks in ((2, 32), (8, 32), (8, 256)):
+        cluster = Cluster(
+            ClusterSpec(workers=workers, aggregators=2, bandwidth_gbps=10,
+                        transport="rdma")
+        )
+        config = OmniReduceConfig(block_size=16, streams_per_shard=2,
+                                  message_bytes=512)
+        result = OmniReduce(cluster, config).allreduce(
+            inputs(workers=workers, blocks=blocks)
+        )
+        pools[(workers, blocks)] = result.details["aggregator_pool_bytes"]
+    assert pools[(2, 32)] == pools[(8, 32)] == pools[(8, 256)]

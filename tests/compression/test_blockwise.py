@@ -1,0 +1,135 @@
+"""Tests for the four block-based sparsifiers of §4."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BlockRandomK,
+    BlockThreshold,
+    BlockTopK,
+    BlockTopKRatio,
+    block_norms,
+)
+from repro.tensors import block_nonzero_bitmap
+
+
+BS = 4
+
+
+def grad_with_block_magnitudes(magnitudes):
+    """One block per magnitude; every element of block i equals m_i."""
+    out = np.zeros(len(magnitudes) * BS, dtype=np.float32)
+    for i, m in enumerate(magnitudes):
+        out[i * BS : (i + 1) * BS] = m
+    return out
+
+
+def kept_blocks(compressed):
+    return set(np.flatnonzero(block_nonzero_bitmap(compressed, BS)))
+
+
+def test_block_norms():
+    grad = grad_with_block_magnitudes([0.0, 1.0, 2.0])
+    norms = block_norms(grad, BS)
+    np.testing.assert_allclose(norms, [0.0, 2.0, 4.0])
+
+
+def test_block_norms_tail_padding():
+    grad = np.array([3.0, 4.0, 1.0], dtype=np.float32)
+    norms = block_norms(grad, 2)
+    np.testing.assert_allclose(norms, [5.0, 1.0])
+
+
+def test_block_topk_keeps_largest_norm_blocks():
+    grad = grad_with_block_magnitudes([0.1, 5.0, 0.2, 3.0])
+    compressed = BlockTopK(2, block_size=BS).compress(grad)
+    assert kept_blocks(compressed) == {1, 3}
+    # Kept blocks are copied verbatim.
+    np.testing.assert_array_equal(compressed[BS : 2 * BS], grad[BS : 2 * BS])
+
+
+def test_block_topk_fractional_k():
+    grad = grad_with_block_magnitudes([1, 2, 3, 4, 5, 6, 7, 8])
+    compressed = BlockTopK(0.25, block_size=BS).compress(grad)
+    assert kept_blocks(compressed) == {6, 7}
+
+
+def test_block_topk_k_larger_than_blocks():
+    grad = grad_with_block_magnitudes([1, 2])
+    compressed = BlockTopK(10, block_size=BS).compress(grad)
+    np.testing.assert_array_equal(compressed, grad)
+
+
+def test_block_randomk_keeps_exactly_k_blocks():
+    grad = grad_with_block_magnitudes([1] * 10)
+    compressor = BlockRandomK(3, block_size=BS, rng=np.random.default_rng(0))
+    compressed = compressor.compress(grad)
+    assert len(kept_blocks(compressed)) == 3
+
+
+def test_block_randomk_uses_rng():
+    grad = grad_with_block_magnitudes([1] * 20)
+    a = BlockRandomK(5, BS, rng=np.random.default_rng(1)).compress(grad)
+    b = BlockRandomK(5, BS, rng=np.random.default_rng(2)).compress(grad)
+    assert kept_blocks(a) != kept_blocks(b)
+
+
+def test_block_threshold_selects_by_norm():
+    grad = grad_with_block_magnitudes([0.1, 5.0, 0.2, 3.0])
+    compressed = BlockThreshold(1.0, block_size=BS).compress(grad)
+    assert kept_blocks(compressed) == {1, 3}
+
+
+def test_block_threshold_keeps_nothing_above_all():
+    grad = grad_with_block_magnitudes([0.1, 0.2])
+    compressed = BlockThreshold(100.0, block_size=BS).compress(grad)
+    assert not compressed.any()
+
+
+def test_block_topk_ratio_prefers_large_relative_updates():
+    grad = grad_with_block_magnitudes([1.0, 1.0])
+    params = np.concatenate(
+        [np.full(BS, 100.0, np.float32), np.full(BS, 0.01, np.float32)]
+    )
+    compressed = BlockTopKRatio(1, block_size=BS).compress(grad, params=params)
+    # Block 1 has tiny parameters -> enormous update ratio.
+    assert kept_blocks(compressed) == {1}
+
+
+def test_block_topk_ratio_requires_params():
+    with pytest.raises(ValueError):
+        BlockTopKRatio(1, block_size=BS).compress(np.ones(8, np.float32))
+    with pytest.raises(ValueError):
+        BlockTopKRatio(1, block_size=BS).compress(
+            np.ones(8, np.float32), params=np.ones(4, np.float32)
+        )
+
+
+def test_analytic_deltas():
+    assert BlockTopK(2, block_size=BS).delta(8 * BS) == pytest.approx(0.25)
+    assert BlockRandomK(4, block_size=BS).delta(8 * BS) == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BlockTopK(0, block_size=BS)
+    with pytest.raises(ValueError):
+        BlockTopK(1.5, block_size=BS).compress(np.ones(8, np.float32))
+    with pytest.raises(ValueError):
+        BlockTopK(2, block_size=0)
+    with pytest.raises(ValueError):
+        BlockThreshold(-1.0, block_size=BS)
+
+
+def test_compress_preserves_shape_and_dtype():
+    grad = np.ones((2, 8), dtype=np.float32)
+    compressed = BlockTopK(1, block_size=BS).compress(grad)
+    assert compressed.shape == grad.shape
+    assert compressed.dtype == grad.dtype
+
+
+def test_compression_output_is_new_array():
+    grad = grad_with_block_magnitudes([1.0, 2.0])
+    compressed = BlockTopK(1, block_size=BS).compress(grad)
+    compressed[:] = 0
+    assert grad.any()

@@ -1,0 +1,54 @@
+"""Tests for element-wise sparsifiers."""
+
+import numpy as np
+import pytest
+
+from repro.compression import RandomK, Threshold, TopK
+
+
+def test_topk_keeps_largest_magnitudes():
+    grad = np.array([0.1, -5.0, 0.2, 3.0], dtype=np.float32)
+    out = TopK(2).compress(grad)
+    np.testing.assert_allclose(out, [0, -5.0, 0, 3.0])
+
+
+def test_topk_fractional():
+    grad = np.arange(10, dtype=np.float32)
+    out = TopK(0.2).compress(grad)
+    assert np.count_nonzero(out) == 2
+    assert out[9] == 9 and out[8] == 8
+
+
+def test_randomk_keeps_exactly_k():
+    grad = np.ones(100, dtype=np.float32)
+    out = RandomK(10, rng=np.random.default_rng(0)).compress(grad)
+    assert np.count_nonzero(out) == 10
+
+
+def test_threshold():
+    grad = np.array([0.1, -5.0, 0.2, 3.0], dtype=np.float32)
+    out = Threshold(1.0).compress(grad)
+    np.testing.assert_allclose(out, [0, -5.0, 0, 3.0])
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        Threshold(-0.5)
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        TopK(2.0).compress(np.ones(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        RandomK(0).compress(np.ones(4, dtype=np.float32))
+
+
+def test_shapes_preserved():
+    grad = np.ones((4, 5), dtype=np.float32)
+    assert TopK(3).compress(grad).shape == (4, 5)
+    assert RandomK(3, rng=np.random.default_rng(0)).compress(grad).shape == (4, 5)
+
+
+def test_analytic_deltas():
+    assert TopK(25).delta(100) == pytest.approx(0.25)
+    assert RandomK(0.1).delta(100) == pytest.approx(0.1)

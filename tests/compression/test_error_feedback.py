@@ -1,0 +1,138 @@
+"""Tests for error feedback and the delta-compressor property (App. C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    BlockRandomK,
+    BlockTopK,
+    ErrorFeedback,
+    IdentityCompressor,
+    RandomK,
+    TopK,
+    check_delta_compressor,
+    compression_error_ratio,
+    empirical_delta,
+)
+
+
+def test_error_feedback_accumulates_residual():
+    compressor = BlockTopK(1, block_size=2)
+    ef = ErrorFeedback(compressor)
+    grad = np.array([0.1, 0.1, 5.0, 5.0], dtype=np.float32)
+    sent = ef.step(grad)
+    np.testing.assert_allclose(sent, [0, 0, 5, 5])
+    np.testing.assert_allclose(ef.residual, [0.1, 0.1, 0, 0])
+
+
+def test_error_feedback_eventually_sends_small_blocks():
+    """The residual grows until the small block wins Top-k selection."""
+    compressor = BlockTopK(1, block_size=2)
+    ef = ErrorFeedback(compressor)
+    grad = np.array([1.0, 1.0, 1.5, 1.5], dtype=np.float32)
+    first = ef.step(grad)
+    np.testing.assert_allclose(first, [0, 0, 1.5, 1.5])
+    # Round 2: residual [1,1,0,0] + grad = [2,2,1.5,1.5] -> block 0 wins.
+    second = ef.step(grad)
+    np.testing.assert_allclose(second, [2, 2, 0, 0])
+
+
+def test_error_feedback_identity_never_accumulates():
+    ef = ErrorFeedback(IdentityCompressor())
+    grad = np.array([1.0, -2.0], dtype=np.float32)
+    sent = ef.step(grad)
+    np.testing.assert_allclose(sent, grad)
+    np.testing.assert_allclose(ef.residual, [0, 0])
+
+
+def test_error_feedback_total_mass_preserved():
+    """Over many steps, sum(sent) + residual == sum(grads)."""
+    rng = np.random.default_rng(0)
+    ef = ErrorFeedback(BlockTopK(2, block_size=4))
+    total_grad = np.zeros(32, dtype=np.float32)
+    total_sent = np.zeros(32, dtype=np.float32)
+    for _ in range(20):
+        grad = rng.standard_normal(32).astype(np.float32)
+        total_grad += grad
+        total_sent += ef.step(grad)
+    np.testing.assert_allclose(total_sent + ef.residual, total_grad, atol=1e-4)
+
+
+def test_error_feedback_shape_change_rejected():
+    ef = ErrorFeedback(IdentityCompressor())
+    ef.step(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        ef.step(np.zeros(5, dtype=np.float32))
+
+
+def test_error_feedback_reset():
+    ef = ErrorFeedback(BlockTopK(1, block_size=2))
+    ef.step(np.array([1.0, 1.0, 2.0, 2.0], dtype=np.float32))
+    ef.reset()
+    assert ef.residual is None
+
+
+def test_compression_error_ratio_zero_vector():
+    assert compression_error_ratio(TopK(1), np.zeros(4)) == 0.0
+
+
+def test_topk_is_delta_compressor():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(256)
+    assert check_delta_compressor(TopK(64), x, trials=1, slack=0.0)
+
+
+def test_block_topk_is_delta_compressor():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(256)
+    assert check_delta_compressor(BlockTopK(4, block_size=16), x, trials=1, slack=0.0)
+
+
+def test_block_randomk_is_delta_compressor_in_expectation():
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(512)
+    compressor = BlockRandomK(8, block_size=16, rng=np.random.default_rng(7))
+    assert check_delta_compressor(compressor, x, trials=200, slack=0.05)
+
+
+def test_randomk_empirical_delta_close_to_k_over_n():
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal(400)
+    compressor = RandomK(100, rng=np.random.default_rng(8))
+    measured = empirical_delta(compressor, x, trials=300)
+    assert measured == pytest.approx(0.25, abs=0.05)
+
+
+def test_block_topk_delta_at_least_k_over_b():
+    """Top-k's measured delta must dominate Random-k's k/b (Appendix C
+    inequality: the top blocks carry at least average mass)."""
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(640)
+    topk = BlockTopK(4, block_size=16)
+    measured = empirical_delta(topk, x, trials=1)
+    assert measured >= 4 / 40
+
+
+def test_check_delta_requires_analytic_delta():
+    from repro.compression import BlockThreshold
+
+    with pytest.raises(ValueError):
+        check_delta_compressor(BlockThreshold(0.5, block_size=4), np.ones(8))
+
+
+@given(
+    length=st.integers(min_value=16, max_value=256),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_block_topk_error_bound(length, k, seed):
+    """||x - C(x)||^2 <= (1 - k/b) ||x||^2 holds deterministically."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(length)
+    compressor = BlockTopK(k, block_size=8)
+    ratio = compression_error_ratio(compressor, x)
+    delta = compressor.delta(length)
+    assert ratio <= 1 - delta + 1e-9

@@ -1,0 +1,48 @@
+"""Tests for OmniReduceConfig validation."""
+
+import pytest
+
+from repro.core import OmniReduceConfig
+
+
+def test_defaults_match_paper():
+    config = OmniReduceConfig()
+    assert config.block_size == 256
+    assert config.fusion is True
+    assert config.skip_zero_blocks is True
+    assert config.reduction == "sum"
+
+
+def test_invalid_block_size():
+    with pytest.raises(ValueError):
+        OmniReduceConfig(block_size=0)
+
+
+def test_invalid_streams():
+    with pytest.raises(ValueError):
+        OmniReduceConfig(streams_per_shard=0)
+    with pytest.raises(ValueError):
+        OmniReduceConfig(streams_per_shard=5000)  # > 12-bit slot id
+
+
+def test_invalid_message_bytes():
+    with pytest.raises(ValueError):
+        OmniReduceConfig(message_bytes=4)
+
+
+def test_invalid_timeout():
+    with pytest.raises(ValueError):
+        OmniReduceConfig(timeout_s=0.0)
+
+
+def test_invalid_reduction():
+    with pytest.raises(ValueError):
+        OmniReduceConfig(reduction="mean")
+
+
+def test_with_replaces_fields():
+    config = OmniReduceConfig()
+    other = config.with_(block_size=64, fusion=False)
+    assert other.block_size == 64
+    assert not other.fusion
+    assert config.block_size == 256

@@ -1,0 +1,87 @@
+"""Numeric reproducibility (§7): worker-id-ordered deterministic sums."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+
+
+def cancellation_tensors(workers=4, blocks=8, block_size=16, seed=0):
+    """Values with catastrophic cancellation: float32 sum depends on order."""
+    rng = np.random.default_rng(seed)
+    tensors = []
+    for w in range(workers):
+        tensor = (rng.standard_normal(blocks * block_size) * 10.0 ** (w * 2)).astype(
+            np.float32
+        )
+        tensors.append(tensor)
+    # Make the large contributions nearly cancel.
+    tensors[-1] -= sum(tensors[:-1]).astype(np.float32)
+    return tensors
+
+
+def ordered_reference(tensors):
+    """Bitwise reference: float32 accumulation in worker-id order."""
+    acc = tensors[0].astype(np.float32).copy()
+    for tensor in tensors[1:]:
+        acc += tensor.astype(np.float32)
+    return acc
+
+
+def run(tensors, transport="rdma", aggregators=2, deterministic=True, **cfg):
+    cluster = Cluster(
+        ClusterSpec(workers=len(tensors), aggregators=aggregators,
+                    bandwidth_gbps=10, transport=transport)
+    )
+    config = OmniReduceConfig(
+        block_size=16, streams_per_shard=2, message_bytes=512,
+        deterministic=deterministic, **cfg,
+    )
+    return OmniReduce(cluster, config).allreduce(tensors)
+
+
+def test_deterministic_matches_worker_id_order_bitwise():
+    tensors = cancellation_tensors()
+    result = run(tensors, deterministic=True)
+    reference = ordered_reference(tensors)
+    for output in result.outputs:
+        np.testing.assert_array_equal(output, reference)
+
+
+def test_deterministic_invariant_to_deployment():
+    """Bitwise-identical output across shard counts and transports,
+    which change packet arrival orders."""
+    tensors = cancellation_tensors()
+    a = run(tensors, aggregators=1).output
+    b = run(tensors, aggregators=4).output
+    c = run(tensors, transport="dpdk", aggregators=2).output
+    np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(a, c)
+
+
+def test_deterministic_recovery_mode():
+    tensors = cancellation_tensors()
+    result = run(tensors, transport="dpdk", deterministic=True)
+    np.testing.assert_array_equal(result.output, ordered_reference(tensors))
+
+
+def test_deterministic_still_numerically_correct():
+    tensors = cancellation_tensors(seed=3)
+    result = run(tensors, deterministic=True)
+    expected = np.sum(np.stack([t.astype(np.float64) for t in tensors]), axis=0)
+    np.testing.assert_allclose(result.output, expected, rtol=1e-3, atol=1e-3)
+
+
+def test_non_deterministic_mode_close_but_not_guaranteed_bitwise():
+    tensors = cancellation_tensors()
+    result = run(tensors, deterministic=False)
+    expected = np.sum(np.stack([t.astype(np.float64) for t in tensors]), axis=0)
+    np.testing.assert_allclose(result.output, expected, rtol=1e-3, atol=1e-3)
+
+
+def test_deterministic_max_reduction():
+    tensors = cancellation_tensors(seed=5)
+    result = run(tensors, deterministic=True, reduction="max")
+    expected = np.max(np.stack(tensors), axis=0)
+    np.testing.assert_array_equal(result.output, expected)

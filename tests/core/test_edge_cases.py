@@ -1,0 +1,153 @@
+"""Adversarial protocol edge cases.
+
+These push the recovery machinery and configuration corners harder than
+the mainline tests: spurious-retransmission regimes, one worker's entire
+flow silenced for a window, combined colocated + loss, deterministic +
+loss, and the generalized collectives over lossy transports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import BernoulliLoss, Cluster, ClusterSpec, DeterministicLoss
+from repro.tensors import block_sparse_tensors
+
+
+def inputs(workers=4, blocks=32, sparsity=0.5, seed=0):
+    return block_sparse_tensors(
+        workers, blocks * 16, 16, sparsity, rng=np.random.default_rng(seed)
+    )
+
+
+def config(**kw):
+    defaults = dict(block_size=16, streams_per_shard=2, message_bytes=512)
+    defaults.update(kw)
+    return OmniReduceConfig(**defaults)
+
+
+def check(cluster, cfg, tensors):
+    result = OmniReduce(cluster, cfg).allreduce(tensors)
+    expected = np.sum(np.stack(tensors), axis=0)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected, rtol=1e-4, atol=1e-4)
+    return result
+
+
+def test_timeout_shorter_than_rtt_spurious_retransmissions():
+    """A pathological timer (fires before any response can arrive)
+    floods duplicates but must not corrupt the result."""
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10,
+                    transport="dpdk", latency_s=50e-6)
+    )
+    tensors = inputs()
+    result = check(cluster, config(timeout_s=20e-6), tensors)
+    assert result.retransmissions > 0
+    assert result.duplicates > 0
+
+
+def test_one_worker_blackholed_for_a_window():
+    """Every packet from worker 2 is dropped for its first 5 attempts;
+    timers must eventually carry the round through."""
+    state = {"dropped": 0}
+
+    def drop_worker2(packet):
+        if packet.src == "worker-2" and state["dropped"] < 5:
+            state["dropped"] += 1
+            return True
+        return False
+
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10, transport="dpdk"),
+        loss=DeterministicLoss(drop_worker2),
+    )
+    result = check(cluster, config(timeout_s=100e-6), inputs(seed=1))
+    assert state["dropped"] == 5
+    assert result.retransmissions >= 5
+
+
+def test_all_results_to_one_worker_dropped_for_a_window():
+    state = {"dropped": 0}
+
+    def drop_downs_to_w1(packet):
+        if packet.dst == "worker-1" and packet.flow.endswith(".down") and state[
+            "dropped"
+        ] < 4:
+            state["dropped"] += 1
+            return True
+        return False
+
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10, transport="dpdk"),
+        loss=DeterministicLoss(drop_downs_to_w1),
+    )
+    result = check(cluster, config(timeout_s=100e-6), inputs(seed=2))
+    assert state["dropped"] == 4
+    assert result.duplicates >= 1
+
+
+def test_colocated_with_loss():
+    cluster = Cluster(
+        ClusterSpec(workers=4, colocated=True, bandwidth_gbps=10,
+                    transport="dpdk"),
+        loss=BernoulliLoss(0.03, np.random.default_rng(5)),
+    )
+    check(cluster, config(timeout_s=200e-6), inputs(seed=3, blocks=64))
+
+
+def test_deterministic_with_loss_still_bitwise_reproducible():
+    def run(seed):
+        cluster = Cluster(
+            ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10,
+                        transport="dpdk", loss_rate=0.05, seed=seed)
+        )
+        tensors = inputs(seed=4)
+        cfg = config(timeout_s=200e-6, deterministic=True)
+        return OmniReduce(cluster, cfg).allreduce(tensors).output.tobytes()
+
+    # Different loss seeds -> different packet orders and duplicates,
+    # yet worker-id-ordered reduction yields bit-identical outputs.
+    assert run(1) == run(2) == run(3)
+
+
+def test_allgather_over_lossy_dpdk():
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10,
+                    transport="dpdk", loss_rate=0.02, seed=9)
+    )
+    rng = np.random.default_rng(6)
+    tensors = [rng.standard_normal(64).astype(np.float32) for _ in range(4)]
+    result = OmniReduce(cluster, config(timeout_s=200e-6)).allgather(tensors)
+    np.testing.assert_allclose(result.output, np.concatenate(tensors), rtol=1e-5)
+
+
+def test_broadcast_over_lossy_dpdk():
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10,
+                    transport="dpdk", loss_rate=0.02, seed=10)
+    )
+    tensor = np.random.default_rng(7).standard_normal(256).astype(np.float32)
+    result = OmniReduce(cluster, config(timeout_s=200e-6)).broadcast(tensor, root=1)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, tensor, rtol=1e-5)
+
+
+def test_oversized_message_bytes_clamped_to_mtu():
+    """message_bytes beyond the datagram MTU must not crash mid-flight;
+    the budget is clamped to the transport's payload limit."""
+    cluster = Cluster(
+        ClusterSpec(workers=2, aggregators=1, bandwidth_gbps=10, transport="dpdk")
+    )
+    cfg = OmniReduceConfig(block_size=16, streams_per_shard=2,
+                           message_bytes=1 << 20)
+    check(cluster, cfg, inputs(workers=2, seed=8))
+
+
+def test_single_block_tensor():
+    cluster = Cluster(
+        ClusterSpec(workers=3, aggregators=2, bandwidth_gbps=10, transport="rdma")
+    )
+    tensors = [np.full(16, float(w + 1), dtype=np.float32) for w in range(3)]
+    result = check(cluster, config(), tensors)
+    assert result.rounds == 1

@@ -1,0 +1,100 @@
+"""Tests for two-layer hierarchical aggregation (§5 multi-GPU)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RingAllReduce
+from repro.core import OmniReduceConfig
+from repro.core.hierarchical import HierarchicalAllReduce
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+
+def make_cluster(servers=3):
+    return Cluster(
+        ClusterSpec(workers=servers, aggregators=3, bandwidth_gbps=100, transport="rdma")
+    )
+
+
+def make_per_gpu(servers=3, gpus=4, blocks=16, block_size=16, sparsity=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        block_sparse_tensors(gpus, blocks * block_size, block_size, sparsity, rng=rng)
+        for _ in range(servers)
+    ]
+
+
+def expected_sum(per_gpu):
+    return np.sum(
+        np.stack([np.sum(np.stack(gpus), axis=0) for gpus in per_gpu]), axis=0
+    )
+
+
+def test_hierarchical_correctness():
+    cluster = make_cluster()
+    per_gpu = make_per_gpu()
+    config = OmniReduceConfig(block_size=16, streams_per_shard=2, message_bytes=512)
+    hier = HierarchicalAllReduce(cluster, gpus_per_server=4, config=config)
+    result = hier.allreduce(per_gpu)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected_sum(per_gpu), rtol=1e-4, atol=1e-4)
+
+
+def test_hierarchical_charges_intra_phases():
+    cluster = make_cluster()
+    per_gpu = make_per_gpu()
+    hier = HierarchicalAllReduce(
+        cluster, gpus_per_server=4,
+        config=OmniReduceConfig(block_size=16, streams_per_shard=2, message_bytes=512),
+    )
+    result = hier.allreduce(per_gpu)
+    assert result.details["intra_reduce_s"] > 0
+    assert result.details["intra_broadcast_s"] > 0
+    assert result.time_s > 2 * result.details["intra_reduce_s"]
+
+
+def test_single_gpu_per_server_has_no_intra_cost():
+    cluster = make_cluster()
+    per_gpu = [[t] for t in make_per_gpu(gpus=1)[0:3]]
+    per_gpu = make_per_gpu(gpus=1)
+    hier = HierarchicalAllReduce(
+        cluster, gpus_per_server=1,
+        config=OmniReduceConfig(block_size=16, streams_per_shard=2, message_bytes=512),
+    )
+    result = hier.allreduce(per_gpu)
+    assert result.details["intra_reduce_s"] == 0.0
+
+
+def test_hierarchical_with_ring_inner():
+    cluster = make_cluster()
+    per_gpu = make_per_gpu(seed=3)
+    hier = HierarchicalAllReduce(
+        cluster, gpus_per_server=4, inner=RingAllReduce(cluster)
+    )
+    result = hier.allreduce(per_gpu)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected_sum(per_gpu), rtol=1e-4, atol=1e-4)
+
+
+def test_union_densification():
+    """The server sum's non-zero blocks are the union of its GPUs'."""
+    from repro.tensors import block_sparsity
+
+    per_gpu = make_per_gpu(servers=1, gpus=8, blocks=64, sparsity=0.9, seed=5)
+    server_sum = np.sum(np.stack(per_gpu[0]), axis=0)
+    gpu_sparsity = block_sparsity(per_gpu[0][0], 16)
+    sum_sparsity = block_sparsity(server_sum, 16)
+    assert sum_sparsity < gpu_sparsity  # denser after the union
+
+
+def test_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        HierarchicalAllReduce(cluster, gpus_per_server=0)
+    with pytest.raises(ValueError):
+        HierarchicalAllReduce(cluster, nvlink_gbps=0)
+    hier = HierarchicalAllReduce(cluster, gpus_per_server=2)
+    with pytest.raises(ValueError):
+        hier.allreduce([[np.zeros(4)] * 2])  # wrong server count
+    with pytest.raises(ValueError):
+        hier.allreduce([[np.zeros(4)]] * 3)  # wrong GPU count

@@ -1,0 +1,91 @@
+"""Tests for protocol messages and the 32-bit immediate encoding (§5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LaneEntry,
+    ResultPacket,
+    WorkerPacket,
+    decode_immediate,
+    encode_immediate,
+)
+from repro.core.messages import OFFSET_BYTES, PACKET_FIXED_BYTES
+
+
+def test_immediate_roundtrip():
+    imm = encode_immediate("float32", "sum", 1234, 15)
+    assert decode_immediate(imm) == ("float32", "sum", 1234, 15)
+
+
+def test_immediate_fits_32_bits():
+    imm = encode_immediate("int8", "gather", 4095, 65535)
+    assert 0 <= imm < (1 << 32)
+
+
+def test_immediate_field_limits():
+    with pytest.raises(ValueError):
+        encode_immediate("float32", "sum", 1 << 12, 0)  # slot id overflow
+    with pytest.raises(ValueError):
+        encode_immediate("float32", "sum", 0, 1 << 16)  # block count overflow
+    with pytest.raises(ValueError):
+        encode_immediate("float64", "sum", 0, 0)  # unknown type
+    with pytest.raises(ValueError):
+        encode_immediate("float32", "mean", 0, 0)  # unknown opcode
+
+
+def test_decode_rejects_non_32_bit():
+    with pytest.raises(ValueError):
+        decode_immediate(1 << 32)
+    with pytest.raises(ValueError):
+        decode_immediate(-1)
+
+
+@given(
+    data_type=st.sampled_from(["float32", "float16", "int32", "int8"]),
+    opcode=st.sampled_from(["sum", "max", "min", "gather"]),
+    slot=st.integers(min_value=0, max_value=4095),
+    count=st.integers(min_value=0, max_value=65535),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_immediate_roundtrip(data_type, opcode, slot, count):
+    assert decode_immediate(encode_immediate(data_type, opcode, slot, count)) == (
+        data_type,
+        opcode,
+        slot,
+        count,
+    )
+
+
+def test_lane_entry_payload_bytes():
+    entry = LaneEntry(lane=0, block=3, next_block=7, data=np.zeros(256, np.float32))
+    assert entry.payload_bytes(4) == 2 * OFFSET_BYTES + 256 * 4
+
+
+def test_metadata_only_lane_payload():
+    entry = LaneEntry(lane=0, block=3, next_block=7, data=None)
+    assert entry.payload_bytes(4) == 2 * OFFSET_BYTES
+
+
+def test_worker_packet_payload_sums_lanes():
+    lanes = [
+        LaneEntry(0, 0, 4, np.zeros(8, np.float32)),
+        LaneEntry(1, 1, 5, None),
+    ]
+    packet = WorkerPacket(worker_id=0, stream=0, version=0, lanes=lanes)
+    expected = PACKET_FIXED_BYTES + (8 + 8 * 4) + 8
+    assert packet.payload_bytes(4) == expected
+
+
+def test_worker_packet_has_data():
+    with_data = WorkerPacket(0, 0, 0, [LaneEntry(0, 0, 1, np.zeros(2, np.float32))])
+    ack_only = WorkerPacket(0, 0, 0, [LaneEntry(0, 0, 1, None)])
+    assert with_data.has_data
+    assert not ack_only.has_data
+
+
+def test_result_packet_payload():
+    result = ResultPacket(stream=0, version=1, lanes=[LaneEntry(0, 0, 1, None)])
+    assert result.payload_bytes(4) == PACKET_FIXED_BYTES + 8

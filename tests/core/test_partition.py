@@ -1,0 +1,176 @@
+"""Tests for block partitioning and the Block Fusion layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FusionLayout, StreamRange, fusion_width, plan_streams, split_ranges
+from repro.tensors import INFINITY, BlockView
+
+
+def test_split_ranges_even():
+    assert split_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_split_ranges_uneven():
+    assert split_ranges(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+
+def test_split_ranges_more_parts_than_items():
+    assert split_ranges(2, 5) == [(0, 1), (1, 2)]
+
+
+def test_split_ranges_zero_total():
+    assert split_ranges(0, 3) == []
+
+
+def test_split_ranges_validation():
+    with pytest.raises(ValueError):
+        split_ranges(4, 0)
+    with pytest.raises(ValueError):
+        split_ranges(-1, 2)
+
+
+def stream_blocks(sr):
+    return [sr.block_at(k) for k in range(sr.num_blocks)]
+
+
+def test_plan_streams_covers_all_blocks_disjointly():
+    plan = plan_streams(100, 4, 3)
+    covered = []
+    for sr in plan:
+        covered.extend(stream_blocks(sr))
+    assert sorted(covered) == list(range(100))
+    assert len(set(sr.stream for sr in plan)) == len(plan)
+
+
+def test_plan_streams_shards_balanced():
+    """Global striping: every shard owns an equal share of the blocks,
+    spread across the whole tensor (no clustered-density skew)."""
+    plan = plan_streams(64, 2, 2)
+    per_shard = {}
+    for sr in plan:
+        per_shard.setdefault(sr.shard, []).extend(stream_blocks(sr))
+    assert len(per_shard[0]) == len(per_shard[1]) == 32
+    # Shard 0 owns blocks from both halves of the tensor.
+    assert any(b < 32 for b in per_shard[0]) and any(b >= 32 for b in per_shard[0])
+
+
+def test_plan_streams_small_tensor():
+    plan = plan_streams(3, 4, 8)
+    # Only 3 blocks -> at most 3 streams.
+    assert sum(sr.num_blocks for sr in plan) == 3
+    assert all(sr.num_blocks == 1 for sr in plan)
+
+
+def test_plan_streams_interleave_within_shard():
+    plan = plan_streams(12, 1, 3)
+    assert stream_blocks(plan[0]) == [0, 3, 6, 9]
+    assert stream_blocks(plan[1]) == [1, 4, 7, 10]
+    assert stream_blocks(plan[2]) == [2, 5, 8, 11]
+
+
+def test_fusion_width_fills_budget():
+    # 256-element float32 blocks: 1024 B data + 8 B offsets each.
+    assert fusion_width(256, 4, 16384) == 15
+    assert fusion_width(256, 4, 1462) == 1
+
+
+def test_fusion_width_disabled():
+    assert fusion_width(32, 4, 16384, enabled=False) == 1
+
+
+def test_fusion_width_never_below_one():
+    assert fusion_width(1024, 4, 100) == 1
+
+
+def make_view(nonzero_blocks, total_blocks=16, block_size=4):
+    tensor = np.zeros(total_blocks * block_size, dtype=np.float32)
+    for block in nonzero_blocks:
+        tensor[block * block_size] = 1.0
+    return BlockView(tensor, block_size)
+
+
+def test_layout_columns_partition_nonzeros():
+    view = make_view([1, 2, 5, 9, 13])
+    sr = StreamRange(shard=0, stream=0, lo=0, hi=16)
+    layout = FusionLayout(view, sr, width=4)
+    # Columns: block % 4.
+    assert layout.nonzero_in_lane(1).tolist() == [1, 5, 9, 13]
+    assert layout.nonzero_in_lane(2).tolist() == [2]
+    assert layout.nonzero_in_lane(0).tolist() == []
+
+
+def test_layout_respects_range_offset():
+    view = make_view([5, 9, 13])
+    sr = StreamRange(shard=0, stream=0, lo=4, hi=16)
+    layout = FusionLayout(view, sr, width=4)
+    # Column of block b is (b - 4) % 4: block 5 -> lane 1, 9 -> 1, 13 -> 1.
+    assert layout.nonzero_in_lane(1).tolist() == [5, 9, 13]
+
+
+def test_layout_first_row():
+    view = make_view([0])
+    sr = StreamRange(shard=0, stream=0, lo=4, hi=12)
+    layout = FusionLayout(view, sr, width=4)
+    assert layout.first_row() == [4, 5, 6, 7]
+
+
+def test_layout_width_clamped_to_range():
+    view = make_view([0])
+    sr = StreamRange(shard=0, stream=0, lo=0, hi=2)
+    layout = FusionLayout(view, sr, width=8)
+    assert layout.width == 2
+    assert layout.first_row() == [0, 1]
+
+
+def test_layout_next_in_lane():
+    view = make_view([1, 5, 13])
+    sr = StreamRange(shard=0, stream=0, lo=0, hi=16)
+    layout = FusionLayout(view, sr, width=4)
+    assert layout.next_in_lane(1, 0) == 1
+    assert layout.next_in_lane(1, 1) == 5
+    assert layout.next_in_lane(1, 5) == 13
+    assert layout.next_in_lane(1, 13) == INFINITY
+
+
+def test_layout_is_listed():
+    view = make_view([1, 5])
+    sr = StreamRange(shard=0, stream=0, lo=0, hi=16)
+    layout = FusionLayout(view, sr, width=4)
+    assert layout.is_listed(1, 1)
+    assert layout.is_listed(1, 5)
+    assert not layout.is_listed(1, 9)
+
+
+def test_layout_assume_dense_lists_everything():
+    view = make_view([])  # all-zero tensor
+    sr = StreamRange(shard=0, stream=0, lo=0, hi=8)
+    layout = FusionLayout(view, sr, width=2, assume_dense=True)
+    assert layout.nonzero_in_lane(0).tolist() == [0, 2, 4, 6]
+    assert layout.is_listed(0, 4)
+
+
+def test_layout_lane_of():
+    view = make_view([0])
+    sr = StreamRange(shard=0, stream=0, lo=4, hi=12)
+    layout = FusionLayout(view, sr, width=4)
+    assert layout.lane_of(6) == 2
+    with pytest.raises(ValueError):
+        layout.lane_of(2)
+
+
+@given(
+    total=st.integers(min_value=1, max_value=500),
+    shards=st.integers(min_value=1, max_value=8),
+    streams=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_plan_is_partition(total, shards, streams):
+    plan = plan_streams(total, shards, streams)
+    covered = sorted(b for sr in plan for b in stream_blocks(sr))
+    assert covered == list(range(total))
+    # Stream ids unique and dense from 0.
+    ids = sorted(sr.stream for sr in plan)
+    assert ids == list(range(len(plan)))

@@ -1,0 +1,86 @@
+"""Tests for the chunk-prefetch and copy-engine models (Appendix B)."""
+
+import pytest
+
+from repro.core import CopyEngine, PrefetchSchedule
+
+
+def test_prefetch_chunk_availability():
+    # 8 MB at 8 Gb/s = 1 B/ns; chunks of 4 MB complete at 4 ms and 8 ms.
+    sched = PrefetchSchedule(8 * 2**20, 8e9, start_s=0.0, chunk_bytes=4 * 2**20)
+    chunk_time = 4 * 2**20 * 8 / 8e9
+    assert sched.available_at(1) == pytest.approx(chunk_time)
+    assert sched.available_at(4 * 2**20) == pytest.approx(chunk_time)
+    assert sched.available_at(4 * 2**20 + 1) == pytest.approx(2 * chunk_time)
+    assert sched.finish_s == pytest.approx(2 * chunk_time)
+
+
+def test_prefetch_zero_offset_is_start():
+    sched = PrefetchSchedule(100, 1e9, start_s=5.0)
+    assert sched.available_at(0) == 5.0
+
+
+def test_prefetch_partial_final_chunk():
+    # 6 MB with 4 MB chunks: the last chunk is half-sized.
+    sched = PrefetchSchedule(6 * 2**20, 8e9, chunk_bytes=4 * 2**20)
+    chunk_time = 4 * 2**20 * 8 / 8e9
+    assert sched.finish_s == pytest.approx(chunk_time * 1.5)
+    assert sched.available_at(6 * 2**20) == pytest.approx(chunk_time * 1.5)
+
+
+def test_prefetch_offset_beyond_tensor_raises():
+    sched = PrefetchSchedule(100, 1e9)
+    with pytest.raises(ValueError):
+        sched.available_at(101)
+
+
+def test_prefetch_empty_tensor():
+    sched = PrefetchSchedule(0, 1e9, start_s=2.0)
+    assert sched.num_chunks == 0
+    assert sched.finish_s == 2.0
+
+
+def test_prefetch_validation():
+    with pytest.raises(ValueError):
+        PrefetchSchedule(-1, 1e9)
+    with pytest.raises(ValueError):
+        PrefetchSchedule(10, 0)
+    with pytest.raises(ValueError):
+        PrefetchSchedule(10, 1e9, chunk_bytes=0)
+
+
+def test_copy_engine_serializes():
+    engine = CopyEngine(8e9)  # 1 byte/ns
+    first = engine.reserve(1000, now=0.0)
+    second = engine.reserve(1000, now=0.0)
+    assert first == pytest.approx(1e-6)
+    assert second == pytest.approx(2e-6)
+
+
+def test_copy_engine_idles_until_now():
+    engine = CopyEngine(8e9)
+    done = engine.reserve(1000, now=5.0)
+    assert done == pytest.approx(5.0 + 1e-6)
+
+
+def test_copy_engine_per_op_overhead():
+    engine = CopyEngine(8e9, per_op_overhead_s=1e-6)
+    assert engine.reserve(0, now=0.0) == pytest.approx(1e-6)
+
+
+def test_copy_engine_counters():
+    engine = CopyEngine(1e9)
+    engine.reserve(10, 0.0)
+    engine.reserve(20, 0.0)
+    assert engine.bytes_copied == 30
+    assert engine.operations == 2
+
+
+def test_copy_engine_validation():
+    with pytest.raises(ValueError):
+        CopyEngine(0)
+    with pytest.raises(ValueError):
+        CopyEngine(1e9, per_op_overhead_s=-1)
+    engine = CopyEngine(1e9)
+    with pytest.raises(ValueError):
+        engine.reserve(-1, 0.0)

@@ -1,0 +1,131 @@
+"""Tests for the Algorithm 3 sparse key-value extension (§3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sparse_block import SparseOmniReduce
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import CooTensor
+
+
+def make_cluster(workers=4, aggregators=2):
+    return Cluster(
+        ClusterSpec(
+            workers=workers, aggregators=aggregators,
+            bandwidth_gbps=10, transport="rdma",
+        )
+    )
+
+
+def coo_tensors(workers=4, length=200, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    tensors = []
+    for _ in range(workers):
+        dense = np.zeros(length, dtype=np.float32)
+        nnz = int(density * length)
+        if nnz:
+            positions = rng.choice(length, size=nnz, replace=False)
+            dense[positions] = rng.standard_normal(nnz).astype(np.float32)
+        tensors.append(CooTensor.from_dense(dense))
+    return tensors
+
+
+def check(cluster, tensors, block_size=16, shards=None):
+    op = SparseOmniReduce(cluster, block_size=block_size, shards=shards)
+    result = op.allreduce(tensors)
+    expected = np.sum(np.stack([t.to_dense() for t in tensors]), axis=0)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected, rtol=1e-5, atol=1e-5)
+    return result
+
+
+def test_sparse_allreduce_correct():
+    check(make_cluster(), coo_tensors())
+
+
+def test_sparse_allreduce_disjoint_keys():
+    # Disjoint supports: no key collisions at the aggregator.
+    tensors = []
+    for w in range(4):
+        dense = np.zeros(100, dtype=np.float32)
+        dense[w * 25 : w * 25 + 10] = float(w + 1)
+        tensors.append(CooTensor.from_dense(dense))
+    check(make_cluster(), tensors)
+
+
+def test_sparse_allreduce_identical_keys():
+    dense = np.zeros(64, dtype=np.float32)
+    dense[::4] = 1.0
+    tensors = [CooTensor.from_dense(dense) for _ in range(4)]
+    result = check(make_cluster(), tensors)
+    assert result.output[0] == pytest.approx(4.0)
+
+
+def test_sparse_allreduce_empty_worker():
+    tensors = coo_tensors(workers=3)
+    tensors[1] = CooTensor.from_dense(np.zeros(200, dtype=np.float32))
+    check(make_cluster(workers=3), tensors)
+
+
+def test_sparse_allreduce_all_empty():
+    tensors = [CooTensor.from_dense(np.zeros(50, dtype=np.float32))] * 4
+    result = check(make_cluster(), tensors)
+    assert not result.output.any()
+
+
+def test_sparse_allreduce_single_worker():
+    tensors = coo_tensors(workers=1)
+    check(make_cluster(workers=1, aggregators=1), tensors)
+
+
+def test_sparse_allreduce_multiple_shards():
+    result = check(make_cluster(aggregators=2), coo_tensors(length=400), shards=2)
+    assert result.details["shards"] == 2.0
+
+
+def test_sparse_bytes_proportional_to_nnz():
+    sparse = check(make_cluster(), coo_tensors(density=0.05, length=2000))
+    dense = check(make_cluster(), coo_tensors(density=0.5, length=2000))
+    assert sparse.upward_bytes < dense.upward_bytes / 4
+
+
+def test_coo_outputs_attached():
+    result = check(make_cluster(), coo_tensors())
+    assert hasattr(result, "coo_outputs")
+    np.testing.assert_allclose(
+        result.coo_outputs[0].to_dense(), result.outputs[0], rtol=1e-6
+    )
+
+
+def test_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        SparseOmniReduce(cluster, block_size=0)
+    with pytest.raises(ValueError):
+        SparseOmniReduce(cluster, shards=100)
+    op = SparseOmniReduce(cluster)
+    with pytest.raises(ValueError):
+        op.allreduce(coo_tensors(workers=2))
+    bad = coo_tensors(workers=4)
+    bad[0] = CooTensor.from_dense(np.zeros(10, dtype=np.float32))
+    with pytest.raises(ValueError):
+        op.allreduce(bad)
+
+
+@given(
+    workers=st.integers(min_value=1, max_value=4),
+    length=st.integers(min_value=1, max_value=120),
+    density=st.sampled_from([0.0, 0.1, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_sparse_allreduce_equals_sum(workers, length, density, seed):
+    cluster = make_cluster(workers=workers, aggregators=1)
+    tensors = coo_tensors(workers=workers, length=length, density=density, seed=seed)
+    op = SparseOmniReduce(cluster, block_size=8, shards=1)
+    result = op.allreduce(tensors)
+    expected = np.sum(np.stack([t.to_dense() for t in tensors]), axis=0)
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected, rtol=1e-5, atol=1e-5)

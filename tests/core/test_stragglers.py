@@ -1,0 +1,98 @@
+"""Straggler tolerance and simulation determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+
+def make_cluster(transport="rdma", **kw):
+    defaults = dict(workers=4, aggregators=2, bandwidth_gbps=10, transport=transport)
+    defaults.update(kw)
+    return Cluster(ClusterSpec(**defaults))
+
+
+def config(**kw):
+    defaults = dict(block_size=16, streams_per_shard=2, message_bytes=512)
+    defaults.update(kw)
+    return OmniReduceConfig(**defaults)
+
+
+def inputs(seed=0, sparsity=0.5):
+    return block_sparse_tensors(
+        4, 16 * 32, 16, sparsity, rng=np.random.default_rng(seed)
+    )
+
+
+def test_straggler_result_still_exact():
+    tensors = inputs()
+    result = OmniReduce(make_cluster(), config()).allreduce(
+        tensors, worker_start_delays=[0.0, 0.0, 0.0, 5e-3]
+    )
+    np.testing.assert_allclose(
+        result.output, np.sum(np.stack(tensors), axis=0), rtol=1e-5, atol=1e-4
+    )
+
+
+def test_straggler_gates_completion():
+    tensors = inputs()
+    on_time = OmniReduce(make_cluster(), config()).allreduce(tensors)
+    delayed = OmniReduce(make_cluster(), config()).allreduce(
+        tensors, worker_start_delays=[0.0, 0.0, 0.0, 5e-3]
+    )
+    # The collective cannot finish before the straggler even starts.
+    assert delayed.time_s > 5e-3
+    assert delayed.time_s > on_time.time_s
+
+
+def test_straggler_under_recovery_mode():
+    """Algorithm 2's timers must not misfire while a straggler is silent:
+    the straggler's *own* timers only start when it does, and the other
+    workers' retransmissions are harmless duplicates."""
+    tensors = inputs(seed=1)
+    result = OmniReduce(
+        make_cluster(transport="dpdk"), config(timeout_s=100e-6)
+    ).allreduce(tensors, worker_start_delays=[0.0, 2e-3, 0.0, 0.0])
+    np.testing.assert_allclose(
+        result.output, np.sum(np.stack(tensors), axis=0), rtol=1e-5, atol=1e-4
+    )
+
+
+def test_all_workers_equally_late_shifts_time():
+    tensors = inputs(seed=2)
+    base = OmniReduce(make_cluster(), config()).allreduce(tensors)
+    shifted = OmniReduce(make_cluster(), config()).allreduce(
+        tensors, worker_start_delays=[1e-3] * 4
+    )
+    assert shifted.time_s == pytest.approx(base.time_s + 1e-3, rel=0.05)
+
+
+def test_start_delay_validation():
+    omni = OmniReduce(make_cluster(), config())
+    with pytest.raises(ValueError):
+        omni.allreduce(inputs(), worker_start_delays=[0.0, 0.0])  # wrong count
+    with pytest.raises(ValueError):
+        omni.allreduce(inputs(), worker_start_delays=[0.0, -1.0, 0.0, 0.0])
+
+
+def test_simulation_fully_deterministic():
+    """Identical inputs and seeds -> bit-identical timing and traffic."""
+
+    def run():
+        cluster = Cluster(
+            ClusterSpec(workers=4, aggregators=2, bandwidth_gbps=10,
+                        transport="dpdk", loss_rate=0.02, seed=11)
+        )
+        tensors = inputs(seed=3)
+        result = OmniReduce(cluster, config(timeout_s=200e-6)).allreduce(tensors)
+        return (
+            result.time_s,
+            result.bytes_sent,
+            result.packets_sent,
+            result.retransmissions,
+            result.output.tobytes(),
+        )
+
+    assert run() == run()

@@ -1,0 +1,94 @@
+"""Tests: the gradient generator reproduces Table 1/2 structure."""
+
+import numpy as np
+import pytest
+
+from repro.ddl import WORKLOADS, GradientModel
+from repro.tensors import (
+    block_sparsity,
+    density_within_nonzero_blocks,
+    element_sparsity,
+    overlap_breakdown,
+)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_block_density_matches_comm_fraction(name):
+    spec = WORKLOADS[name]
+    model = GradientModel(spec)
+    tensors = model.generate(8, 1 << 18, np.random.default_rng(0))
+    measured = 1 - block_sparsity(tensors[0], 256)
+    assert measured == pytest.approx(spec.comm_fraction, abs=0.02)
+
+
+@pytest.mark.parametrize("name", ["deeplight", "bert", "ncf"])
+def test_full_overlap_matches_table2(name):
+    spec = WORKLOADS[name]
+    tensors = GradientModel(spec).generate(8, 1 << 18, np.random.default_rng(0))
+    breakdown = overlap_breakdown(tensors, 256)
+    assert breakdown.get(8, 0.0) == pytest.approx(
+        spec.all_overlap_fraction, abs=0.05
+    )
+
+
+def test_dense_models_have_unstructured_element_sparsity():
+    spec = WORKLOADS["vgg19"]
+    tensors = GradientModel(spec).generate(2, 1 << 16, np.random.default_rng(1))
+    measured = element_sparsity(tensors[0])
+    assert measured == pytest.approx(spec.element_sparsity, abs=0.02)
+    # Unstructured: no zero block at practical block sizes.
+    assert block_sparsity(tensors[0], 256) == 0.0
+
+
+def test_embedding_models_are_row_structured():
+    """Figure 16: embedding gradients keep within-block density high."""
+    spec = WORKLOADS["lstm"]
+    tensors = GradientModel(spec).generate(2, 1 << 18, np.random.default_rng(2))
+    density = density_within_nonzero_blocks(tensors[0], 256)
+    assert density > 0.5
+
+
+def test_block_sparsity_stable_across_block_sizes_for_embeddings():
+    """Figure 16 left: large-embedding models maintain block sparsity up
+    to packet-sized blocks."""
+    spec = WORKLOADS["lstm"]  # embedding_dim=1024
+    tensor = GradientModel(spec).generate(1, 1 << 18, np.random.default_rng(3))[0]
+    sparsity_small = block_sparsity(tensor, 32)
+    sparsity_large = block_sparsity(tensor, 256)
+    assert sparsity_large > 0.85
+    assert abs(sparsity_small - sparsity_large) < 0.1
+
+
+def test_dense_model_block_sparsity_collapses_quickly():
+    """Figure 16: ResNet's unstructured zeros vanish at block size ~32."""
+    spec = WORKLOADS["resnet152"]
+    tensor = GradientModel(spec).generate(1, 1 << 16, np.random.default_rng(4))[0]
+    assert block_sparsity(tensor, 1) == pytest.approx(0.216, abs=0.02)
+    assert block_sparsity(tensor, 32) < 0.01
+
+
+def test_generator_determinism():
+    spec = WORKLOADS["deeplight"]
+    a = GradientModel(spec).generate(4, 1 << 16, np.random.default_rng(7))
+    b = GradientModel(spec).generate(4, 1 << 16, np.random.default_rng(7))
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_generator_validation():
+    model = GradientModel(WORKLOADS["bert"])
+    with pytest.raises(ValueError):
+        model.generate(0, 1024)
+    with pytest.raises(ValueError):
+        model.generate(2, 0)
+    with pytest.raises(ValueError):
+        GradientModel(WORKLOADS["bert"], block_size=0)
+
+
+def test_region_split_rounds_to_rows():
+    spec = WORKLOADS["lstm"]  # dim 1024
+    model = GradientModel(spec)
+    dense = model.region_split(1 << 18)
+    emb = (1 << 18) - dense
+    assert emb % 1024 == 0
+    assert emb / (1 << 18) == pytest.approx(spec.embedding_fraction, abs=0.01)

@@ -1,0 +1,154 @@
+"""Tests for real distributed SGD with error-feedback compression."""
+
+import numpy as np
+import pytest
+
+from repro.compression import BlockRandomK, BlockThreshold, BlockTopK, BlockTopKRatio
+from repro.ddl import MLP, SyntheticTask, f1_score, train_distributed
+
+
+def test_synthetic_task_shapes():
+    task = SyntheticTask(features=16, train_samples=128, test_samples=32)
+    x_train, y_train, x_test, y_test = task.generate()
+    assert x_train.shape == (128, 16)
+    assert y_train.shape == (128,)
+    assert x_test.shape == (32, 16)
+    assert set(np.unique(y_train)) <= {0, 1}
+
+
+def test_task_deterministic():
+    a = SyntheticTask(seed=3).generate()
+    b = SyntheticTask(seed=3).generate()
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_mlp_params_roundtrip():
+    model = MLP(8, 16, seed=0)
+    params = model.get_params()
+    assert params.size == model.num_params
+    model.set_params(params * 2)
+    np.testing.assert_allclose(model.get_params(), params * 2, rtol=1e-6)
+
+
+def test_mlp_rejects_wrong_param_count():
+    model = MLP(8, 16)
+    with pytest.raises(ValueError):
+        model.set_params(np.zeros(3, dtype=np.float32))
+
+
+def test_mlp_gradient_matches_finite_differences():
+    rng = np.random.default_rng(0)
+    model = MLP(5, 7, seed=1)
+    x = rng.standard_normal((12, 5)).astype(np.float32)
+    y = (rng.random(12) > 0.5).astype(np.int64)
+    _, grad = model.loss_and_grad(x, y)
+    params = model.get_params().astype(np.float64)
+    eps = 1e-4
+    for index in rng.choice(params.size, size=10, replace=False):
+        bumped = params.copy()
+        bumped[index] += eps
+        model.set_params(bumped.astype(np.float32))
+        loss_plus, _ = model.loss_and_grad(x, y)
+        bumped[index] -= 2 * eps
+        model.set_params(bumped.astype(np.float32))
+        loss_minus, _ = model.loss_and_grad(x, y)
+        model.set_params(params.astype(np.float32))
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert grad[index] == pytest.approx(numeric, abs=2e-3)
+
+
+def test_f1_score():
+    y = np.array([1, 1, 0, 0])
+    assert f1_score(y, np.array([1, 1, 0, 0])) == 1.0
+    assert f1_score(y, np.array([0, 0, 0, 0])) == 0.0
+    assert f1_score(y, np.array([1, 0, 1, 0])) == pytest.approx(0.5)
+
+
+def test_uncompressed_training_converges():
+    history = train_distributed(workers=4, iterations=150, seed=0)
+    early = np.mean(history.losses[:10])
+    late = np.mean(history.losses[-10:])
+    assert late < early * 0.8
+    assert history.f1 > 0.6
+
+
+def test_block_topk_training_converges():
+    """Figure 12: block compression preserves convergence."""
+    history = train_distributed(
+        compressor_factory=lambda: BlockTopK(0.25, block_size=64),
+        workers=4,
+        iterations=150,
+        seed=0,
+    )
+    assert np.mean(history.losses[-10:]) < np.mean(history.losses[:10]) * 0.9
+    assert history.f1 > 0.55
+
+
+def test_block_randomk_training_converges():
+    history = train_distributed(
+        compressor_factory=lambda: BlockRandomK(
+            0.25, block_size=64, rng=np.random.default_rng(5)
+        ),
+        workers=4,
+        iterations=150,
+        seed=0,
+    )
+    assert np.mean(history.losses[-10:]) < np.mean(history.losses[:10])
+
+
+def test_compression_costs_at_most_small_metric_drop():
+    """Figure 11: at most a small F1 drop under block compression."""
+    plain = train_distributed(workers=4, iterations=200, seed=1)
+    compressed = train_distributed(
+        compressor_factory=lambda: BlockTopK(0.25, block_size=64),
+        workers=4,
+        iterations=200,
+        seed=1,
+    )
+    assert compressed.f1 > plain.f1 - 0.1
+
+
+def test_error_feedback_required_for_aggressive_compression():
+    """Without error feedback, aggressive Top-k stalls on the residual
+    mass; with it, training still converges."""
+    with_ef = train_distributed(
+        compressor_factory=lambda: BlockTopK(0.05, block_size=32),
+        workers=4, iterations=200, seed=2, error_feedback=True,
+    )
+    without = train_distributed(
+        compressor_factory=lambda: BlockTopK(0.05, block_size=32),
+        workers=4, iterations=200, seed=2, error_feedback=False,
+    )
+    assert np.mean(with_ef.losses[-10:]) <= np.mean(without.losses[-10:]) + 0.05
+
+
+def test_smoothed_losses():
+    history = train_distributed(workers=2, iterations=20, seed=0)
+    smoothed = history.smoothed_losses(alpha=0.5)
+    assert len(smoothed) == 20
+    # Smoothing reduces variance.
+    assert np.std(np.diff(smoothed)) <= np.std(np.diff(history.losses)) + 1e-9
+
+
+def test_history_records_compressor_name():
+    history = train_distributed(
+        compressor_factory=lambda: BlockThreshold(0.5, block_size=32),
+        workers=2, iterations=5, seed=0,
+    )
+    assert history.compressor == "block-threshold"
+
+
+def test_topk_ratio_receives_params():
+    history = train_distributed(
+        compressor_factory=lambda: BlockTopKRatio(0.25, block_size=32),
+        workers=2, iterations=30, seed=0,
+    )
+    assert len(history.losses) == 30
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        train_distributed(workers=0)
+    with pytest.raises(ValueError):
+        train_distributed(iterations=0)

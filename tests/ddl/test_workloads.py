@@ -1,0 +1,73 @@
+"""Tests for the Table 1 workload specifications."""
+
+import pytest
+
+from repro.ddl import NCCL_SCALING_FACTOR_8W_10G, WORKLOADS, WorkloadSpec
+
+
+def test_all_six_workloads_present():
+    assert set(WORKLOADS) == {
+        "deeplight", "lstm", "ncf", "bert", "vgg19", "resnet152",
+    }
+
+
+def test_table1_sizes():
+    assert WORKLOADS["deeplight"].embedding_bytes == pytest.approx(2.26e9)
+    assert WORKLOADS["vgg19"].dense_bytes == pytest.approx(548e6)
+    assert WORKLOADS["vgg19"].embedding_bytes == 0.0
+    assert WORKLOADS["bert"].batch_size == 4
+    assert WORKLOADS["ncf"].batch_size == 2**20
+
+
+def test_table1_sparsity():
+    assert WORKLOADS["deeplight"].element_sparsity == pytest.approx(0.9973)
+    assert WORKLOADS["resnet152"].element_sparsity == pytest.approx(0.216)
+
+
+def test_comm_fraction_matches_table1_last_column():
+    # DeepLight: 16 MB of 2.26 GB ~ 0.7%; NCF: 280 MB of 679 MB ~ 41%.
+    assert WORKLOADS["deeplight"].comm_fraction == pytest.approx(0.007)
+    assert WORKLOADS["ncf"].comm_fraction == pytest.approx(0.41)
+    assert WORKLOADS["vgg19"].comm_fraction == 1.0
+
+
+def test_omnireduce_comm_bytes():
+    # Table 1: DeepLight moves ~16 MB per worker.
+    assert WORKLOADS["deeplight"].omnireduce_comm_bytes == pytest.approx(
+        16e6, rel=0.05
+    )
+
+
+def test_embedding_fraction():
+    assert WORKLOADS["deeplight"].embedding_fraction > 0.99
+    assert WORKLOADS["vgg19"].embedding_fraction == 0.0
+
+
+def test_compute_time_calibration_inverts_scaling_factor():
+    """sf = t_c / (t_c + t_ring) must hold for the calibrated t_c."""
+    for name, spec in WORKLOADS.items():
+        t_ring = 2 * 7 / 8 * spec.total_bytes / (10e9 / 8)
+        sf = spec.compute_time_s / (spec.compute_time_s + t_ring)
+        assert sf == pytest.approx(NCCL_SCALING_FACTOR_8W_10G[name], rel=1e-6)
+
+
+def test_single_gpu_throughput_positive():
+    for spec in WORKLOADS.values():
+        assert spec.single_gpu_throughput > 0
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="x", task="t", dataset="d", batch_size=0,
+            dense_bytes=1.0, embedding_bytes=0.0, element_sparsity=0.5,
+            comm_fraction=0.5, all_overlap_fraction=0.5,
+            embedding_dim=1, compute_time_s=1.0,
+        )
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="x", task="t", dataset="d", batch_size=1,
+            dense_bytes=1.0, embedding_bytes=0.0, element_sparsity=1.5,
+            comm_fraction=0.5, all_overlap_fraction=0.5,
+            embedding_dim=1, compute_time_s=1.0,
+        )

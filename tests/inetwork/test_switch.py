@@ -1,0 +1,87 @@
+"""Tests for the P4 switch aggregator model (Figure 18)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.inetwork import FixedPointCodec, InNetworkOmniReduce, P4SwitchSpec
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+
+def test_codec_roundtrip_within_error_bound():
+    codec = FixedPointCodec(fraction_bits=20)
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(1000).astype(np.float32)
+    quantized = codec.quantize(values)
+    assert np.max(np.abs(quantized - values)) <= codec.max_error + 1e-12
+
+
+def test_codec_integer_encoding_exact_sum():
+    codec = FixedPointCodec(fraction_bits=8)
+    a = codec.encode(np.array([0.5, 0.25]))
+    b = codec.encode(np.array([0.5, 0.75]))
+    np.testing.assert_allclose(codec.decode(a + b), [1.0, 1.0])
+
+
+def test_codec_validation():
+    with pytest.raises(ValueError):
+        FixedPointCodec(fraction_bits=31)
+    with pytest.raises(ValueError):
+        FixedPointCodec(fraction_bits=-1)
+
+
+def test_switch_spec_passes():
+    spec = P4SwitchSpec(pass_capacity_elements=64)
+    assert spec.passes_for(34) == 1
+    assert spec.passes_for(64) == 1
+    assert spec.passes_for(256) == 4
+    assert spec.per_packet_cost_s(256) == pytest.approx(4 * spec.pass_latency_s)
+
+
+def test_switch_spec_validation():
+    with pytest.raises(ValueError):
+        P4SwitchSpec(pass_capacity_elements=0)
+    with pytest.raises(ValueError):
+        P4SwitchSpec(pass_latency_s=-1.0)
+
+
+def make_inputs(workers=4, blocks=64, block_size=64, sparsity=0.5, seed=0):
+    return block_sparse_tensors(
+        workers, blocks * block_size, block_size, sparsity,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def test_in_network_allreduce_correct_up_to_quantization():
+    config = OmniReduceConfig(block_size=64, streams_per_shard=8)
+    inr = InNetworkOmniReduce(workers=4, config=config)
+    tensors = make_inputs()
+    result = inr.allreduce(tensors)
+    expected = np.sum(np.stack(tensors), axis=0)
+    tolerance = 4 * inr.codec.max_error + 1e-4
+    for output in result.outputs:
+        np.testing.assert_allclose(output, expected, atol=tolerance)
+
+
+def test_in_network_faster_than_server_aggregator():
+    """Figure 18: the switch is (slightly) faster than a server."""
+    config = OmniReduceConfig(block_size=64, streams_per_shard=8)
+    tensors = make_inputs(sparsity=0.8, blocks=256)
+
+    inr = InNetworkOmniReduce(workers=4, bandwidth_gbps=10, config=config)
+    switch_result = inr.allreduce(tensors)
+
+    cluster = Cluster(
+        ClusterSpec(workers=4, aggregators=1, bandwidth_gbps=10, transport="dpdk")
+    )
+    server_result = OmniReduce(cluster, config).allreduce(tensors)
+    assert switch_result.time_s < server_result.time_s
+
+
+def test_recirculation_cost_recorded():
+    config = OmniReduceConfig(block_size=256, streams_per_shard=4)
+    inr = InNetworkOmniReduce(workers=2, config=config)
+    result = inr.allreduce(make_inputs(workers=2, block_size=256, blocks=8))
+    assert result.details["pipeline_passes"] == 4.0
+    assert result.details["quantization_max_error"] > 0

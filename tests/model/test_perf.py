@@ -1,0 +1,94 @@
+"""Tests for the §3.4 analytical performance model."""
+
+import pytest
+
+from repro.model import (
+    PerfModel,
+    agsparse_time_s,
+    omnireduce_time_s,
+    ring_time_s,
+    speedup_vs_agsparse,
+    speedup_vs_ring,
+)
+
+
+GBPS = 1.25e9  # 10 Gbps in bytes/s
+
+
+def test_ring_formula():
+    # 2 (N-1) (alpha + S / (N B))
+    t = ring_time_s(8, 100e6, GBPS, alpha_s=5e-6)
+    assert t == pytest.approx(2 * 7 * (5e-6 + 100e6 / (8 * GBPS)))
+
+
+def test_ring_single_worker_is_free():
+    assert ring_time_s(1, 100e6, GBPS) == 0.0
+
+
+def test_agsparse_formula():
+    t = agsparse_time_s(8, 100e6, GBPS, density=0.1, alpha_s=0.0)
+    assert t == pytest.approx(7 * 2 * 0.1 * 100e6 / GBPS)
+
+
+def test_omnireduce_formula():
+    t = omnireduce_time_s(8, 100e6, GBPS, density=0.1, alpha_s=5e-6)
+    assert t == pytest.approx(5e-6 + 0.1 * 100e6 / GBPS)
+
+
+def test_omnireduce_colocated_doubles_bandwidth_term():
+    dedicated = omnireduce_time_s(8, 100e6, GBPS, density=0.5)
+    colocated = omnireduce_time_s(8, 100e6, GBPS, density=0.5, colocated=True)
+    assert colocated == pytest.approx(2 * dedicated)
+
+
+def test_speedup_vs_ring_table():
+    # SU = 2 (N-1) / (N D)
+    assert speedup_vs_ring(8, 1.0) == pytest.approx(1.75)
+    assert speedup_vs_ring(8, 0.1) == pytest.approx(17.5)
+    assert speedup_vs_ring(2, 1.0) == pytest.approx(1.0)
+
+
+def test_speedup_vs_ring_zero_density_infinite():
+    assert speedup_vs_ring(8, 0.0) == float("inf")
+
+
+def test_speedup_vs_ring_colocated_halves():
+    # §3.4: colocated benefit diminishes by 2; SU = 1 at D = 1, N -> inf.
+    assert speedup_vs_ring(8, 1.0, colocated=True) == pytest.approx(0.875)
+
+
+def test_speedup_vs_agsparse_table():
+    assert speedup_vs_agsparse(8) == 14
+    assert speedup_vs_agsparse(2) == 2
+
+
+def test_speedup_grows_with_workers():
+    assert speedup_vs_ring(8, 0.5) > speedup_vs_ring(4, 0.5) > speedup_vs_ring(2, 0.5)
+    assert speedup_vs_agsparse(8) > speedup_vs_agsparse(4)
+
+
+def test_perf_model_bundle():
+    model = PerfModel(workers=8, bandwidth_gbps=10)
+    size = 100 * 2**20
+    assert model.ring(size) > model.omnireduce(size, 1.0)
+    assert model.omnireduce(size, 0.01) < model.omnireduce(size, 1.0)
+    assert model.agsparse(size, 0.01) > model.omnireduce(size, 0.01)
+
+
+def test_crossover_density():
+    model = PerfModel(workers=8, bandwidth_gbps=10)
+    # 2 (N-1) / N = 1.75 > 1: OmniReduce wins at any density.
+    assert model.crossover_density() == 1.0
+    colocated = PerfModel(workers=8, bandwidth_gbps=10, colocated=True)
+    assert colocated.crossover_density() == pytest.approx(0.875)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ring_time_s(0, 1.0, GBPS)
+    with pytest.raises(ValueError):
+        omnireduce_time_s(2, 1.0, GBPS, density=1.5)
+    with pytest.raises(ValueError):
+        agsparse_time_s(2, 1.0, 0.0, density=0.5)
+    with pytest.raises(ValueError):
+        PerfModel(workers=0, bandwidth_gbps=10)

@@ -1,0 +1,94 @@
+"""Tests for the extended closed-form models (PS, SparCML, AllGather,
+Broadcast) and their agreement with the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    allgather_time_s,
+    broadcast_tree_time_s,
+    ps_time_s,
+    ring_time_s,
+    sparcml_split_allgather_time_s,
+)
+
+GBPS = 1.25e9  # 10 Gbps in bytes/s
+
+
+def test_ps_balanced_servers_is_worker_bound():
+    # K = N: both edges equal 2 S / B.
+    t = ps_time_s(8, 100e6, GBPS, servers=8)
+    assert t == pytest.approx(2 * 100e6 / GBPS)
+
+
+def test_ps_few_servers_is_server_bound():
+    t = ps_time_s(8, 100e6, GBPS, servers=2)
+    assert t == pytest.approx(2 * 8 * 100e6 / (2 * GBPS))
+
+
+def test_ps_validation():
+    with pytest.raises(ValueError):
+        ps_time_s(8, 100e6, GBPS, servers=0)
+
+
+def test_sparcml_grows_with_union_density():
+    sparse = sparcml_split_allgather_time_s(8, 100e6, GBPS, density=0.01)
+    dense = sparcml_split_allgather_time_s(8, 100e6, GBPS, density=0.5)
+    assert sparse < dense
+    # Union saturates at 1: beyond D = 1/N the gather term stops growing.
+    nearly = sparcml_split_allgather_time_s(8, 100e6, GBPS, density=0.9)
+    full = sparcml_split_allgather_time_s(8, 100e6, GBPS, density=1.0)
+    assert full / nearly < 1.2
+
+
+def test_sparcml_beats_ring_only_when_very_sparse():
+    ring = ring_time_s(8, 100e6, GBPS)
+    assert sparcml_split_allgather_time_s(8, 100e6, GBPS, 0.02) < ring
+    assert sparcml_split_allgather_time_s(8, 100e6, GBPS, 0.5) > ring
+
+
+def test_allgather_formula():
+    t = allgather_time_s(8, 800e6, GBPS, alpha_s=0.0)
+    assert t == pytest.approx(7 * 100e6 / GBPS)
+
+
+def test_broadcast_log_rounds():
+    t8 = broadcast_tree_time_s(8, 100e6, GBPS)
+    t2 = broadcast_tree_time_s(2, 100e6, GBPS)
+    assert t8 == pytest.approx(3 * 100e6 / GBPS)
+    assert t2 == pytest.approx(100e6 / GBPS)
+    assert broadcast_tree_time_s(1, 100e6, GBPS) == 0.0
+
+
+def test_allgather_model_matches_simulation():
+    from repro.baselines import ring_allgather
+    from repro.netsim import Cluster, ClusterSpec
+
+    workers, per_worker = 4, 1 << 18  # 1 MB each
+    cluster = Cluster(
+        ClusterSpec(workers=workers, aggregators=1, bandwidth_gbps=10,
+                    transport="rdma")
+    )
+    rng = np.random.default_rng(0)
+    tensors = [rng.standard_normal(per_worker).astype(np.float32)
+               for _ in range(workers)]
+    simulated = ring_allgather(cluster, tensors).time_s
+    model = allgather_time_s(
+        workers, workers * per_worker * 4, GBPS, alpha_s=cluster.spec.latency_s
+    )
+    assert simulated / model == pytest.approx(1.0, abs=0.35)
+
+
+def test_broadcast_model_matches_simulation():
+    from repro.baselines import tree_broadcast
+    from repro.netsim import Cluster, ClusterSpec
+
+    cluster = Cluster(
+        ClusterSpec(workers=8, aggregators=1, bandwidth_gbps=10, transport="rdma")
+    )
+    tensor = np.random.default_rng(1).standard_normal(1 << 18).astype(np.float32)
+    simulated = tree_broadcast(cluster, tensor).time_s
+    model = broadcast_tree_time_s(
+        8, tensor.size * 4, GBPS, alpha_s=cluster.spec.latency_s
+    )
+    assert simulated / model == pytest.approx(1.0, abs=0.35)

@@ -1,0 +1,65 @@
+"""Tests for declarative cluster construction."""
+
+import pytest
+
+from repro.netsim import Cluster, ClusterSpec
+from repro.netsim.transport import DatagramTransport, RdmaTransport, TcpTransport
+
+
+def test_default_cluster_builds():
+    cluster = Cluster(ClusterSpec())
+    assert len(cluster.worker_hosts) == 8
+    assert len(cluster.aggregator_hosts) == 8
+    assert cluster.worker_hosts[0] == "worker-0"
+    assert cluster.aggregator_hosts[0] == "agg-0"
+
+
+def test_colocated_shards_share_worker_hosts():
+    cluster = Cluster(ClusterSpec(workers=4, colocated=True))
+    assert cluster.aggregator_hosts == cluster.worker_hosts
+    # Only the worker hosts exist on the network.
+    assert set(cluster.network.hosts) == set(cluster.worker_hosts)
+
+
+def test_transport_selection():
+    assert isinstance(Cluster(ClusterSpec(transport="rdma")).transport, RdmaTransport)
+    assert isinstance(Cluster(ClusterSpec(transport="dpdk")).transport, DatagramTransport)
+    assert isinstance(Cluster(ClusterSpec(transport="tcp")).transport, TcpTransport)
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        ClusterSpec(workers=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(aggregators=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        ClusterSpec(loss_rate=1.5)
+    with pytest.raises(ValueError):
+        ClusterSpec(gdr=True, transport="dpdk")
+
+
+def test_colocated_with_zero_aggregators_allowed():
+    spec = ClusterSpec(workers=2, aggregators=0, colocated=True)
+    assert spec.num_shards == 2
+
+
+def test_with_returns_modified_copy():
+    spec = ClusterSpec(workers=8)
+    other = spec.with_(workers=4, bandwidth_gbps=100.0)
+    assert other.workers == 4
+    assert other.bandwidth_gbps == 100.0
+    assert spec.workers == 8  # original untouched
+
+
+def test_loss_rate_builds_bernoulli_network():
+    cluster = Cluster(ClusterSpec(loss_rate=0.5))
+    from repro.netsim.loss import BernoulliLoss
+
+    assert isinstance(cluster.network.loss, BernoulliLoss)
+    assert cluster.network.loss.rate == 0.5
+
+
+def test_num_shards_dedicated():
+    assert ClusterSpec(workers=8, aggregators=4).num_shards == 4

@@ -1,0 +1,72 @@
+"""Coverage for the endpoint convenience API and result accessors."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.core.collective import CollectiveResult
+from repro.netsim import Cluster, ClusterSpec, HostConfig, Network, RdmaTransport, Simulator, gbps
+from repro.tensors import block_sparse_tensors
+
+
+def make_endpoints():
+    sim = Simulator()
+    net = Network(sim, latency_s=1e-6)
+    config = HostConfig(bandwidth_bps=gbps(10))
+    net.add_host("a", config)
+    net.add_host("b", config)
+    transport = RdmaTransport(net)
+    return sim, transport.endpoint("a", "p"), transport.endpoint("b", "p")
+
+
+def test_try_recv_and_pending():
+    sim, ep_a, ep_b = make_endpoints()
+    ok, packet = ep_b.try_recv()
+    assert not ok and packet is None
+    ep_a.send("b", "p", "x", 100)
+    sim.run()
+    assert ep_b.pending() == 1
+    ok, packet = ep_b.try_recv()
+    assert ok and packet.payload == "x"
+    assert ep_b.pending() == 0
+
+
+def test_endpoint_sim_property():
+    sim, ep_a, _ = make_endpoints()
+    assert ep_a.sim is sim
+
+
+def test_goodput_accessor():
+    cluster = Cluster(
+        ClusterSpec(workers=2, aggregators=1, bandwidth_gbps=10, transport="rdma")
+    )
+    tensors = block_sparse_tensors(2, 256 * 64, 256, 0.0,
+                                   rng=np.random.default_rng(0))
+    result = OmniReduce(cluster).allreduce(tensors)
+    goodput = result.goodput_gbps()
+    # Dense 64 KB at 10 Gbps: goodput below line rate, above a tenth.
+    assert 0.5 < goodput < 10.0
+
+
+def test_goodput_zero_time_is_infinite():
+    result = CollectiveResult(
+        outputs=[np.zeros(4, dtype=np.float32)], time_s=0.0, bytes_sent=0,
+        packets_sent=0, upward_bytes=0, downward_bytes=0, rounds=0,
+        retransmissions=0, duplicates=0,
+    )
+    assert result.goodput_gbps() == float("inf")
+
+
+def test_coo_equality_with_other_types():
+    from repro.tensors import CooTensor
+
+    coo = CooTensor.from_dense(np.array([1.0, 0.0], dtype=np.float32))
+    assert (coo == 42) is False or (coo == 42) is NotImplemented or not (coo == 42)
+    assert coo != "something"
+
+
+def test_gradient_model_expected_density():
+    from repro.ddl import WORKLOADS, GradientModel
+
+    model = GradientModel(WORKLOADS["ncf"])
+    assert model.expected_block_density() == WORKLOADS["ncf"].comm_fraction

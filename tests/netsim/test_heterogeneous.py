@@ -1,0 +1,78 @@
+"""Heterogeneous worker NICs (per-worker bandwidth overrides)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RingAllReduce
+from repro.core import OmniReduce
+from repro.netsim import Cluster, ClusterSpec, gbps
+from repro.tensors import block_sparse_tensors
+
+
+def inputs(workers=4, seed=0):
+    return block_sparse_tensors(
+        workers, 256 * 256, 256, 0.0, rng=np.random.default_rng(seed)
+    )
+
+
+def test_overrides_applied_to_hosts():
+    spec = ClusterSpec(workers=3, worker_bandwidth_gbps=(None, 1.0, 25.0))
+    cluster = Cluster(spec)
+    assert cluster.host("worker-0").config.bandwidth_bps == gbps(10)
+    assert cluster.host("worker-1").config.bandwidth_bps == gbps(1)
+    assert cluster.host("worker-2").config.bandwidth_bps == gbps(25)
+    assert spec.worker_bandwidth(0) == 10.0
+    assert spec.worker_bandwidth(1) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(workers=2, worker_bandwidth_gbps=(1.0,))  # wrong length
+    with pytest.raises(ValueError):
+        ClusterSpec(workers=2, worker_bandwidth_gbps=(1.0, -5.0))
+
+
+def test_slow_worker_gates_omnireduce():
+    fast = Cluster(
+        ClusterSpec(workers=4, aggregators=4, bandwidth_gbps=10, transport="rdma")
+    )
+    slow = Cluster(
+        ClusterSpec(
+            workers=4, aggregators=4, bandwidth_gbps=10, transport="rdma",
+            worker_bandwidth_gbps=(None, None, None, 2.5),
+        )
+    )
+    tensors = inputs()
+    t_fast = OmniReduce(fast).allreduce(tensors).time_s
+    t_slow = OmniReduce(slow).allreduce(tensors).time_s
+    # Self-clocked rounds wait for the slowest contributor.
+    assert t_slow > t_fast * 2.0
+    # Result still exact.
+    result = OmniReduce(
+        Cluster(
+            ClusterSpec(
+                workers=4, aggregators=4, bandwidth_gbps=10, transport="rdma",
+                worker_bandwidth_gbps=(None, 2.5, None, None),
+            )
+        )
+    ).allreduce(tensors)
+    np.testing.assert_allclose(
+        result.output, np.sum(np.stack(tensors), axis=0), rtol=1e-4, atol=1e-4
+    )
+
+
+def test_slow_worker_gates_ring_too():
+    slow = Cluster(
+        ClusterSpec(
+            workers=4, aggregators=1, bandwidth_gbps=10, transport="rdma",
+            worker_bandwidth_gbps=(None, None, 2.5, None),
+        )
+    )
+    fast = Cluster(
+        ClusterSpec(workers=4, aggregators=1, bandwidth_gbps=10, transport="rdma")
+    )
+    tensors = inputs(seed=1)
+    assert (
+        RingAllReduce(slow).allreduce(tensors).time_s
+        > RingAllReduce(fast).allreduce(tensors).time_s * 2.0
+    )

@@ -1,0 +1,327 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.netsim import DeadlockError, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_timeouts_fire_in_order():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.spawn(proc(3.0, "c"))
+    sim.spawn(proc(1.0, "a"))
+    sim.spawn(proc(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, "payload")
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_return_value_via_wait():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(2.0, 42)]
+
+
+def test_signal_rendezvous():
+    sim = Simulator()
+    done = sim.signal()
+    log = []
+
+    def waiter():
+        value = yield done
+        log.append((sim.now, value))
+
+    def firer():
+        yield sim.timeout(5.0)
+        done.succeed("go")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert log == [(5.0, "go")]
+
+
+def test_signal_double_trigger_raises():
+    sim = Simulator()
+    signal = sim.signal()
+    signal.succeed(1)
+    with pytest.raises(SimulationError):
+        signal.succeed(2)
+
+
+def test_wait_on_already_triggered_event():
+    sim = Simulator()
+    signal = sim.signal()
+    signal.succeed("early")
+    got = []
+
+    def proc():
+        value = yield signal
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+        got.append((sim.now, values))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield sim.all_of([])
+        got.append((sim.now, values))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [(0.0, [])]
+
+
+def test_queue_put_then_get():
+    sim = Simulator()
+    queue = sim.queue()
+    queue.put("x")
+    got = []
+
+    def proc():
+        item = yield queue.get()
+        got.append(item)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    queue = sim.queue()
+    got = []
+
+    def consumer():
+        item = yield queue.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(4.0)
+        queue.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(4.0, "late")]
+
+
+def test_queue_is_fifo():
+    sim = Simulator()
+    queue = sim.queue()
+    for i in range(5):
+        queue.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            item = yield queue.get()
+            got.append(item)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_queue_multiple_getters_fifo():
+    sim = Simulator()
+    queue = sim.queue()
+    got = []
+
+    def consumer(tag):
+        item = yield queue.get()
+        got.append((tag, item))
+
+    sim.spawn(consumer("first"))
+    sim.spawn(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1.0)
+        queue.put("a")
+        queue.put("b")
+
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_try_get():
+    sim = Simulator()
+    queue = sim.queue()
+    ok, item = queue.try_get()
+    assert not ok and item is None
+    queue.put(9)
+    ok, item = queue.try_get()
+    assert ok and item == 9
+
+
+def test_cancel_scheduled_callback():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_at(1.0, lambda: fired.append("no"))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_is_safe():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_at(1.0, lambda: fired.append("yes"))
+    sim.run()
+    sim.cancel(handle)  # must not raise
+    assert fired == ["yes"]
+
+
+def test_call_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.call_at(2.0, lambda: sim.call_after(3.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_run_until_event():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "done"
+
+    process = sim.spawn(proc())
+    sim.call_at(100.0, lambda: None)  # later noise event
+    value = sim.run(until=process)
+    assert value == "done"
+    assert sim.now == 1.0
+
+
+def test_run_until_unreachable_event_deadlocks():
+    sim = Simulator()
+    never = sim.signal()
+    with pytest.raises(DeadlockError):
+        sim.run(until=never)
+
+
+def test_run_max_time_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.call_at(10.0, lambda: fired.append(1))
+    sim.run(max_time=5.0)
+    assert fired == []
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    counter = []
+
+    def proc(i):
+        yield sim.timeout(float(i % 7) * 0.1)
+        counter.append(i)
+
+    for i in range(500):
+        sim.spawn(proc(i))
+    sim.run()
+    assert sorted(counter) == list(range(500))

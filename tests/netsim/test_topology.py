@@ -1,0 +1,107 @@
+"""Tests for the oversubscribed leaf-spine topology."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce
+from repro.netsim import (
+    Cluster,
+    ClusterSpec,
+    HostConfig,
+    LeafSpineTopology,
+    Network,
+    Packet,
+    Simulator,
+    gbps,
+)
+from repro.tensors import block_sparse_tensors
+
+
+def test_rack_assignment_by_registration_order():
+    topo = LeafSpineTopology(rack_size=2, uplink_gbps=10)
+    sim = Simulator()
+    net = Network(sim, topology=topo)
+    for name in ("a", "b", "c", "d", "e"):
+        net.add_host(name)
+    assert topo.rack_of("a") == topo.rack_of("b") == 0
+    assert topo.rack_of("c") == topo.rack_of("d") == 1
+    assert topo.rack_of("e") == 2
+    assert topo.same_rack("a", "b")
+    assert not topo.same_rack("b", "c")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LeafSpineTopology(rack_size=0, uplink_gbps=10)
+    with pytest.raises(ValueError):
+        LeafSpineTopology(rack_size=2, uplink_gbps=0)
+
+
+def make_net(uplink_gbps):
+    sim = Simulator()
+    topo = LeafSpineTopology(rack_size=2, uplink_gbps=uplink_gbps)
+    net = Network(sim, latency_s=0.0, topology=topo)
+    config = HostConfig(bandwidth_bps=gbps(10))
+    for name in ("a", "b", "c", "d"):
+        net.add_host(name, config)
+    return sim, net
+
+
+def recv_time(sim, net, host, count=1):
+    box = net.host(host).port()
+    t = None
+    for _ in range(count):
+        event = box.get()
+        sim.run(until=event)
+        t = sim.now
+    return t
+
+
+def test_intra_rack_unaffected_by_oversubscription():
+    sim, net = make_net(uplink_gbps=1.0)  # heavily oversubscribed core
+    net.transmit(Packet("a", "b", 1, 1250))  # same rack
+    assert recv_time(sim, net, "b") == pytest.approx(2e-6)
+
+
+def test_cross_rack_pays_uplink_serialization():
+    sim, net = make_net(uplink_gbps=1.0)
+    net.transmit(Packet("a", "c", 1, 1250))  # cross rack
+    # NIC 1us + uplink 10us + downlink 10us + NIC 1us.
+    assert recv_time(sim, net, "c") == pytest.approx(22e-6)
+
+
+def test_uplink_is_shared_between_flows():
+    sim, net = make_net(uplink_gbps=1.0)
+    net.transmit(Packet("a", "c", 1, 1250))
+    net.transmit(Packet("b", "d", 2, 1250))  # same source rack uplink
+    t_c = recv_time(sim, net, "c")
+    t_d = recv_time(sim, net, "d")
+    # The second flow queues behind the first on the shared uplink.
+    assert max(t_c, t_d) > min(t_c, t_d) + 8e-6
+
+
+def test_full_capacity_uplink_is_transparent():
+    # uplink = rack_size * NIC: no oversubscription, cross-rack time only
+    # grows by the core serialization of a single pipe at full rate.
+    sim, net = make_net(uplink_gbps=20.0)
+    net.transmit(Packet("a", "c", 1, 1250))
+    assert recv_time(sim, net, "c") == pytest.approx(3e-6)
+
+
+def test_collective_under_oversubscription():
+    """OmniReduce stays correct and slows down gracefully when worker
+    racks share a constrained uplink to the aggregator rack."""
+    tensors = block_sparse_tensors(4, 256 * 256, 256, 0.5,
+                                   rng=np.random.default_rng(0))
+    spec = ClusterSpec(workers=4, aggregators=4, bandwidth_gbps=10,
+                       transport="rdma")
+
+    full = OmniReduce(Cluster(spec)).allreduce(tensors)
+    oversub = OmniReduce(
+        Cluster(spec, topology=LeafSpineTopology(rack_size=4, uplink_gbps=10))
+    ).allreduce(tensors)
+    # 4 x 10G workers behind one 10G uplink: ~4x slower, still exact.
+    np.testing.assert_allclose(
+        oversub.output, np.sum(np.stack(tensors), axis=0), rtol=1e-4, atol=1e-4
+    )
+    assert oversub.time_s > full.time_s * 2.0

@@ -1,0 +1,133 @@
+"""Tests for packet tracing and telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import (
+    BernoulliLoss,
+    Cluster,
+    ClusterSpec,
+    HostConfig,
+    Network,
+    Packet,
+    Simulator,
+    attach_tracer,
+    gbps,
+)
+from repro.tensors import block_sparse_tensors
+
+
+def traced_pair(loss=None, bandwidth_gbps=10.0):
+    sim = Simulator()
+    net = Network(sim, latency_s=1e-6, loss=loss)
+    config = HostConfig(bandwidth_bps=gbps(bandwidth_gbps))
+    net.add_host("a", config)
+    net.add_host("b", config)
+    tracer = attach_tracer(net)
+    return sim, net, tracer
+
+
+def test_records_send_and_delivery():
+    sim, net, tracer = traced_pair()
+    net.transmit(Packet("a", "b", "x", 1000, flow="f"))
+    net.host("b").port()
+    sim.run()
+    kinds = [e.kind for e in tracer.events]
+    assert kinds == ["sent", "delivered"]
+    assert tracer.events[0].time_s <= tracer.events[1].time_s
+
+
+def test_records_drops():
+    loss = BernoulliLoss(1.0, np.random.default_rng(0))
+    sim, net, tracer = traced_pair(loss=loss)
+    net.transmit(Packet("a", "b", "x", 1000))
+    sim.run()
+    assert [e.kind for e in tracer.events] == ["sent", "dropped"]
+    assert tracer.drop_rate() == 1.0
+
+
+def test_drop_callback_still_invoked():
+    loss = BernoulliLoss(1.0, np.random.default_rng(0))
+    sim, net, tracer = traced_pair(loss=loss)
+    dropped = []
+    net.transmit(Packet("a", "b", "x", 1000), on_drop=lambda p: dropped.append(p))
+    sim.run()
+    assert len(dropped) == 1
+
+
+def test_flow_timeline_sorted_and_filtered():
+    sim, net, tracer = traced_pair()
+    net.transmit(Packet("a", "b", 1, 500, flow="one"))
+    net.transmit(Packet("a", "b", 2, 500, flow="two"))
+    net.host("b").port()
+    sim.run()
+    timeline = tracer.flow_timeline("one")
+    assert all(e.flow == "one" for e in timeline)
+    assert [e.time_s for e in timeline] == sorted(e.time_s for e in timeline)
+
+
+def test_bytes_sent_by_host():
+    sim, net, tracer = traced_pair()
+    net.transmit(Packet("a", "b", 1, 700))
+    net.transmit(Packet("a", "b", 2, 300))
+    net.host("b").port()
+    sim.run()
+    assert tracer.bytes_sent_by_host() == {"a": 1000}
+
+
+def test_delivery_latencies_positive():
+    sim, net, tracer = traced_pair()
+    for i in range(5):
+        net.transmit(Packet("a", "b", i, 1000))
+    net.host("b").port()
+    sim.run()
+    latencies = tracer.delivery_latencies()
+    assert len(latencies) == 5
+    assert all(l > 0 for l in latencies)
+    # Later packets queue behind earlier ones: latencies nondecreasing.
+    assert latencies == sorted(latencies)
+
+
+def test_egress_utilization_bounds():
+    sim, net, tracer = traced_pair()
+    # Saturate: 10 back-to-back 1250-byte packets at 10 Gbps = 10 us busy.
+    for i in range(10):
+        net.transmit(Packet("a", "b", i, 1250))
+    net.host("b").port()
+    sim.run()
+    util = tracer.egress_utilization("a", gbps(10))
+    assert 0.5 < util <= 1.0
+    assert tracer.egress_utilization("b", gbps(10)) == 0.0
+
+
+def test_egress_utilization_validation():
+    _, _, tracer = traced_pair()
+    with pytest.raises(ValueError):
+        tracer.egress_utilization("a", 0.0)
+
+
+def test_drop_rate_zero_when_nothing_sent():
+    _, _, tracer = traced_pair()
+    assert tracer.drop_rate() == 0.0
+
+
+def test_tracing_full_collective():
+    """The tracer composes with a whole OmniReduce run."""
+    cluster = Cluster(
+        ClusterSpec(workers=2, aggregators=1, bandwidth_gbps=10, transport="rdma")
+    )
+    tracer = attach_tracer(cluster.network)
+    tensors = block_sparse_tensors(2, 16 * 16, 16, 0.5, rng=np.random.default_rng(0))
+    config = OmniReduceConfig(block_size=16, streams_per_shard=2, message_bytes=512)
+    result = OmniReduce(cluster, config).allreduce(tensors)
+    np.testing.assert_allclose(
+        result.output, np.sum(np.stack(tensors), axis=0), rtol=1e-5
+    )
+    sent = tracer.of_kind("sent")
+    delivered = tracer.of_kind("delivered")
+    assert len(sent) == result.packets_sent
+    assert len(delivered) == len(sent)  # lossless transport
+    # Telemetry sees both directions.
+    by_host = tracer.bytes_sent_by_host()
+    assert "worker-0" in by_host and "agg-0" in by_host

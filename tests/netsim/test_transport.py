@@ -1,0 +1,168 @@
+"""Tests for the RDMA / datagram / TCP transports."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    BernoulliLoss,
+    DatagramTransport,
+    DeterministicLoss,
+    HostConfig,
+    Network,
+    RdmaTransport,
+    Simulator,
+    TcpTransport,
+    gbps,
+)
+from repro.netsim.packet import (
+    DATAGRAM_HEADER_BYTES,
+    RDMA_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+)
+
+
+def make_pair(transport_cls, loss=None, **transport_kwargs):
+    sim = Simulator()
+    net = Network(sim, latency_s=1e-6, loss=loss)
+    config = HostConfig(bandwidth_bps=gbps(10))
+    net.add_host("a", config)
+    net.add_host("b", config)
+    transport = transport_cls(net, **transport_kwargs)
+    ep_a = transport.endpoint("a", "p")
+    ep_b = transport.endpoint("b", "p")
+    return sim, transport, ep_a, ep_b
+
+
+def test_rdma_delivers_in_order():
+    sim, _, ep_a, ep_b = make_pair(RdmaTransport)
+    for i in range(10):
+        ep_a.send("b", "p", i, 1000)
+    got = []
+
+    def consumer():
+        for _ in range(10):
+            packet = yield ep_b.recv()
+            got.append(packet.payload)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == list(range(10))
+
+
+def test_rdma_wire_bytes_charges_per_frame():
+    transport = RdmaTransport(Network(Simulator()))
+    assert transport.wire_bytes(100) == 100 + RDMA_HEADER_BYTES
+    # 3000 B payload -> 2 MTU frames -> 2 headers.
+    assert transport.wire_bytes(3000) == 3000 + 2 * RDMA_HEADER_BYTES
+
+
+def test_rdma_ignores_loss_model():
+    loss = BernoulliLoss(1.0, np.random.default_rng(1))
+    sim, _, ep_a, ep_b = make_pair(RdmaTransport, loss=loss)
+    ep_a.send("b", "p", "x", 500)
+    event = ep_b.recv()
+    sim.run(until=event)
+    assert event.value.payload == "x"
+
+
+def test_datagram_header_overhead():
+    transport = DatagramTransport(Network(Simulator()))
+    assert transport.wire_bytes(100) == 100 + DATAGRAM_HEADER_BYTES
+
+
+def test_datagram_rejects_oversized_payload():
+    sim, transport, ep_a, _ = make_pair(DatagramTransport)
+    with pytest.raises(ValueError):
+        ep_a.send("b", "p", "big", transport.max_payload_bytes() + 1)
+
+
+def test_datagram_subject_to_loss():
+    loss = BernoulliLoss(1.0, np.random.default_rng(1))
+    sim, _, ep_a, ep_b = make_pair(DatagramTransport, loss=loss)
+    ep_a.send("b", "p", "x", 500)
+    sim.run()
+    assert ep_b.pending() == 0
+
+
+def test_tcp_delivers_without_loss():
+    sim, _, ep_a, ep_b = make_pair(TcpTransport)
+    ep_a.send("b", "p", "x", 500)
+    event = ep_b.recv()
+    sim.run(until=event)
+    assert event.value.payload == "x"
+
+
+def test_tcp_wire_bytes_per_segment():
+    transport = TcpTransport(Network(Simulator()))
+    assert transport.wire_bytes(100) == 100 + TCP_HEADER_BYTES
+    # 3000 B -> 3 segments at MSS 1460.
+    assert transport.wire_bytes(3000) == 3000 + 3 * TCP_HEADER_BYTES
+
+
+def test_tcp_recovers_from_loss():
+    # Drop the first transmission attempt only; TCP must retransmit.
+    state = {"dropped": False}
+
+    def drop_first(packet):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    loss = DeterministicLoss(drop_first)
+    sim, transport, ep_a, ep_b = make_pair(TcpTransport, loss=loss)
+    ep_a.send("b", "p", "x", 500)
+    event = ep_b.recv()
+    sim.run(until=event)
+    assert event.value.payload == "x"
+    assert transport.total_retransmissions == 1
+    # Delivery must be delayed by at least the RTO.
+    assert sim.now >= transport.rto_s
+
+
+def test_tcp_loss_penalty_stalls_later_sends():
+    state = {"dropped": False}
+
+    def drop_first(packet):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    loss = DeterministicLoss(drop_first)
+    sim, transport, ep_a, ep_b = make_pair(TcpTransport, loss=loss)
+    ep_a.send("b", "p", "first", 500)
+    ep_a.send("b", "p", "second", 500)
+    got = []
+
+    def consumer():
+        for _ in range(2):
+            packet = yield ep_b.recv()
+            got.append((packet.payload, sim.now))
+
+    sim.spawn(consumer())
+    sim.run()
+    payloads = [p for p, _ in got]
+    assert set(payloads) == {"first", "second"}
+    # The second packet was sent while the connection was stalled, so it
+    # must not arrive before the stall window opened.
+    last_arrival = max(t for _, t in got)
+    assert last_arrival >= transport.rto_s + transport.penalty_s
+
+
+def test_tcp_many_messages_all_arrive_under_random_loss():
+    loss = BernoulliLoss(0.1, np.random.default_rng(42))
+    sim, _, ep_a, ep_b = make_pair(TcpTransport, loss=loss)
+    n = 50
+    for i in range(n):
+        ep_a.send("b", "p", i, 1000)
+    got = []
+
+    def consumer():
+        for _ in range(n):
+            packet = yield ep_b.recv()
+            got.append(packet.payload)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert sorted(got) == list(range(n))

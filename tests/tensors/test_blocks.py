@@ -1,0 +1,166 @@
+"""Tests for block decomposition and the next-non-zero scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import INFINITY, BlockView, block_nonzero_bitmap, num_blocks
+
+
+def test_num_blocks_exact_multiple():
+    assert num_blocks(1024, 256) == 4
+
+
+def test_num_blocks_with_tail():
+    assert num_blocks(1025, 256) == 5
+
+
+def test_num_blocks_empty():
+    assert num_blocks(0, 256) == 0
+
+
+def test_num_blocks_invalid():
+    with pytest.raises(ValueError):
+        num_blocks(10, 0)
+    with pytest.raises(ValueError):
+        num_blocks(-1, 4)
+
+
+def test_bitmap_simple():
+    tensor = np.zeros(12, dtype=np.float32)
+    tensor[5] = 1.0  # block 1 (of size 4)
+    bitmap = block_nonzero_bitmap(tensor, 4)
+    assert bitmap.tolist() == [False, True, False]
+
+
+def test_bitmap_tail_block():
+    tensor = np.zeros(10, dtype=np.float32)
+    tensor[9] = 2.0  # tail block (size 2)
+    bitmap = block_nonzero_bitmap(tensor, 4)
+    assert bitmap.tolist() == [False, False, True]
+
+
+def test_bitmap_all_zero():
+    bitmap = block_nonzero_bitmap(np.zeros(16, dtype=np.float32), 4)
+    assert not bitmap.any()
+
+
+def test_blockview_get_block():
+    tensor = np.arange(8, dtype=np.float32)
+    view = BlockView(tensor, 4)
+    assert view.get_block(1).tolist() == [4.0, 5.0, 6.0, 7.0]
+
+
+def test_blockview_get_tail_block_zero_padded():
+    tensor = np.arange(6, dtype=np.float32)
+    view = BlockView(tensor, 4)
+    assert view.get_block(1).tolist() == [4.0, 5.0, 0.0, 0.0]
+
+
+def test_blockview_set_block_mutates_underlying():
+    tensor = np.zeros(8, dtype=np.float32)
+    view = BlockView(tensor, 4)
+    view.set_block(1, np.ones(4, dtype=np.float32))
+    assert tensor[4:].tolist() == [1.0, 1.0, 1.0, 1.0]
+
+
+def test_blockview_set_tail_block_truncates():
+    tensor = np.zeros(6, dtype=np.float32)
+    view = BlockView(tensor, 4)
+    view.set_block(1, np.array([7, 8, 9, 10], dtype=np.float32))
+    assert tensor.tolist() == [0, 0, 0, 0, 7, 8]
+
+
+def test_blockview_index_errors():
+    view = BlockView(np.zeros(8, dtype=np.float32), 4)
+    with pytest.raises(IndexError):
+        view.get_block(2)
+    with pytest.raises(IndexError):
+        view.set_block(-1, np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        view.set_block(0, np.zeros(3, dtype=np.float32))
+
+
+def test_next_nonzero_after():
+    tensor = np.zeros(16, dtype=np.float32)
+    tensor[4] = 1.0   # block 1
+    tensor[12] = 1.0  # block 3
+    view = BlockView(tensor, 4)
+    assert view.next_nonzero_after(-1) == 1
+    assert view.next_nonzero_after(0) == 1
+    assert view.next_nonzero_after(1) == 3
+    assert view.next_nonzero_after(3) == INFINITY
+
+
+def test_next_nonzero_in_column():
+    # Blocks of size 2, 8 blocks, viewed with stride (width) 4.
+    tensor = np.zeros(16, dtype=np.float32)
+    tensor[2] = 1.0   # block 1 (column 1)
+    tensor[10] = 1.0  # block 5 (column 1)
+    view = BlockView(tensor, 2)
+    assert view.next_nonzero_in_column(1, 4) == 5
+    assert view.next_nonzero_in_column(5, 4) == INFINITY
+    assert view.next_nonzero_in_column(0, 4) == INFINITY
+
+
+def test_block_sparsity_property():
+    tensor = np.zeros(16, dtype=np.float32)
+    tensor[0] = 1.0
+    view = BlockView(tensor, 4)
+    assert view.block_sparsity == pytest.approx(0.75)
+    assert view.nonzero_count == 1
+
+
+def test_refresh_bitmap():
+    tensor = np.zeros(8, dtype=np.float32)
+    view = BlockView(tensor, 4)
+    assert view.nonzero_count == 0
+    tensor[0] = 5.0
+    view.refresh_bitmap()
+    assert view.nonzero_count == 1
+
+
+def test_blockview_rejects_bad_block_size():
+    with pytest.raises(ValueError):
+        BlockView(np.zeros(8), 0)
+
+
+@given(
+    length=st.integers(min_value=1, max_value=300),
+    block_size=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_next_scan_visits_exactly_nonzero_blocks(length, block_size, data):
+    """Iterating next_nonzero_after from -1 enumerates the bitmap exactly."""
+    nnz = data.draw(st.integers(min_value=0, max_value=length))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    tensor = np.zeros(length, dtype=np.float32)
+    if nnz:
+        positions = rng.choice(length, size=nnz, replace=False)
+        tensor[positions] = 1.0
+    view = BlockView(tensor, block_size)
+
+    visited = []
+    current = view.next_nonzero_after(-1)
+    while current != INFINITY:
+        visited.append(current)
+        current = view.next_nonzero_after(current)
+    assert visited == list(np.flatnonzero(view.bitmap))
+
+
+@given(
+    length=st.integers(min_value=1, max_value=200),
+    block_size=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_get_set_roundtrip(length, block_size):
+    rng = np.random.default_rng(length * 31 + block_size)
+    tensor = rng.standard_normal(length).astype(np.float32)
+    view = BlockView(tensor.copy(), block_size)
+    rebuilt = np.zeros(length, dtype=np.float32)
+    out = BlockView(rebuilt, block_size)
+    for b in range(view.blocks):
+        out.set_block(b, view.get_block(b))
+    np.testing.assert_array_equal(rebuilt, tensor)

@@ -1,0 +1,124 @@
+"""Tests for controlled-sparsity tensor generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import (
+    block_nonzero_bitmap,
+    block_sparse_tensor,
+    block_sparse_tensors,
+    block_sparsity,
+    element_sparse_tensor,
+    element_sparsity,
+    nonzero_block_count,
+)
+
+
+def test_nonzero_block_count():
+    assert nonzero_block_count(1024, 256, 0.5) == 2
+    assert nonzero_block_count(1024, 256, 0.0) == 4
+    assert nonzero_block_count(1024, 256, 1.0) == 0
+
+
+def test_nonzero_block_count_invalid_sparsity():
+    with pytest.raises(ValueError):
+        nonzero_block_count(1024, 256, 1.5)
+
+
+def test_single_tensor_hits_target_block_sparsity():
+    rng = np.random.default_rng(1)
+    tensor = block_sparse_tensor(256 * 100, 256, 0.9, rng)
+    assert block_sparsity(tensor, 256) == pytest.approx(0.9)
+
+
+def test_dense_tensor_has_no_zero_blocks():
+    rng = np.random.default_rng(1)
+    tensor = block_sparse_tensor(256 * 10, 256, 0.0, rng)
+    assert block_sparsity(tensor, 256) == 0.0
+
+
+def test_all_overlap_positions_identical():
+    rng = np.random.default_rng(2)
+    tensors = block_sparse_tensors(4, 64 * 20, 64, 0.8, overlap="all", rng=rng)
+    bitmaps = [block_nonzero_bitmap(t, 64) for t in tensors]
+    for bitmap in bitmaps[1:]:
+        np.testing.assert_array_equal(bitmap, bitmaps[0])
+
+
+def test_none_overlap_positions_disjoint():
+    rng = np.random.default_rng(3)
+    tensors = block_sparse_tensors(4, 64 * 40, 64, 0.9, overlap="none", rng=rng)
+    bitmaps = np.stack([block_nonzero_bitmap(t, 64) for t in tensors])
+    assert bitmaps.sum(axis=0).max() <= 1
+
+
+def test_none_overlap_impossible_raises():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        # 4 workers x 50% density cannot be disjoint.
+        block_sparse_tensors(4, 64 * 10, 64, 0.5, overlap="none", rng=rng)
+
+
+def test_random_overlap_independent_but_right_density():
+    rng = np.random.default_rng(4)
+    tensors = block_sparse_tensors(8, 64 * 50, 64, 0.9, overlap="random", rng=rng)
+    for tensor in tensors:
+        assert block_sparsity(tensor, 64) == pytest.approx(0.9)
+
+
+def test_overlap_fraction_shares_blocks():
+    rng = np.random.default_rng(5)
+    tensors = block_sparse_tensors(
+        4, 64 * 50, 64, 0.8, overlap="random", overlap_fraction=1.0, rng=rng
+    )
+    bitmaps = [block_nonzero_bitmap(t, 64) for t in tensors]
+    for bitmap in bitmaps[1:]:
+        np.testing.assert_array_equal(bitmap, bitmaps[0])
+
+
+def test_overlap_fraction_validation():
+    with pytest.raises(ValueError):
+        block_sparse_tensors(2, 64, 64, 0.5, overlap_fraction=2.0)
+
+
+def test_unknown_overlap_mode():
+    with pytest.raises(ValueError):
+        block_sparse_tensors(2, 64, 64, 0.5, overlap="sideways")
+
+
+def test_element_sparse_tensor_density():
+    rng = np.random.default_rng(6)
+    tensor = element_sparse_tensor(10_000, 0.95, rng)
+    assert element_sparsity(tensor) == pytest.approx(0.95, abs=1e-3)
+
+
+def test_element_sparse_fully_sparse():
+    tensor = element_sparse_tensor(100, 1.0)
+    assert not tensor.any()
+
+
+def test_determinism_with_same_seed():
+    a = block_sparse_tensors(2, 64 * 10, 64, 0.5, rng=np.random.default_rng(7))
+    b = block_sparse_tensors(2, 64 * 10, 64, 0.5, rng=np.random.default_rng(7))
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+@given(
+    sparsity=st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9, 1.0]),
+    workers=st.integers(min_value=1, max_value=4),
+    blocks=st.integers(min_value=4, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_generated_block_sparsity_matches_target(sparsity, workers, blocks):
+    block_size = 16
+    rng = np.random.default_rng(blocks * 17 + workers)
+    tensors = block_sparse_tensors(
+        workers, block_size * blocks, block_size, sparsity, rng=rng
+    )
+    expected_nonzero = round((1 - sparsity) * blocks)
+    for tensor in tensors:
+        bitmap = block_nonzero_bitmap(tensor, block_size)
+        assert int(bitmap.sum()) == expected_nonzero

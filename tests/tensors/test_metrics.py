@@ -1,0 +1,103 @@
+"""Tests for sparsity metrics and the bitmap cost model."""
+
+import numpy as np
+import pytest
+
+from repro.tensors import (
+    V100_BITMAP_MODEL,
+    BitmapCostModel,
+    block_sparse_tensors,
+    block_sparsity,
+    density_within_nonzero_blocks,
+    element_sparsity,
+    global_block_density,
+    overlap_breakdown,
+)
+
+
+def test_element_sparsity_basic():
+    assert element_sparsity(np.array([0, 1, 0, 0])) == pytest.approx(0.75)
+    assert element_sparsity(np.zeros(4)) == 1.0
+    assert element_sparsity(np.ones(4)) == 0.0
+    assert element_sparsity(np.array([])) == 0.0
+
+
+def test_block_sparsity_basic():
+    tensor = np.zeros(16, dtype=np.float32)
+    tensor[0] = 1.0
+    assert block_sparsity(tensor, 4) == pytest.approx(0.75)
+
+
+def test_density_within_nonzero_blocks():
+    tensor = np.zeros(8, dtype=np.float32)
+    tensor[0] = 1.0
+    tensor[1] = 1.0  # block 0 has 2/4 non-zero; block 1 all zero
+    assert density_within_nonzero_blocks(tensor, 4) == pytest.approx(0.5)
+
+
+def test_density_within_handles_tail_block():
+    tensor = np.zeros(6, dtype=np.float32)
+    tensor[4] = 1.0  # tail block has capacity 2, one non-zero
+    assert density_within_nonzero_blocks(tensor, 4) == pytest.approx(0.5)
+
+
+def test_density_within_all_zero():
+    assert density_within_nonzero_blocks(np.zeros(8), 4) == 0.0
+
+
+def test_global_block_density_union():
+    a = np.zeros(8, dtype=np.float32)
+    b = np.zeros(8, dtype=np.float32)
+    a[0] = 1.0  # block 0
+    b[4] = 1.0  # block 1
+    assert global_block_density([a, b], 4) == 1.0
+    assert global_block_density([a, a], 4) == 0.5
+    assert global_block_density([], 4) == 0.0
+
+
+def test_overlap_breakdown_counts_transmitted_blocks():
+    # 2 workers, 4 blocks: block 0 in both, block 1 only in worker 0.
+    a = np.zeros(16, dtype=np.float32)
+    b = np.zeros(16, dtype=np.float32)
+    a[0] = 1.0
+    a[4] = 1.0
+    b[0] = 1.0
+    breakdown = overlap_breakdown([a, b], 4)
+    # Transmitted blocks: 2 at block 0 (overlap 2), 1 at block 1 (overlap 1).
+    assert breakdown[2] == pytest.approx(2 / 3)
+    assert breakdown[1] == pytest.approx(1 / 3)
+
+
+def test_overlap_breakdown_empty():
+    assert overlap_breakdown([], 4) == {}
+    assert overlap_breakdown([np.zeros(8)], 4) == {}
+
+
+def test_overlap_breakdown_fractions_sum_to_one():
+    rng = np.random.default_rng(0)
+    tensors = block_sparse_tensors(8, 64 * 30, 64, 0.7, rng=rng)
+    breakdown = overlap_breakdown(tensors, 64)
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_all_overlap_breakdown_is_all_at_n():
+    rng = np.random.default_rng(1)
+    tensors = block_sparse_tensors(4, 64 * 20, 64, 0.5, overlap="all", rng=rng)
+    breakdown = overlap_breakdown(tensors, 64)
+    assert breakdown == {4: pytest.approx(1.0)}
+
+
+def test_bitmap_cost_decreases_with_block_size():
+    n = 25_000_000  # 100 MB of float32
+    t1 = V100_BITMAP_MODEL.time_s(n, 1)
+    t16 = V100_BITMAP_MODEL.time_s(n, 16)
+    t256 = V100_BITMAP_MODEL.time_s(n, 256)
+    assert t1 > t16 > t256
+    # Figure 20 calibration: tens of ms at bs=1, ~ms at bs=16.
+    assert 0.02 < t1 < 0.08
+    assert t16 < 0.005
+
+
+def test_bitmap_cost_model_validation():
+    with pytest.raises(ValueError):
+        BitmapCostModel(base_s=-1.0)

@@ -1,0 +1,143 @@
+"""Tests for the COO sparse tensor and format conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import (
+    CooTensor,
+    coo_to_dense,
+    dense_to_coo,
+    DEFAULT_CONVERSION_MODEL,
+)
+
+
+def test_from_dense_roundtrip():
+    dense = np.array([0, 1.5, 0, 0, -2, 0], dtype=np.float32)
+    coo = CooTensor.from_dense(dense)
+    assert coo.nnz == 2
+    assert coo.indices.tolist() == [1, 4]
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+
+
+def test_nbytes_counts_keys_and_values():
+    coo = CooTensor.from_dense(np.array([1, 0, 2], dtype=np.float32))
+    assert coo.nbytes == 2 * 8  # 2 nnz * (4B key + 4B value)
+
+
+def test_density():
+    coo = CooTensor.from_dense(np.array([1, 0, 0, 0], dtype=np.float32))
+    assert coo.density == pytest.approx(0.25)
+
+
+def test_add_disjoint_supports():
+    a = CooTensor.from_dense(np.array([1, 0, 0], dtype=np.float32))
+    b = CooTensor.from_dense(np.array([0, 0, 2], dtype=np.float32))
+    total = a.add(b)
+    np.testing.assert_array_equal(total.to_dense(), [1, 0, 2])
+
+
+def test_add_overlapping_supports():
+    a = CooTensor.from_dense(np.array([1, 3, 0], dtype=np.float32))
+    b = CooTensor.from_dense(np.array([0, 4, 2], dtype=np.float32))
+    total = a.add(b)
+    np.testing.assert_array_equal(total.to_dense(), [1, 7, 2])
+
+
+def test_add_with_empty():
+    a = CooTensor.from_dense(np.zeros(3, dtype=np.float32))
+    b = CooTensor.from_dense(np.array([0, 4, 2], dtype=np.float32))
+    np.testing.assert_array_equal(a.add(b).to_dense(), [0, 4, 2])
+    np.testing.assert_array_equal(b.add(a).to_dense(), [0, 4, 2])
+
+
+def test_add_length_mismatch():
+    a = CooTensor.from_dense(np.zeros(3, dtype=np.float32))
+    b = CooTensor.from_dense(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        a.add(b)
+
+
+def test_slice_range_rebases_indices():
+    dense = np.array([0, 1, 0, 2, 0, 3], dtype=np.float32)
+    coo = CooTensor.from_dense(dense)
+    part = coo.slice_range(2, 6)
+    assert part.length == 4
+    np.testing.assert_array_equal(part.to_dense(), [0, 2, 0, 3])
+
+
+def test_slice_range_validation():
+    coo = CooTensor.from_dense(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        coo.slice_range(3, 2)
+    with pytest.raises(ValueError):
+        coo.slice_range(0, 5)
+
+
+def test_validation_rejects_bad_indices():
+    with pytest.raises(ValueError):
+        CooTensor(np.array([2, 1]), np.array([1.0, 2.0]), 4)  # unsorted
+    with pytest.raises(ValueError):
+        CooTensor(np.array([0, 0]), np.array([1.0, 2.0]), 4)  # duplicate
+    with pytest.raises(ValueError):
+        CooTensor(np.array([5]), np.array([1.0]), 4)  # out of range
+    with pytest.raises(ValueError):
+        CooTensor(np.array([0, 1]), np.array([1.0]), 4)  # shape mismatch
+
+
+def test_conversion_times_positive_and_monotone_in_nnz():
+    model = DEFAULT_CONVERSION_MODEL
+    sparse_time = model.dense_to_sparse_s(1_000_000, 10_000)
+    denser_time = model.dense_to_sparse_s(1_000_000, 500_000)
+    assert 0 < sparse_time < denser_time
+
+
+def test_dense_to_coo_returns_time():
+    dense = np.array([0, 1, 0], dtype=np.float32)
+    coo, seconds = dense_to_coo(dense)
+    assert coo.nnz == 1
+    assert seconds > 0
+
+
+def test_coo_to_dense_returns_time():
+    coo = CooTensor.from_dense(np.array([0, 1, 0], dtype=np.float32))
+    dense, seconds = coo_to_dense(coo)
+    np.testing.assert_array_equal(dense, [0, 1, 0])
+    assert seconds > 0
+
+
+def test_equality():
+    a = CooTensor.from_dense(np.array([1, 0, 2], dtype=np.float32))
+    b = CooTensor.from_dense(np.array([1, 0, 2], dtype=np.float32))
+    c = CooTensor.from_dense(np.array([1, 0, 3], dtype=np.float32))
+    assert a == b
+    assert a != c
+
+
+@given(
+    length=st.integers(min_value=1, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(length, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal(length).astype(np.float32)
+    dense[rng.random(length) < 0.7] = 0.0
+    coo = CooTensor.from_dense(dense)
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+
+
+@given(
+    length=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_sparse_add_matches_dense_add(length, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(length).astype(np.float32)
+    b = rng.standard_normal(length).astype(np.float32)
+    a[rng.random(length) < 0.5] = 0.0
+    b[rng.random(length) < 0.5] = 0.0
+    total = CooTensor.from_dense(a).add(CooTensor.from_dense(b))
+    np.testing.assert_allclose(total.to_dense(), a + b, rtol=1e-6)

@@ -1,0 +1,67 @@
+"""Whole-pipeline integration: one miniature end-to-end reproduction.
+
+A single test exercising every layer together -- gradient structure
+generation, the collective protocol over the simulated network, the
+baselines, the training simulator, and the analytical model -- asserting
+the paper's headline chain of reasoning end to end:
+
+1. DeepLight's gradients are block-sparse with partial overlap;
+2. OmniReduce therefore moves far fewer bytes than ring AllReduce;
+3. which makes its AllReduce much faster;
+4. which lifts the end-to-end scaling factor;
+5. and the magnitudes agree with the §3.4 model's direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RingAllReduce
+from repro.core import OmniReduce
+from repro.ddl import WORKLOADS, GradientModel, TrainingSimulator
+from repro.model import PerfModel
+from repro.netsim import Cluster, ClusterSpec
+from repro.tensors import block_sparsity, global_block_density
+
+
+ELEMENTS = 1 << 17
+SPEC = ClusterSpec(workers=4, aggregators=4, bandwidth_gbps=10, transport="dpdk")
+
+
+def test_headline_chain_of_reasoning():
+    workload = WORKLOADS["deeplight"]
+    tensors = GradientModel(workload).generate(4, ELEMENTS, np.random.default_rng(0))
+
+    # (1) structure: per-worker block density ~ Table 1's 0.7%.
+    per_worker_density = 1 - block_sparsity(tensors[0], 256)
+    assert per_worker_density == pytest.approx(workload.comm_fraction, abs=0.01)
+    union_density = global_block_density(tensors, 256)
+    assert per_worker_density < union_density < 4.5 * per_worker_density
+
+    # (2) traffic: OmniReduce moves far fewer bytes than ring.
+    omni = OmniReduce(Cluster(SPEC)).allreduce(tensors)
+    ring = RingAllReduce(Cluster(SPEC.with_(transport="tcp"))).allreduce(tensors)
+    expected = np.sum(np.stack(tensors), axis=0)
+    np.testing.assert_allclose(omni.output, expected, rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(ring.output, expected, rtol=1e-4, atol=1e-4)
+    assert omni.bytes_sent < ring.bytes_sent / 10
+
+    # (3) microbenchmark speedup in a plausible band around the model.
+    micro_speedup = ring.time_s / omni.time_s
+    model = PerfModel(workers=4, bandwidth_gbps=10)
+    model_speedup = model.ring(ELEMENTS * 4) / model.omnireduce(
+        ELEMENTS * 4, union_density
+    )
+    assert micro_speedup > 3.0
+    # The idealized model ignores fixed costs (bitmap, latency, metadata)
+    # which dominate at this small tensor, so it bounds from above.
+    assert micro_speedup < model_speedup
+
+    # (4) end to end: the scaling factor improves substantially.
+    simulator = TrainingSimulator(workload, scale_elements=ELEMENTS, samples=1)
+    nccl_report = simulator.measure("ring", SPEC.with_(transport="tcp"))
+    omni_report = simulator.measure("omnireduce", SPEC)
+    assert omni_report.scaling_factor > 3 * nccl_report.scaling_factor
+
+    # (5) and communication stopped dominating the iteration.
+    assert nccl_report.comm_time_s > nccl_report.compute_time_s
+    assert omni_report.comm_time_s < nccl_report.comm_time_s / 4
