@@ -22,8 +22,10 @@ Sub-packages:
 * :mod:`repro.netsim` -- the simulated testbed (hosts, transports, loss).
 * :mod:`repro.core` -- OmniReduce itself (Algorithms 1-3, Block Fusion,
   loss recovery, hierarchical multi-GPU, collectives of §7).
+* :mod:`repro.faults` -- fault injection plans (bursty loss, link
+  degradation, stragglers, aggregator crashes) and recovery reporting.
 * :mod:`repro.baselines` -- ring AllReduce, AGsparse, SparCML, BytePS,
-  Parallax, SwitchML*.
+  Parallax, SwitchML*, all behind the unified Collective API.
 * :mod:`repro.compression` -- block-based sparsification (§4).
 * :mod:`repro.ddl` -- the six Table 1 workloads and training simulation.
 * :mod:`repro.model` -- the §3.4 analytical performance model.
@@ -31,8 +33,16 @@ Sub-packages:
 * :mod:`repro.bench` -- per-figure/table experiment harness.
 """
 
-from .baselines import ALGORITHMS, run_allreduce
+from .baselines import ALGORITHMS, Collective, Session, prepare, run_allreduce
 from .core import CollectiveResult, OmniReduce, OmniReduceConfig
+from .faults import (
+    AggregatorCrash,
+    FaultEvent,
+    FaultPlan,
+    LinkDegradation,
+    StalenessReport,
+    StragglerSchedule,
+)
 from .netsim import Cluster, ClusterSpec
 
 __version__ = "1.0.0"
@@ -44,6 +54,15 @@ __all__ = [
     "Cluster",
     "ClusterSpec",
     "ALGORITHMS",
+    "Collective",
+    "Session",
+    "prepare",
     "run_allreduce",
+    "FaultPlan",
+    "AggregatorCrash",
+    "LinkDegradation",
+    "StragglerSchedule",
+    "FaultEvent",
+    "StalenessReport",
     "__version__",
 ]

@@ -1,0 +1,389 @@
+"""The unified Collective API.
+
+Every AllReduce implementation in the repository -- OmniReduce and all
+baselines -- is exposed through one calling convention:
+
+    collective = ALGORITHMS["sparcml"]
+    session = collective.prepare(cluster, SparCMLOptions(mode="dsar"))
+    result = session.allreduce(tensors)
+
+A :class:`Collective` is a named algorithm plus its typed
+:class:`Options` dataclass (mirroring :class:`OmniReduceConfig`);
+``prepare`` binds it to a cluster and returns a :class:`Session` with
+``allreduce``/``allgather``/``broadcast`` methods, all returning the
+uniform :class:`~repro.core.collective.CollectiveResult`.  Algorithms
+without a native AllGather/Broadcast fall back to the dense ring
+AllGather and binomial-tree Broadcast baselines, so every session
+supports all three collectives.
+
+The legacy ``run_allreduce(name, cluster, tensors, **opts)`` entry point
+lives on in :mod:`repro.baselines.registry` as a deprecation shim built
+on this API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Type
+
+import numpy as np
+
+from ..core.collective import CollectiveResult, OmniReduce
+from ..core.config import OmniReduceConfig
+from ..netsim.cluster import Cluster
+from ..tensors.convert import DEFAULT_CONVERSION_MODEL, ConversionCostModel
+from .agsparse import AGsparseAllReduce
+from .collectives import ring_allgather, tree_broadcast
+from .halving_doubling import HalvingDoublingAllReduce
+from .parallax import ParallaxAllReduce
+from .ps import ParameterServerAllReduce
+from .ring import SEGMENT_ELEMENTS, RingAllReduce
+from .sparcml import SparCML
+from .switchml import SwitchMLAllReduce
+
+__all__ = [
+    "Options",
+    "Session",
+    "Collective",
+    "OmniReduceOptions",
+    "RingOptions",
+    "HalvingDoublingOptions",
+    "AGsparseOptions",
+    "AGsparseGlooOptions",
+    "SparCMLOptions",
+    "SparCMLSSAROptions",
+    "SparCMLDSAROptions",
+    "PSOptions",
+    "PSSparseOptions",
+    "ParallaxOptions",
+    "SwitchMLOptions",
+]
+
+
+# ---------------------------------------------------------------------------
+# Options
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Options:
+    """Base class for per-algorithm option bundles.
+
+    Immutable and typo-safe: unknown fields fail at construction instead
+    of being silently swallowed by a ``**opts`` dict.
+    """
+
+
+@dataclass(frozen=True)
+class OmniReduceOptions(Options):
+    """Options for the OmniReduce collective: its full config object."""
+
+    config: Optional[OmniReduceConfig] = None
+
+
+@dataclass(frozen=True)
+class RingOptions(Options):
+    segment_elements: int = SEGMENT_ELEMENTS
+
+
+@dataclass(frozen=True)
+class HalvingDoublingOptions(Options):
+    pass
+
+
+@dataclass(frozen=True)
+class AGsparseOptions(Options):
+    backend: str = "nccl"
+    include_conversion: bool = True
+    conversion_model: ConversionCostModel = DEFAULT_CONVERSION_MODEL
+    index_encoding: str = "coo"
+
+
+@dataclass(frozen=True)
+class AGsparseGlooOptions(AGsparseOptions):
+    backend: str = "gloo"
+
+
+@dataclass(frozen=True)
+class SparCMLOptions(Options):
+    mode: str = "auto"
+    include_conversion: bool = True
+    conversion_model: ConversionCostModel = DEFAULT_CONVERSION_MODEL
+
+
+@dataclass(frozen=True)
+class SparCMLSSAROptions(SparCMLOptions):
+    mode: str = "ssar"
+
+
+@dataclass(frozen=True)
+class SparCMLDSAROptions(SparCMLOptions):
+    mode: str = "dsar"
+
+
+@dataclass(frozen=True)
+class PSOptions(Options):
+    sparse: bool = False
+    include_conversion: bool = True
+    conversion_model: ConversionCostModel = DEFAULT_CONVERSION_MODEL
+
+
+@dataclass(frozen=True)
+class PSSparseOptions(PSOptions):
+    sparse: bool = True
+
+
+@dataclass(frozen=True)
+class ParallaxOptions(Options):
+    include_conversion: bool = True
+
+
+@dataclass(frozen=True)
+class SwitchMLOptions(Options):
+    config: Optional[OmniReduceConfig] = None
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """One algorithm bound to one cluster, ready to run collectives.
+
+    Sessions are cheap to build and reusable: a training loop prepares
+    once and calls ``allreduce`` per iteration.  Algorithms without a
+    native AllGather/Broadcast inherit the dense ring AllGather and
+    binomial-tree Broadcast fallbacks.
+    """
+
+    def __init__(self, cluster: Cluster, options: Options) -> None:
+        self.cluster = cluster
+        self.options = options
+
+    def allreduce(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> CollectiveResult:
+        raise NotImplementedError
+
+    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return ring_allgather(self.cluster, tensors)
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        return tree_broadcast(self.cluster, tensor, root=root)
+
+
+class _EngineSession(Session):
+    """Session delegating AllReduce to a prebuilt engine object."""
+
+    def __init__(self, cluster: Cluster, options: Options, engine) -> None:
+        super().__init__(cluster, options)
+        self.engine = engine
+
+    def allreduce(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> CollectiveResult:
+        return self.engine.allreduce(tensors, **kwargs)
+
+
+class OmniReduceSession(_EngineSession):
+    """OmniReduce session: all three collectives are native (§7)."""
+
+    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.engine.allgather(tensors)
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        return self.engine.broadcast(tensor, root=root)
+
+
+# ---------------------------------------------------------------------------
+# Collectives
+# ---------------------------------------------------------------------------
+
+
+class Collective:
+    """A named algorithm: ``prepare(cluster, options)`` yields a Session."""
+
+    name: str = ""
+    options_cls: Type[Options] = Options
+    summary: str = ""
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        raise NotImplementedError
+
+    def default_options(self) -> Options:
+        return self.options_cls()
+
+    def options_from_kwargs(self, **kwargs) -> Options:
+        """Build typed options from legacy ``**opts``-style keywords."""
+        return self.options_cls(**kwargs)
+
+    def _coerce(self, options: Optional[Options]) -> Options:
+        if options is None:
+            return self.default_options()
+        if not isinstance(options, self.options_cls):
+            raise TypeError(
+                f"{self.name!r} expects {self.options_cls.__name__} options, "
+                f"got {type(options).__name__}"
+            )
+        return options
+
+    def __repr__(self) -> str:
+        return f"<Collective {self.name!r} ({self.options_cls.__name__})>"
+
+
+class _FactoryCollective(Collective):
+    """Collective whose engine is built by ``factory(cluster, options)``."""
+
+    def __init__(self, name, options_cls, factory, summary="") -> None:
+        self.name = name
+        self.options_cls = options_cls
+        self._factory = factory
+        self.summary = summary
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        opts = self._coerce(options)
+        return _EngineSession(cluster, opts, self._factory(cluster, opts))
+
+
+class OmniReduceCollective(Collective):
+    """OmniReduce behind the unified protocol.
+
+    For backward compatibility with the old registry convention,
+    ``options_from_kwargs`` accepts either ``config=<OmniReduceConfig>``
+    or raw :class:`OmniReduceConfig` field keywords, and ``prepare``
+    additionally coerces a bare :class:`OmniReduceConfig`.
+    """
+
+    name = "omnireduce"
+    options_cls = OmniReduceOptions
+    summary = "sparse streaming aggregation (this paper)"
+
+    def prepare(self, cluster: Cluster, options=None) -> Session:
+        if isinstance(options, OmniReduceConfig):
+            options = OmniReduceOptions(config=options)
+        opts = self._coerce(options)
+        return OmniReduceSession(cluster, opts, OmniReduce(cluster, opts.config))
+
+    def options_from_kwargs(self, **kwargs) -> OmniReduceOptions:
+        config = kwargs.pop("config", None)
+        if config is not None:
+            if kwargs:
+                raise TypeError(
+                    f"pass either config= or raw config fields, not both "
+                    f"(extra: {sorted(kwargs)})"
+                )
+            return OmniReduceOptions(config=config)
+        if kwargs:
+            return OmniReduceOptions(config=OmniReduceConfig(**kwargs))
+        return OmniReduceOptions()
+
+
+def _factories():
+    """The registry's algorithm table (name -> Collective)."""
+    return {
+        "omnireduce": OmniReduceCollective(),
+        "ring": _FactoryCollective(
+            "ring",
+            RingOptions,
+            lambda c, o: RingAllReduce(c, segment_elements=o.segment_elements),
+            "NCCL/Gloo dense ring AllReduce",
+        ),
+        "halving-doubling": _FactoryCollective(
+            "halving-doubling",
+            HalvingDoublingOptions,
+            lambda c, o: HalvingDoublingAllReduce(c),
+            "MPI/NCCL latency-optimal recursive halving-doubling",
+        ),
+        "agsparse": _FactoryCollective(
+            "agsparse",
+            AGsparseOptions,
+            lambda c, o: AGsparseAllReduce(
+                c,
+                backend=o.backend,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+                index_encoding=o.index_encoding,
+            ),
+            "AllGather-based sparse AllReduce (NCCL flavour)",
+        ),
+        "agsparse-gloo": _FactoryCollective(
+            "agsparse-gloo",
+            AGsparseGlooOptions,
+            lambda c, o: AGsparseAllReduce(
+                c,
+                backend=o.backend,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+                index_encoding=o.index_encoding,
+            ),
+            "AGsparse over the Gloo backend",
+        ),
+        "sparcml": _FactoryCollective(
+            "sparcml",
+            SparCMLOptions,
+            lambda c, o: SparCML(
+                c,
+                mode=o.mode,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+            ),
+            "SparCML sparse AllReduce (auto mode)",
+        ),
+        "sparcml-ssar": _FactoryCollective(
+            "sparcml-ssar",
+            SparCMLSSAROptions,
+            lambda c, o: SparCML(
+                c,
+                mode=o.mode,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+            ),
+            "SparCML static split AllGather",
+        ),
+        "sparcml-dsar": _FactoryCollective(
+            "sparcml-dsar",
+            SparCMLDSAROptions,
+            lambda c, o: SparCML(
+                c,
+                mode=o.mode,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+            ),
+            "SparCML dynamic split AllGather",
+        ),
+        "ps": _FactoryCollective(
+            "ps",
+            PSOptions,
+            lambda c, o: ParameterServerAllReduce(
+                c,
+                sparse=o.sparse,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+            ),
+            "BytePS-style dense push-pull parameter server",
+        ),
+        "ps-sparse": _FactoryCollective(
+            "ps-sparse",
+            PSSparseOptions,
+            lambda c, o: ParameterServerAllReduce(
+                c,
+                sparse=o.sparse,
+                include_conversion=o.include_conversion,
+                conversion_model=o.conversion_model,
+            ),
+            "sparse push-pull parameter server",
+        ),
+        "parallax": _FactoryCollective(
+            "parallax",
+            ParallaxOptions,
+            lambda c, o: ParallaxAllReduce(c, include_conversion=o.include_conversion),
+            "oracle choice between sparse PS and dense ring",
+        ),
+        "switchml": _FactoryCollective(
+            "switchml",
+            SwitchMLOptions,
+            lambda c, o: SwitchMLAllReduce(c, config=o.config),
+            "SwitchML*-style dense streaming aggregation",
+        ),
+    }

@@ -60,7 +60,16 @@ def validate_equal_tensors(
 
 
 class MeasuredRun:
-    """Snapshot cluster counters and build a CollectiveResult at the end."""
+    """Snapshot cluster counters and build a CollectiveResult at the end.
+
+    Every baseline routes its result through this helper so the registry
+    reports one uniform shape: the same traffic fields and the same
+    fault/recovery counters (zero for algorithms without recovery) as
+    OmniReduce.  On the TCP transport, ``retransmissions`` defaults to
+    the transport-level retransmission delta over the run, so lossy-TCP
+    baselines report their recovery effort without any per-algorithm
+    code.
+    """
 
     def __init__(self, cluster: Cluster, flow: str) -> None:
         self.cluster = cluster
@@ -70,8 +79,22 @@ class MeasuredRun:
         self._bytes_before = stats.total_bytes_sent
         self._packets_before = sum(stats.packets_sent.values())
         self._flow_before = stats.flow_bytes.get(flow, 0)
+        self._retx_before = getattr(cluster.transport, "total_retransmissions", 0)
 
-    def finish(self, outputs: List[np.ndarray], rounds: int = 0, **details) -> CollectiveResult:
+    def finish(
+        self,
+        outputs: List[np.ndarray],
+        rounds: int = 0,
+        retransmissions: int = None,
+        duplicates: int = 0,
+        downward_bytes: int = 0,
+        **details,
+    ) -> CollectiveResult:
+        if retransmissions is None:
+            retransmissions = (
+                getattr(self.cluster.transport, "total_retransmissions", 0)
+                - self._retx_before
+            )
         stats = self.cluster.stats
         return CollectiveResult(
             outputs=outputs,
@@ -79,10 +102,10 @@ class MeasuredRun:
             bytes_sent=stats.total_bytes_sent - self._bytes_before,
             packets_sent=sum(stats.packets_sent.values()) - self._packets_before,
             upward_bytes=stats.flow_bytes.get(self.flow, 0) - self._flow_before,
-            downward_bytes=0,
+            downward_bytes=downward_bytes,
             rounds=rounds,
-            retransmissions=0,
-            duplicates=0,
+            retransmissions=retransmissions,
+            duplicates=duplicates,
             details=dict(details),
         )
 

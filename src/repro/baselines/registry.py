@@ -1,70 +1,65 @@
 """Uniform access to every AllReduce implementation in the repository.
 
-The benchmark harness iterates algorithms by name; each entry is a
-callable ``(cluster, tensors, **options) -> CollectiveResult``.
+The registry maps algorithm names to :class:`~repro.baselines.api.Collective`
+objects; the benchmark harness iterates them by name:
+
+    session = prepare("sparcml", cluster, SparCMLOptions(mode="dsar"))
+    result = session.allreduce(tensors)
+
+``run_allreduce`` is the legacy one-shot entry point, kept as a thin
+deprecation shim over the Collective protocol.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+import warnings
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.collective import CollectiveResult, OmniReduce
-from ..core.config import OmniReduceConfig
+from ..core.collective import CollectiveResult
 from ..netsim.cluster import Cluster
-from .agsparse import agsparse_allreduce
-from .halving_doubling import halving_doubling_allreduce
-from .parallax import parallax_allreduce
-from .ps import ps_allreduce
-from .ring import ring_allreduce
-from .sparcml import sparcml_allreduce
-from .switchml import switchml_allreduce
+from .api import Collective, Options, Session, _factories
 
-__all__ = ["ALGORITHMS", "run_allreduce"]
+__all__ = ["ALGORITHMS", "get", "prepare", "run_allreduce"]
+
+#: Every algorithm in the repository, by registry name.
+ALGORITHMS: Dict[str, Collective] = _factories()
 
 
-def _omnireduce(cluster: Cluster, tensors: Sequence[np.ndarray], **opts):
-    config = opts.pop("config", None) or OmniReduceConfig(**opts)
-    return OmniReduce(cluster, config).allreduce(tensors)
+def get(name: str) -> Collective:
+    """Look up a collective by registry name."""
+    if name not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[name]
 
 
-def _agsparse_gloo(cluster, tensors, **opts):
-    return agsparse_allreduce(cluster, tensors, backend="gloo", **opts)
-
-
-def _sparcml_ssar(cluster, tensors, **opts):
-    return sparcml_allreduce(cluster, tensors, mode="ssar", **opts)
-
-
-def _sparcml_dsar(cluster, tensors, **opts):
-    return sparcml_allreduce(cluster, tensors, mode="dsar", **opts)
-
-
-def _ps_sparse(cluster, tensors, **opts):
-    return ps_allreduce(cluster, tensors, sparse=True, **opts)
-
-
-ALGORITHMS: Dict[str, Callable[..., CollectiveResult]] = {
-    "omnireduce": _omnireduce,
-    "ring": ring_allreduce,  # NCCL / Gloo dense ring AllReduce
-    "halving-doubling": halving_doubling_allreduce,  # MPI/NCCL latency-optimal
-    "agsparse": agsparse_allreduce,  # AGsparse (NCCL flavour)
-    "agsparse-gloo": _agsparse_gloo,
-    "sparcml": sparcml_allreduce,  # auto mode
-    "sparcml-ssar": _sparcml_ssar,
-    "sparcml-dsar": _sparcml_dsar,
-    "ps": ps_allreduce,  # BytePS-style dense push-pull
-    "ps-sparse": _ps_sparse,
-    "parallax": parallax_allreduce,
-    "switchml": switchml_allreduce,
-}
+def prepare(
+    name: str, cluster: Cluster, options: Optional[Options] = None
+) -> Session:
+    """Bind the named algorithm to ``cluster`` and return its session."""
+    return get(name).prepare(cluster, options)
 
 
 def run_allreduce(
     name: str, cluster: Cluster, tensors: Sequence[np.ndarray], **options
 ) -> CollectiveResult:
-    """Run the named AllReduce algorithm."""
-    if name not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
-    return ALGORITHMS[name](cluster, tensors, **options)
+    """Run the named AllReduce algorithm.
+
+    .. deprecated::
+        Use ``prepare(name, cluster, options).allreduce(tensors)`` (or
+        ``ALGORITHMS[name].prepare(...)``) instead; the typed Options
+        dataclasses catch option typos that ``**options`` silently
+        accepted.  This shim produces identical results.
+    """
+    warnings.warn(
+        "run_allreduce() is deprecated; use "
+        "repro.baselines.prepare(name, cluster, options).allreduce(tensors)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    collective = get(name)
+    opts = collective.options_from_kwargs(**options)
+    return collective.prepare(cluster, opts).allreduce(tensors)

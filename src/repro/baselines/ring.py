@@ -24,6 +24,7 @@ import numpy as np
 from ..core.collective import CollectiveResult
 from ..core.partition import split_ranges
 from ..netsim.cluster import Cluster
+from .common import MeasuredRun
 
 __all__ = ["RingAllReduce", "ring_allreduce"]
 
@@ -72,20 +73,12 @@ class RingAllReduce:
         workers = spec.workers
         op_id = next(_op_ids)
         prefix = f"ring{op_id}"
-        start = sim.now
-        stats = self.cluster.stats
-        bytes_before = stats.total_bytes_sent
-        packets_before = sum(stats.packets_sent.values())
         flow = f"{prefix}.ring"
-        flow_before = stats.flow_bytes.get(flow, 0)
+        run = MeasuredRun(self.cluster, flow)
 
         outputs = [f.copy() for f in flats]
         if workers == 1:
-            return CollectiveResult(
-                outputs=outputs, time_s=0.0, bytes_sent=0, packets_sent=0,
-                upward_bytes=0, downward_bytes=0, rounds=0,
-                retransmissions=0, duplicates=0,
-            )
+            return run.finish(outputs)
 
         chunks = split_ranges(size, workers)
         while len(chunks) < workers:  # more workers than elements
@@ -161,17 +154,7 @@ class RingAllReduce:
         ]
         sim.run(until=sim.all_of(processes))
 
-        return CollectiveResult(
-            outputs=outputs,
-            time_s=sim.now - start,
-            bytes_sent=stats.total_bytes_sent - bytes_before,
-            packets_sent=sum(stats.packets_sent.values()) - packets_before,
-            upward_bytes=stats.flow_bytes.get(flow, 0) - flow_before,
-            downward_bytes=0,
-            rounds=2 * (workers - 1),
-            retransmissions=0,
-            duplicates=0,
-        )
+        return run.finish(outputs, rounds=2 * (workers - 1))
 
 
 def ring_allreduce(cluster: Cluster, tensors: Sequence[np.ndarray]) -> CollectiveResult:

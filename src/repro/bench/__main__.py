@@ -37,6 +37,7 @@ from . import (
     fig17_overlap,
     fig18_p4_aggregator,
     fig20_bitmap_cost,
+    fault_recovery,
     fig21_loss_recovery,
     format_table,
     model_validation,
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "figure-18": fig18_p4_aggregator,
     "figure-20": fig20_bitmap_cost,
     "figure-21": fig21_loss_recovery,
+    "fault-recovery": fault_recovery,
     "table-1": table1_workloads,
     "table-2": table2_overlap_breakdown,
     "model-validation": model_validation,
@@ -79,6 +81,10 @@ def main(argv=None) -> int:
         "experiments", nargs="*",
         help="experiment ids (see --list), or 'all'",
     )
+    parser.add_argument(
+        "--experiment", action="append", default=[], metavar="ID",
+        help="experiment id to run (may repeat; same as positional ids)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--save", metavar="DIR", default=None,
@@ -89,13 +95,14 @@ def main(argv=None) -> int:
         help="with --save, additionally write DIR/<experiment-id>.json",
     )
     args = parser.parse_args(argv)
+    requested = list(args.experiments) + list(args.experiment)
 
-    if args.list or not args.experiments:
+    if args.list or not requested:
         for name in EXPERIMENTS:
             print(name)
         return 0
 
-    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    names = list(EXPERIMENTS) if requested == ["all"] else requested
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)

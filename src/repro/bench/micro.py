@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..baselines import run_allreduce
+from ..baselines import get as get_collective
 from ..baselines.ring import RingAllReduce
 from ..core import OmniReduce, OmniReduceConfig
 from ..inetwork import InNetworkOmniReduce
@@ -89,9 +89,12 @@ def _omni_time(spec, elements, sparsity, config=None, seed=0, overlap="random"):
 def _baseline_time(name, spec, elements, sparsity, seed=0, **opts):
     samples = sample_count()
 
+    collective = get_collective(name)
+    options = collective.options_from_kwargs(**opts)
+
     def one(i):
         tensors = _tensors(spec.workers, elements, sparsity, seed=seed + i)
-        return run_allreduce(name, Cluster(spec), tensors, **opts).time_s
+        return collective.prepare(Cluster(spec), options).allreduce(tensors).time_s
 
     return _mean_time(one, samples)
 

@@ -87,6 +87,7 @@ class _SlotBase:
         value_bytes: int = 4,
         reduction: str = "sum",
         deterministic: bool = False,
+        port_suffix: str = "",
     ) -> None:
         self.sim = sim
         self.block_size = block_size
@@ -98,8 +99,12 @@ class _SlotBase:
         self.value_bytes = value_bytes
         self.reduction = reduction
         self.width = min(width, max(1, stream_range.num_blocks))
-        self.endpoint: Endpoint = transport.endpoint(agg_host, f"{prefix}.a{self.stream}")
-        self._worker_port = f"{prefix}.w{self.stream}"
+        # ``port_suffix`` isolates respawned generations of a stream from
+        # stale in-flight packets addressed to the crashed generation.
+        self.endpoint: Endpoint = transport.endpoint(
+            agg_host, f"{prefix}.a{self.stream}{port_suffix}"
+        )
+        self._worker_port = f"{prefix}.w{self.stream}{port_suffix}"
         self.flow = f"{prefix}.down"
         self.stats = SlotStats(stream=self.stream)
         # Current block per lane: the initial row (first blocks of range).

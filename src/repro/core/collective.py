@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.models import FaultEvent, StalenessReport
 from ..netsim.cluster import Cluster
 from ..netsim.transport import DatagramTransport
 from ..tensors.bitmap import V100_BITMAP_MODEL, BitmapCostModel
@@ -59,6 +60,13 @@ class CollectiveResult:
     ``outputs[w]`` is worker ``w``'s result tensor (all equal for
     AllReduce).  Timing fields are simulated seconds; traffic fields are
     wire bytes including protocol headers.
+
+    The fault/recovery fields are uniform across every algorithm in the
+    registry: algorithms without loss recovery or fault handling report
+    zeros.  ``complete`` is false only when a configured deadline
+    expired first, in which case ``staleness`` describes exactly what is
+    missing from the partial result and ``fault_events`` records each
+    injected fault with its recovery latency.
     """
 
     outputs: List[np.ndarray]
@@ -70,6 +78,11 @@ class CollectiveResult:
     rounds: int
     retransmissions: int
     duplicates: int
+    timeouts_fired: int = 0
+    recovery_events: int = 0
+    complete: bool = True
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    staleness: Optional[StalenessReport] = None
     details: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -220,7 +233,14 @@ class OmniReduce:
     def _use_recovery(self) -> bool:
         if self.config.recovery is not None:
             return self.config.recovery
-        return isinstance(self.cluster.transport, DatagramTransport)
+        if isinstance(self.cluster.transport, DatagramTransport):
+            return True
+        # Auto-engage Algorithm 2 whenever an active fault plan is
+        # attached, whatever the loss model's shape (bursty, windowed,
+        # per-link) -- the fixed-transport check above only covers the
+        # paper's uniform-loss DPDK scenario.
+        faults = getattr(self.cluster, "faults", None)
+        return faults is not None and faults.active()
 
     def _payload_budget(self) -> int:
         """Target payload per packet, clamped to the transport's limit
@@ -260,6 +280,25 @@ class OmniReduce:
             if worker_start_delays is not None
             else [0.0] * spec.workers
         )
+        faults = getattr(self.cluster, "faults", None)
+        crashes = []
+        if faults is not None:
+            for worker_id in range(spec.workers):
+                start_delays[worker_id] += faults.worker_delay_s(worker_id)
+            for crash in faults.aggregator_crashes:
+                if crash.shard >= spec.num_shards:
+                    raise ValueError(
+                        f"crash targets shard {crash.shard}, but the cluster "
+                        f"has only {spec.num_shards} shards"
+                    )
+                if (
+                    crash.failover_shard is not None
+                    and crash.failover_shard >= spec.num_shards
+                ):
+                    raise ValueError(
+                        f"failover shard {crash.failover_shard} out of range"
+                    )
+                crashes.append(crash)
         readiness_schedules: List[Optional[_ShiftedReadiness]] = []
         for worker_id in range(spec.workers):
             if gradient_readiness is None:
@@ -306,13 +345,28 @@ class OmniReduce:
         up_before = stats_before.flow_bytes.get(f"{prefix}.up", 0)
         down_before = stats_before.flow_bytes.get(f"{prefix}.down", 0)
 
-        slot_processes = []
-        worker_processes = []
-        slots = []
-        stream_workers = []
-        for stream_range in plan:
-            agg_host = self.cluster.aggregator_hosts[stream_range.shard]
-            slot_cls = RecoverySlotAggregator if recovery else SlotAggregator
+        # Crash recovery re-executes streams from scratch, and workers
+        # must then re-read contributions that the first execution may
+        # already have overwritten with results (outputs alias the
+        # contribution tensors).  Only crash-capable runs pay the copy.
+        contrib_views: List[Optional[BlockView]]
+        if crashes:
+            contrib_views = [
+                BlockView(out.copy(), config.block_size) for out in outputs
+            ]
+        else:
+            contrib_views = [None] * spec.workers
+
+        slot_cls = RecoverySlotAggregator if recovery else SlotAggregator
+        worker_processes = []  # generation-0 procs, the primary wait set
+        slots = []  # every slot ever spawned (stats aggregation)
+        stream_workers = []  # every worker engine ever spawned (stats)
+        layouts: Dict[int, List[FusionLayout]] = {}  # stream -> per-worker
+        stream_infos: List[dict] = []
+
+        def build_stream(stream_range, agg_host: str, generation: int):
+            """Spawn one stream's slot + workers; reused by respawns."""
+            suffix = "" if generation == 0 else f"r{generation}"
             slot = slot_cls(
                 sim,
                 transport,
@@ -326,17 +380,15 @@ class OmniReduce:
                 value_bytes=value_bytes,
                 reduction=config.reduction,
                 deterministic=config.deterministic,
+                port_suffix=suffix,
             )
             slots.append(slot)
-            slot_processes.append(sim.spawn(slot.run(), name=f"{prefix}-slot{slot.stream}"))
-
+            slot_proc = sim.spawn(
+                slot.run(), name=f"{prefix}-slot{slot.stream}{suffix}"
+            )
+            workers = []
+            procs = []
             for worker_id in range(spec.workers):
-                layout = FusionLayout(
-                    views[worker_id],
-                    stream_range,
-                    width,
-                    assume_dense=not config.skip_zero_blocks,
-                )
                 common = dict(
                     sim=sim,
                     transport=transport,
@@ -344,36 +396,244 @@ class OmniReduce:
                     worker_id=worker_id,
                     worker_host=self.cluster.worker_hosts[worker_id],
                     agg_host=agg_host,
-                    layout=layout,
+                    layout=layouts[stream_range.stream][worker_id],
                     view=views[worker_id],
                     value_bytes=value_bytes,
                     prefetch=prefetches[worker_id],
                     down_engine=down_engines[worker_id],
-                    start_delay_s=bitmap_delay + start_delays[worker_id],
+                    # Respawned generations start immediately: the bitmap
+                    # charge and any straggler delay already elapsed.
+                    start_delay_s=(
+                        bitmap_delay + start_delays[worker_id]
+                        if generation == 0
+                        else 0.0
+                    ),
                     reduction=config.reduction,
                     readiness=readiness_schedules[worker_id],
+                    contrib_view=contrib_views[worker_id],
+                    port_suffix=suffix,
                 )
                 if recovery:
-                    worker = RecoveryStreamWorker(timeout_s=config.timeout_s, **common)
+                    worker = RecoveryStreamWorker(
+                        timeout_s=config.timeout_s,
+                        backoff_factor=config.backoff_factor,
+                        timeout_max_s=config.timeout_max_s,
+                        **common,
+                    )
                 else:
                     worker = StreamWorker(**common)
                 stream_workers.append(worker)
-                worker_processes.append(
-                    sim.spawn(worker.run(), name=f"{prefix}-w{worker_id}s{slot.stream}")
+                workers.append(worker)
+                procs.append(
+                    sim.spawn(
+                        worker.run(),
+                        name=f"{prefix}-w{worker_id}s{slot.stream}{suffix}",
+                    )
                 )
+            return slot, slot_proc, workers, procs
+
+        for stream_range in plan:
+            layouts[stream_range.stream] = [
+                FusionLayout(
+                    contrib_views[worker_id]
+                    if contrib_views[worker_id] is not None
+                    else views[worker_id],
+                    stream_range,
+                    width,
+                    assume_dense=not config.skip_zero_blocks,
+                )
+                for worker_id in range(spec.workers)
+            ]
+            agg_host = self.cluster.aggregator_hosts[stream_range.shard]
+            slot, slot_proc, workers, procs = build_stream(stream_range, agg_host, 0)
+            worker_processes.extend(procs)
+            stream_infos.append(
+                {
+                    "range": stream_range,
+                    "shard": stream_range.shard,
+                    "slot_proc": slot_proc,
+                    "workers": workers,
+                    "procs": procs,
+                    "generation": 0,
+                }
+            )
+
+        # -- fault orchestration ------------------------------------------
+        fault_events: List[FaultEvent] = []
+        fault_handles = []  # cancellable crash/restart callbacks
+        respawn_signals = []  # fire once a scheduled restart has respawned
+        event_workers = []  # (event, respawned worker engines) pairs
+        extra_procs = []  # worker procs of respawned generations
+        halted = [False]
+        expired_at = [0.0]
+
+        def _stream_finished(info) -> bool:
+            return all(p.triggered for p in info["procs"])
+
+        def _do_restart(crash, affected, event, signal):
+            if halted[0]:
+                signal.succeed()
+                return
+            event.restart_s = sim.now
+            self.cluster.fault_log.record(
+                sim.now, "aggregator-restart", shard=event.shard
+            )
+            respawned = []
+            for info in affected:
+                info["generation"] += 1
+                if crash.failover_shard is not None:
+                    info["shard"] = crash.failover_shard
+                agg_host = self.cluster.aggregator_hosts[info["shard"]]
+                _slot, slot_proc, workers, procs = build_stream(
+                    info["range"], agg_host, info["generation"]
+                )
+                info["slot_proc"] = slot_proc
+                info["workers"] = workers
+                info["procs"] = procs
+                extra_procs.extend(procs)
+                respawned.extend(workers)
+            if respawned:
+                event_workers.append((event, respawned))
+            else:
+                event.recovered_s = sim.now
+            signal.succeed()
+
+        def _do_crash(crash):
+            if halted[0]:
+                return
+            affected = [
+                info
+                for info in stream_infos
+                if info["shard"] == crash.shard and not _stream_finished(info)
+            ]
+            event = FaultEvent(
+                kind="aggregator-crash",
+                time_s=sim.now,
+                shard=crash.shard,
+                failover_shard=crash.failover_shard,
+                streams=tuple(info["range"].stream for info in affected),
+            )
+            fault_events.append(event)
+            self.cluster.fault_log.record(
+                sim.now,
+                "aggregator-crash",
+                shard=crash.shard,
+                streams=float(len(affected)),
+            )
+            for info in affected:
+                info["slot_proc"].interrupt("aggregator-crash")
+                for proc in info["procs"]:
+                    proc.interrupt("aggregator-crash")
+            signal = sim.signal()
+            respawn_signals.append(signal)
+            fault_handles.append(
+                sim.call_after(
+                    crash.restart_delay_s, _do_restart, crash, affected, event, signal
+                )
+            )
+
+        for crash in crashes:
+            fault_handles.append(sim.call_at(start + crash.time_s, _do_crash, crash))
+
+        deadline_handle = None
+        if config.deadline_s is not None:
+
+            def _expire() -> None:
+                halted[0] = True
+                expired_at[0] = sim.now
+                for handle in fault_handles:
+                    sim.cancel(handle)
+                self.cluster.fault_log.record(
+                    sim.now, "deadline-expired", deadline_s=config.deadline_s
+                )
+                for info in stream_infos:
+                    if _stream_finished(info):
+                        continue
+                    info["slot_proc"].interrupt("deadline")
+                    for proc in info["procs"]:
+                        proc.interrupt("deadline")
+
+            deadline_handle = sim.call_at(start + config.deadline_s, _expire)
 
         done = sim.all_of(worker_processes)
         sim.run(until=done)
+        # Drain recovery work: respawned generations must finish too, and
+        # a crash's restart may still be pending when generation 0 ends.
+        while True:
+            pending = [p for p in extra_procs if not p.triggered]
+            if pending:
+                sim.run(until=sim.all_of(pending))
+                continue
+            unfired = [s for s in respawn_signals if not s.triggered]
+            if unfired and not halted[0]:
+                sim.run(until=unfired[0])
+                continue
+            break
+        # The simulator outlives this collective: disarm whatever never
+        # fired (late crashes, the deadline).
+        for handle in fault_handles:
+            sim.cancel(handle)
+        if deadline_handle is not None:
+            sim.cancel(deadline_handle)
+
+        # A crash is recovered once every respawned worker of its
+        # affected streams has finished; the recovery timestamp is the
+        # last of their finish times.
+        for event, workers in event_workers:
+            if event.recovered_s is None and all(w.finished for w in workers):
+                event.recovered_s = max(w.stats.finish_s for w in workers)
+                self.cluster.fault_log.record(
+                    event.recovered_s, "recovered", shard=event.shard
+                )
 
         finish = sim.now
         for engine in down_engines:
             if engine is not None:
                 finish = max(finish, engine.free_at)
 
+        staleness = None
+        if halted[0]:
+            incomplete_streams = []
+            incomplete_workers = set()
+            pending_blocks = 0
+            for info in stream_infos:
+                unfinished = [w for w in info["workers"] if not w.finished]
+                if not unfinished:
+                    continue
+                incomplete_streams.append(info["range"].stream)
+                for worker in unfinished:
+                    incomplete_workers.add(worker.worker_id)
+                    pending_blocks += worker.pending_blocks()
+            staleness = StalenessReport(
+                deadline_s=config.deadline_s,
+                expired_at_s=expired_at[0],
+                incomplete_streams=tuple(sorted(incomplete_streams)),
+                incomplete_workers=tuple(sorted(incomplete_workers)),
+                pending_blocks=pending_blocks,
+            )
+
         stats = self.cluster.stats
         retransmissions = sum(w.stats.retransmissions for w in stream_workers)
+        timeouts_fired = sum(w.stats.timeouts_fired for w in stream_workers)
         duplicates = sum(s.stats.duplicates for s in slots)
         rounds = max((s.stats.rounds for s in slots), default=0)
+        details_extra: Dict[str, float] = {}
+        if fault_events:
+            latencies = [
+                e.recovery_latency_s
+                for e in fault_events
+                if e.recovery_latency_s is not None
+            ]
+            details_extra["recovery_latency_s"] = max(latencies, default=0.0)
+        if recovery:
+            details_extra["max_backoff_timeout_s"] = max(
+                (
+                    w.backoff_timeout_s
+                    for w in stream_workers
+                    if hasattr(w, "backoff_timeout_s")
+                ),
+                default=config.timeout_s,
+            )
         return CollectiveResult(
             outputs=outputs,
             time_s=finish - start,
@@ -384,7 +644,13 @@ class OmniReduce:
             rounds=rounds,
             retransmissions=retransmissions,
             duplicates=duplicates,
+            timeouts_fired=timeouts_fired,
+            recovery_events=len(fault_events),
+            complete=not halted[0],
+            fault_events=fault_events,
+            staleness=staleness,
             details={
+                **details_extra,
                 "bitmap_delay_s": bitmap_delay,
                 "fusion_width": width,
                 "streams": len(plan),

@@ -45,7 +45,23 @@ class OmniReduceConfig:
         Force Algorithm 2 (timers + acks + versioned slots) on or off.
         ``None`` selects it automatically for lossy transports.
     timeout_s:
-        Retransmission timer for Algorithm 2.
+        Retransmission timer for Algorithm 2 (the initial value when
+        backoff is enabled).
+    backoff_factor:
+        Exponential-backoff multiplier applied to a worker's
+        retransmission timer on every expiry; a valid response resets the
+        timer to ``timeout_s``.  The default of 1.0 reproduces the
+        paper's fixed timer exactly.
+    timeout_max_s:
+        Upper clamp on the backed-off timer.  ``None`` leaves the
+        backoff unbounded.
+    deadline_s:
+        Wall-clock budget (simulated seconds) for one collective.  When
+        it expires before completion, the collective degrades gracefully:
+        it returns a partial result immediately, with
+        ``CollectiveResult.complete`` false and an explicit
+        :class:`~repro.faults.StalenessReport` describing what is
+        missing.  ``None`` (the default) waits forever.
     charge_bitmap:
         Charge the GPU bitmap-calculation time (Appendix B.1) at the
         start of the collective.
@@ -68,6 +84,9 @@ class OmniReduceConfig:
     skip_zero_blocks: bool = True
     recovery: Optional[bool] = None
     timeout_s: float = 1e-3
+    backoff_factor: float = 1.0
+    timeout_max_s: Optional[float] = None
+    deadline_s: Optional[float] = None
     charge_bitmap: bool = True
     reduction: str = "sum"
     deterministic: bool = False
@@ -84,6 +103,12 @@ class OmniReduceConfig:
             raise ValueError("message_bytes too small to carry one element")
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1 (1 = fixed timer)")
+        if self.timeout_max_s is not None and self.timeout_max_s < self.timeout_s:
+            raise ValueError("timeout_max_s must be >= timeout_s")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         if self.reduction not in ("sum", "max", "min"):
             raise ValueError(f"unsupported reduction {self.reduction!r}")
 

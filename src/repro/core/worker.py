@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
 
 from ..netsim.kernel import Simulator
 from ..netsim.transport import Endpoint, Transport
@@ -38,6 +39,7 @@ class StreamWorkerStats:
     blocks_sent: int = 0
     acks_sent: int = 0
     retransmissions: int = 0
+    timeouts_fired: int = 0
     rounds: int = 0
 
 
@@ -60,11 +62,20 @@ class _StreamWorkerBase:
         start_delay_s: float = 0.0,
         reduction: str = "sum",
         readiness=None,
+        contrib_view: Optional[BlockView] = None,
+        port_suffix: str = "",
     ) -> None:
         self.sim = sim
         self.worker_id = worker_id
         self.layout = layout
         self.view = view
+        # Pristine copy of this worker's contribution.  Normally the
+        # result tensor aliases the input, which is safe because each
+        # block is read before its result lands -- but stream
+        # re-execution after an aggregator crash re-reads blocks whose
+        # results may already be stored, so crash-capable runs pass a
+        # separate contribution view.
+        self.contrib = contrib_view if contrib_view is not None else view
         self.value_bytes = value_bytes
         self.prefetch = prefetch
         self.down_engine = down_engine
@@ -73,9 +84,14 @@ class _StreamWorkerBase:
         self.agg_host = agg_host
         stream = layout.range.stream
         self.stream = stream
-        self.agg_port = f"{prefix}.a{stream}"
-        self.endpoint: Endpoint = transport.endpoint(worker_host, f"{prefix}.w{stream}")
+        # ``port_suffix`` isolates respawned generations of a stream from
+        # stale in-flight packets addressed to the crashed generation.
+        self.agg_port = f"{prefix}.a{stream}{port_suffix}"
+        self.endpoint: Endpoint = transport.endpoint(
+            worker_host, f"{prefix}.w{stream}{port_suffix}"
+        )
         self.flow = f"{prefix}.up"
+        self.finished = False
         self.reduction = reduction
         self.stats = StreamWorkerStats(worker_id=worker_id, stream=stream)
         # Worker-local next non-zero pointer per lane (the algorithm's
@@ -129,7 +145,7 @@ class _StreamWorkerBase:
         for lane, block in enumerate(self.layout.first_row()):
             data = None
             if self.layout.is_listed(lane, block):
-                data = self.view.get_block(block)
+                data = self.contrib.get_block(block)
             entries.append(
                 LaneEntry(
                     lane=lane,
@@ -174,6 +190,25 @@ class _StreamWorkerBase:
                 avail = max(avail, self._block_available_at(entry.block))
         return max(0.0, avail - self.sim.now)
 
+    def pending_blocks(self) -> int:
+        """Listed (non-zero) blocks this worker has not yet transmitted.
+
+        ``my_next[lane]`` points at the next untransmitted listed block,
+        so the pending count per lane is the tail of the lane's listed
+        column from that position on.  Feeds the staleness report when a
+        deadline cuts the collective short.
+        """
+        if self.finished:
+            return 0
+        total = 0
+        for lane in range(self.layout.num_lanes):
+            nxt = self.my_next[lane]
+            if nxt >= INFINITY:
+                continue
+            column = self.layout.nonzero_in_lane(lane)
+            total += len(column) - int(np.searchsorted(column, nxt, side="left"))
+        return total
+
 
 class StreamWorker(_StreamWorkerBase):
     """Algorithm 1 worker (lossless transport)."""
@@ -184,6 +219,7 @@ class StreamWorker(_StreamWorkerBase):
         if self.start_delay_s > 0:
             yield sim.timeout(self.start_delay_s)
         if self.layout.range.num_blocks == 0:
+            self.finished = True
             self.stats.finish_s = sim.now
             return self.stats
 
@@ -214,7 +250,7 @@ class StreamWorker(_StreamWorkerBase):
                             lane=entry.lane,
                             block=requested,
                             next_block=next_after,
-                            data=self.view.get_block(requested),
+                            data=self.contrib.get_block(requested),
                         )
                     )
             if response_lanes:
@@ -229,34 +265,66 @@ class StreamWorker(_StreamWorkerBase):
                     yield sim.timeout(delay)
                 self._send(packet)
 
+        self.finished = True
         self.stats.finish_s = sim.now
         return self.stats
 
 
 class RecoveryStreamWorker(_StreamWorkerBase):
-    """Algorithm 2 worker (lossy transport): acks, timers, versions."""
+    """Algorithm 2 worker (lossy transport): acks, timers, versions.
 
-    def __init__(self, *args, timeout_s: float = 1e-3, **kwargs) -> None:
+    Extends the paper's fixed retransmission timer with optional
+    exponential backoff: each expiry multiplies the timer by
+    ``backoff_factor`` (clamped at ``timeout_max_s``), and a valid
+    response resets it to ``timeout_s``.  The default factor of 1.0
+    reproduces Algorithm 2's fixed timer exactly.
+    """
+
+    def __init__(
+        self,
+        *args,
+        timeout_s: float = 1e-3,
+        backoff_factor: float = 1.0,
+        timeout_max_s: Optional[float] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.timeout_s = timeout_s
+        self.backoff_factor = backoff_factor
+        self.timeout_max_s = timeout_max_s
+        self._current_timeout_s = timeout_s
         self._outstanding: Optional[WorkerPacket] = None
         self._timer = None
+
+    @property
+    def backoff_timeout_s(self) -> float:
+        """The timer value currently armed (observability hook)."""
+        return self._current_timeout_s
 
     # -- timer management --------------------------------------------------
 
     def _arm_timer(self) -> None:
-        self._timer = self.sim.call_after(self.timeout_s, self._on_timeout)
+        self._timer = self.sim.call_after(self._current_timeout_s, self._on_timeout)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
             self.sim.cancel(self._timer)
             self._timer = None
 
+    def _reset_backoff(self) -> None:
+        self._current_timeout_s = self.timeout_s
+
     def _on_timeout(self) -> None:
         if self._outstanding is None:
             return
+        self.stats.timeouts_fired += 1
         self.stats.retransmissions += 1
         self._send(self._outstanding)
+        if self.backoff_factor > 1.0:
+            grown = self._current_timeout_s * self.backoff_factor
+            if self.timeout_max_s is not None:
+                grown = min(grown, self.timeout_max_s)
+            self._current_timeout_s = grown
         self._arm_timer()
 
     def _transmit(self, packet: WorkerPacket) -> None:
@@ -270,68 +338,80 @@ class RecoveryStreamWorker(_StreamWorkerBase):
         if self.start_delay_s > 0:
             yield sim.timeout(self.start_delay_s)
         if self.layout.range.num_blocks == 0:
+            self.finished = True
             self.stats.finish_s = sim.now
             return self.stats
 
-        version = 0
-        first = self._initial_packet(version)
-        delay = self._data_delay(first)
-        if delay > 0:
-            yield sim.timeout(delay)
-        self._transmit(first)
-
-        while True:
-            received = yield self.endpoint.recv()
-            result: ResultPacket = received.payload
-            if result.version != version:
-                continue  # duplicate result for an already-processed round
-            self._cancel_timer()
-            self._outstanding = None
-            self.stats.rounds += 1
-            self._store_result_lanes(result)
-
-            active = [entry for entry in result.lanes if entry.next_block != INFINITY]
-            if not active:
-                break  # every lane signalled infinity: reduction complete
-
-            version ^= 1
-            response_lanes: List[LaneEntry] = []
-            has_data = False
-            for entry in active:
-                requested = entry.next_block
-                if requested == self.my_next[entry.lane]:
-                    next_after = self.layout.next_in_lane(entry.lane, requested)
-                    self.my_next[entry.lane] = next_after
-                    response_lanes.append(
-                        LaneEntry(
-                            lane=entry.lane,
-                            block=requested,
-                            next_block=next_after,
-                            data=self.view.get_block(requested),
-                        )
-                    )
-                    has_data = True
-                else:
-                    # Empty acknowledgment lane: echo my next (Alg. 2 l.19).
-                    response_lanes.append(
-                        LaneEntry(
-                            lane=entry.lane,
-                            block=requested,
-                            next_block=self.my_next[entry.lane],
-                            data=None,
-                        )
-                    )
-            packet = WorkerPacket(
-                worker_id=self.worker_id,
-                stream=self.stream,
-                version=version,
-                lanes=response_lanes,
-                is_ack=not has_data,
-            )
-            delay = self._data_delay(packet)
+        # The finally block disarms the retransmission timer even when a
+        # fault injector interrupts the process mid-protocol: a dead
+        # worker's timer must not keep retransmitting into the void.
+        try:
+            version = 0
+            first = self._initial_packet(version)
+            delay = self._data_delay(first)
             if delay > 0:
                 yield sim.timeout(delay)
-            self._transmit(packet)
+            self._transmit(first)
 
+            while True:
+                received = yield self.endpoint.recv()
+                result: ResultPacket = received.payload
+                if result.version != version:
+                    continue  # duplicate result for an already-processed round
+                self._cancel_timer()
+                self._outstanding = None
+                self._reset_backoff()
+                self.stats.rounds += 1
+                self._store_result_lanes(result)
+
+                active = [
+                    entry for entry in result.lanes if entry.next_block != INFINITY
+                ]
+                if not active:
+                    break  # every lane signalled infinity: reduction complete
+
+                version ^= 1
+                response_lanes: List[LaneEntry] = []
+                has_data = False
+                for entry in active:
+                    requested = entry.next_block
+                    if requested == self.my_next[entry.lane]:
+                        next_after = self.layout.next_in_lane(entry.lane, requested)
+                        self.my_next[entry.lane] = next_after
+                        response_lanes.append(
+                            LaneEntry(
+                                lane=entry.lane,
+                                block=requested,
+                                next_block=next_after,
+                                data=self.contrib.get_block(requested),
+                            )
+                        )
+                        has_data = True
+                    else:
+                        # Empty acknowledgment lane: echo my next (Alg. 2 l.19).
+                        response_lanes.append(
+                            LaneEntry(
+                                lane=entry.lane,
+                                block=requested,
+                                next_block=self.my_next[entry.lane],
+                                data=None,
+                            )
+                        )
+                packet = WorkerPacket(
+                    worker_id=self.worker_id,
+                    stream=self.stream,
+                    version=version,
+                    lanes=response_lanes,
+                    is_ack=not has_data,
+                )
+                delay = self._data_delay(packet)
+                if delay > 0:
+                    yield sim.timeout(delay)
+                self._transmit(packet)
+        finally:
+            self._cancel_timer()
+            self._outstanding = None
+
+        self.finished = True
         self.stats.finish_s = sim.now
         return self.stats

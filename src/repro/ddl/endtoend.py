@@ -21,7 +21,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..baselines.registry import run_allreduce
+from ..baselines.registry import get as get_collective
 from ..compression.base import Compressor, IdentityCompressor
 from ..compression.error_feedback import ErrorFeedback
 from ..netsim.cluster import Cluster, ClusterSpec
@@ -132,10 +132,11 @@ class EndToEndRun:
 
             # The aggregation really goes over the simulated network: the
             # optimizer uses the collective's output tensor.
-            result = run_allreduce(
-                self.algorithm, self._cluster, contributions,
-                **self.algorithm_options,
-            )
+            collective = get_collective(self.algorithm)
+            result = collective.prepare(
+                self._cluster,
+                collective.options_from_kwargs(**self.algorithm_options),
+            ).allreduce(contributions)
             aggregated = result.output / workers
 
             self._velocity = self.momentum * self._velocity + aggregated

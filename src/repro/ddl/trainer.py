@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..baselines.registry import run_allreduce
+from ..baselines.registry import get as get_collective
 from ..compression.base import Compressor
 from ..core.hierarchical import HierarchicalAllReduce
 from ..core.config import OmniReduceConfig
@@ -126,9 +126,10 @@ class TrainingSimulator:
                 if compressor is not None:
                     tensors = [compressor.compress(t) for t in tensors]
                 cluster = Cluster(spec)
-                result = run_allreduce(
-                    algorithm, cluster, tensors, **algorithm_options
-                )
+                collective = get_collective(algorithm)
+                result = collective.prepare(
+                    cluster, collective.options_from_kwargs(**algorithm_options)
+                ).allreduce(tensors)
                 times.append(result.time_s)
             return float(np.mean(times))
 

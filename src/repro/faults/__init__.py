@@ -1,0 +1,28 @@
+"""Pluggable fault injection and failure recovery.
+
+Declare what should go wrong with a :class:`FaultPlan` (bursty loss,
+link degradation windows, stragglers, aggregator crashes), hand it to
+:class:`~repro.netsim.cluster.Cluster`, and the collective runners
+inject the faults and recover from them -- reporting what happened via
+:class:`FaultEvent` records, fault/recovery counters on
+:class:`~repro.core.collective.CollectiveResult`, and a
+:class:`StalenessReport` when a deadline forces a partial result.
+"""
+
+from .models import (
+    AggregatorCrash,
+    FaultEvent,
+    FaultPlan,
+    LinkDegradation,
+    StalenessReport,
+    StragglerSchedule,
+)
+
+__all__ = [
+    "AggregatorCrash",
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDegradation",
+    "StalenessReport",
+    "StragglerSchedule",
+]

@@ -1,0 +1,251 @@
+"""Composable fault models for the simulated testbed.
+
+A :class:`FaultPlan` bundles everything an experiment wants to go wrong:
+
+* a cluster-wide stochastic loss model (typically
+  :class:`~repro.netsim.loss.GilbertElliottLoss` for correlated bursts),
+* :class:`LinkDegradation` windows -- elevated loss on specific links
+  during specific time intervals,
+* :class:`StragglerSchedule` entries -- workers that join collectives
+  late and/or run with a slowed-down NIC,
+* :class:`AggregatorCrash` events -- an aggregator shard dies at a given
+  time into a collective and restarts (possibly on a failover shard's
+  host) after a delay.
+
+The plan is *declarative*: :class:`~repro.netsim.cluster.Cluster`
+composes the loss parts into its network loss model, and
+:class:`~repro.core.collective.OmniReduce` reads the straggler and crash
+parts to drive recovery (stream re-execution with slot reassignment,
+exponential-backoff retransmission, deadlines).  A plan whose every knob
+is at zero intensity (:meth:`FaultPlan.is_zero`) changes nothing -- the
+simulation is bit-identical to running without a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..netsim.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    LinkLoss,
+    LossModel,
+    NoLoss,
+    TimeWindowedLoss,
+)
+
+__all__ = [
+    "LinkDegradation",
+    "StragglerSchedule",
+    "AggregatorCrash",
+    "FaultPlan",
+    "FaultEvent",
+    "StalenessReport",
+]
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Elevated Bernoulli loss on matching links during a time window.
+
+    ``src``/``dst`` are host names (``worker-3``, ``agg-0``); ``None``
+    matches any host.  The window is in absolute simulated seconds.
+    """
+
+    loss_rate: float
+    start_s: float = 0.0
+    end_s: float = float("inf")
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.start_s < 0 or self.end_s < self.start_s:
+            raise ValueError(f"bad degradation window [{self.start_s}, {self.end_s})")
+
+
+@dataclass(frozen=True)
+class StragglerSchedule:
+    """One worker's compute skew: join each collective ``delay_s`` late,
+    and/or run its NIC at ``1/slowdown`` of the configured speed."""
+
+    worker: int
+    delay_s: float = 0.0
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker id must be non-negative")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1 (1 = no slowdown)")
+
+
+@dataclass(frozen=True)
+class AggregatorCrash:
+    """An aggregator shard fails ``time_s`` seconds into a collective.
+
+    All protocol state on the shard (slot accumulators, next tables,
+    versioned round state) is lost; in-flight packets to and from it are
+    eaten.  The shard restarts ``restart_delay_s`` later -- on its own
+    host, or on ``failover_shard``'s host when slot reassignment to a
+    healthy aggregator is desired -- and the affected streams re-execute
+    from their pristine contributions.
+    """
+
+    shard: int
+    time_s: float
+    restart_delay_s: float = 100e-6
+    failover_shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError("shard must be non-negative")
+        if self.time_s < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.restart_delay_s < 0:
+            raise ValueError("restart_delay_s must be non-negative")
+        if self.failover_shard is not None and self.failover_shard < 0:
+            raise ValueError("failover_shard must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A bundle of fault injections applied to one cluster.
+
+    ``loss`` applies cluster-wide on lossy transports (datagram/TCP
+    sends); the RDMA transport models a lossless RC fabric and bypasses
+    loss models entirely, but still participates in crash and straggler
+    faults.  Crash times are relative to each collective's start, so a
+    training loop re-injects the crash every iteration.
+    """
+
+    loss: Optional[LossModel] = None
+    link_degradations: Tuple[LinkDegradation, ...] = ()
+    stragglers: Tuple[StragglerSchedule, ...] = ()
+    aggregator_crashes: Tuple[AggregatorCrash, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomics; store tuples (the plan is frozen).
+        object.__setattr__(self, "link_degradations", tuple(self.link_degradations))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "aggregator_crashes", tuple(self.aggregator_crashes))
+
+    # -- intensity ---------------------------------------------------------
+
+    def active(self) -> bool:
+        """True when any component can actually perturb the simulation."""
+        if self.aggregator_crashes:
+            return True
+        if any(d.loss_rate > 0.0 for d in self.link_degradations):
+            return True
+        if any(s.delay_s > 0.0 or s.slowdown != 1.0 for s in self.stragglers):
+            return True
+        return self._loss_active()
+
+    def _loss_active(self) -> bool:
+        if self.loss is None or isinstance(self.loss, NoLoss):
+            return False
+        if isinstance(self.loss, BernoulliLoss):
+            return self.loss.rate > 0.0
+        if isinstance(self.loss, GilbertElliottLoss):
+            return self.loss.stationary_loss_rate() > 0.0
+        return True  # unknown model: assume it bites
+
+    def is_zero(self) -> bool:
+        """True when every fault model is at zero intensity."""
+        return not self.active()
+
+    # -- composition hooks (consumed by Cluster / OmniReduce) --------------
+
+    def compose_loss(self, sim, base: LossModel) -> LossModel:
+        """Stack the plan's loss components on top of ``base``."""
+        parts = []
+        if base is not None and not isinstance(base, NoLoss):
+            parts.append(base)
+        if self.loss is not None and not isinstance(self.loss, NoLoss):
+            parts.append(self.loss)
+        for i, deg in enumerate(self.link_degradations):
+            if deg.loss_rate <= 0.0:
+                continue
+            inner: LossModel = BernoulliLoss(
+                deg.loss_rate, np.random.default_rng(self.seed + 104729 + i)
+            )
+            if deg.src is not None or deg.dst is not None:
+                inner = LinkLoss(inner, src=deg.src, dst=deg.dst)
+            if deg.start_s > 0.0 or deg.end_s != float("inf"):
+                inner = TimeWindowedLoss(sim, inner, deg.start_s, deg.end_s)
+            parts.append(inner)
+        if not parts:
+            return base if base is not None else NoLoss()
+        if len(parts) == 1:
+            return parts[0]
+        return CompositeLoss(parts)
+
+    def worker_delay_s(self, worker_id: int) -> float:
+        return sum(s.delay_s for s in self.stragglers if s.worker == worker_id)
+
+    def worker_slowdown(self, worker_id: int) -> float:
+        factor = 1.0
+        for s in self.stragglers:
+            if s.worker == worker_id:
+                factor *= s.slowdown
+        return factor
+
+
+@dataclass
+class FaultEvent:
+    """One fault's lifecycle as observed by the collective runner.
+
+    ``recovery_latency_s`` is fault-to-recovered: how long the collective
+    spent re-executing the affected streams, including the restart delay.
+    ``recovered_s`` stays ``None`` when recovery never completed (e.g. a
+    deadline expired first).
+    """
+
+    kind: str
+    time_s: float
+    shard: int = -1
+    failover_shard: Optional[int] = None
+    streams: Tuple[int, ...] = ()
+    restart_s: Optional[float] = None
+    recovered_s: Optional[float] = None
+
+    @property
+    def recovery_latency_s(self) -> Optional[float]:
+        if self.recovered_s is None:
+            return None
+        return self.recovered_s - self.time_s
+
+
+@dataclass
+class StalenessReport:
+    """What is missing from a partial result returned at deadline expiry.
+
+    ``pending_blocks`` counts listed (non-zero) blocks the named workers
+    had not yet transmitted when the deadline fired -- an explicit upper
+    bound on how much of the reduction is stale.  Completed streams'
+    results are exact; incomplete streams hold each worker's own
+    contribution for the unaggregated blocks.
+    """
+
+    deadline_s: float
+    expired_at_s: float
+    incomplete_streams: Tuple[int, ...] = ()
+    incomplete_workers: Tuple[int, ...] = ()
+    pending_blocks: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"deadline {self.deadline_s:.6f}s expired at t={self.expired_at_s:.6f}s: "
+            f"{len(self.incomplete_streams)} stream(s) incomplete on "
+            f"worker(s) {list(self.incomplete_workers)}, "
+            f"{self.pending_blocks} block(s) never transmitted"
+        )

@@ -14,6 +14,7 @@ from .kernel import (
     AllOf,
     DeadlockError,
     Event,
+    Interrupt,
     Process,
     Queue,
     Signal,
@@ -21,7 +22,17 @@ from .kernel import (
     Simulator,
     Timeout,
 )
-from .loss import BernoulliLoss, BurstLoss, DeterministicLoss, LossModel, NoLoss
+from .loss import (
+    BernoulliLoss,
+    BurstLoss,
+    CompositeLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LinkLoss,
+    LossModel,
+    NoLoss,
+    TimeWindowedLoss,
+)
 from .network import Host, HostConfig, Network, NetworkStats, gbps
 from .packet import (
     DATAGRAM_HEADER_BYTES,
@@ -34,7 +45,7 @@ from .packet import (
 )
 from .crosstraffic import CrossTrafficGenerator
 from .topology import LeafSpineTopology
-from .trace import PacketTracer, TraceEvent, attach_tracer
+from .trace import FaultLog, FaultRecord, PacketTracer, TraceEvent, attach_tracer
 from .transport import DatagramTransport, Endpoint, RdmaTransport, TcpTransport, Transport
 
 __all__ = [
@@ -47,6 +58,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "DeadlockError",
+    "Interrupt",
     "Packet",
     "Host",
     "HostConfig",
@@ -57,6 +69,10 @@ __all__ = [
     "NoLoss",
     "BernoulliLoss",
     "BurstLoss",
+    "GilbertElliottLoss",
+    "CompositeLoss",
+    "TimeWindowedLoss",
+    "LinkLoss",
     "DeterministicLoss",
     "Transport",
     "Endpoint",
@@ -68,6 +84,8 @@ __all__ = [
     "PacketTracer",
     "TraceEvent",
     "attach_tracer",
+    "FaultRecord",
+    "FaultLog",
     "CrossTrafficGenerator",
     "LeafSpineTopology",
     "TRANSPORTS",

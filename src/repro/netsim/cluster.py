@@ -24,6 +24,7 @@ import numpy as np
 from .kernel import Simulator
 from .loss import BernoulliLoss, LossModel, NoLoss
 from .network import Host, HostConfig, Network, gbps
+from .trace import FaultLog
 from .transport import DatagramTransport, RdmaTransport, TcpTransport, Transport
 
 __all__ = ["ClusterSpec", "Cluster", "TRANSPORTS"]
@@ -114,13 +115,24 @@ class Cluster:
         spec: ClusterSpec,
         loss: Optional[LossModel] = None,
         topology=None,
+        faults=None,
     ) -> None:
         """``topology`` (e.g.
         :class:`~repro.netsim.topology.LeafSpineTopology`) replaces the
         default full-bisection fabric; hosts join racks in construction
-        order (workers first, then aggregators)."""
+        order (workers first, then aggregators).
+
+        ``faults`` (a :class:`~repro.faults.FaultPlan`) layers fault
+        injection onto the testbed: its loss components stack on top of
+        ``loss``/``spec.loss_rate``, straggler slowdowns scale worker NIC
+        speeds, and the collective runners read the crash/straggler/
+        deadline parts to drive recovery.  Injected faults and recovery
+        actions are appended to :attr:`fault_log`.
+        """
         self.spec = spec
         self.sim = Simulator()
+        self.faults = faults
+        self.fault_log = FaultLog()
         if loss is None:
             if spec.loss_rate > 0:
                 loss = BernoulliLoss(
@@ -128,6 +140,8 @@ class Cluster:
                 )
             else:
                 loss = NoLoss()
+        if faults is not None:
+            loss = faults.compose_loss(self.sim, loss)
         self.network = Network(
             self.sim, latency_s=spec.latency_s, loss=loss, topology=topology
         )
@@ -144,6 +158,8 @@ class Cluster:
         for i in range(spec.workers):
             name = f"worker-{i}"
             bandwidth = spec.worker_bandwidth(i)
+            if faults is not None:
+                bandwidth /= faults.worker_slowdown(i)
             if bandwidth == spec.bandwidth_gbps:
                 config_i = host_config
             else:

@@ -38,6 +38,7 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "DeadlockError",
+    "Interrupt",
 ]
 
 #: Type of a process body: a generator that yields events.
@@ -51,6 +52,21 @@ class SimulationError(RuntimeError):
 class DeadlockError(SimulationError):
     """Raised by :meth:`Simulator.run` when processes remain blocked but
     no future event can unblock them."""
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    Fault injection uses this to kill simulated components mid-protocol
+    (an aggregator crash takes its slot processes down with it).  A
+    process may catch the interrupt to clean up -- ``try/finally`` around
+    the protocol loop is the usual shape -- or let it propagate, which
+    terminates the process with a return value of ``None``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
 
 
 class Event:
@@ -195,15 +211,22 @@ class Process(Event):
     processes.
     """
 
-    __slots__ = ("body", "name")
+    __slots__ = ("body", "name", "_interrupting")
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
         super().__init__(sim)
         self.body = body
         self.name = name or getattr(body, "__name__", "process")
+        self._interrupting = False
         sim.call_at(sim.now, self._resume, _INIT)
 
     def _resume(self, event_or_init: Any) -> None:
+        if self._triggered:
+            # Stale wakeup: the process was interrupted (or finished)
+            # while this callback sat in the heap -- e.g. a mailbox item
+            # delivered to a getter of a crashed component.  The item is
+            # silently consumed, modelling a dead host eating the packet.
+            return
         if event_or_init is _INIT:
             send_value = None
         else:
@@ -213,6 +236,40 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        No-op on a process that already finished (or is already being
+        interrupted), so fault injectors need not track liveness.  Any
+        event the process was waiting on is left in place; when it later
+        fires, the wakeup is discarded by the ``_triggered`` guard in
+        :meth:`_resume`.
+        """
+        if self._triggered or self._interrupting:
+            return
+        self._interrupting = True
+        self.sim.call_at(self.sim.now, self._throw, cause)
+
+    def _throw(self, cause: Any) -> None:
+        if self._triggered:
+            return
+        try:
+            target = self.body.throw(Interrupt(cause))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            self.succeed(None)
+            return
+        # The process caught the interrupt and yielded a new event:
+        # it keeps running (cleanup protocols may do this).
+        self._interrupting = False
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"

@@ -15,7 +15,17 @@ import numpy as np
 
 from .packet import Packet
 
-__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "BurstLoss", "DeterministicLoss"]
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+    "CompositeLoss",
+    "TimeWindowedLoss",
+    "LinkLoss",
+]
 
 
 class LossModel:
@@ -100,6 +110,169 @@ class BurstLoss(LossModel):
         self._bad = False
         self.dropped = 0
         self.seen = 0
+
+
+class GilbertElliottLoss(LossModel):
+    """The full Gilbert-Elliott channel: two-state Markov loss with a
+    per-state drop probability.
+
+    :class:`BurstLoss` is the classic Gilbert special case (the bad
+    state drops everything); this general form also drops packets in the
+    good state (``loss_good``, residual loss) and lets the bad state
+    pass some (``loss_bad < 1``), which is how the model is usually
+    fitted to real traces.  The closed-form stationary loss rate makes
+    sweeps over *average* loss intensity straightforward: pick the burst
+    shape via the transition probabilities, then verify the long-run
+    rate with :meth:`stationary_loss_rate`.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_bad: float = 1.0,
+        loss_good: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_bad", loss_bad),
+            ("loss_good", loss_good),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_bad = loss_bad
+        self.loss_good = loss_good
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._bad = False
+        self.dropped = 0
+        self.seen = 0
+
+    @classmethod
+    def from_stationary_rate(
+        cls,
+        rate: float,
+        mean_burst_packets: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GilbertElliottLoss":
+        """Build a Gilbert channel whose long-run loss rate is ``rate``
+        and whose loss bursts last ``mean_burst_packets`` on average."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"stationary rate must be in [0, 1), got {rate}")
+        if mean_burst_packets < 1.0:
+            raise ValueError("mean burst length must be >= 1 packet")
+        p_bad_to_good = 1.0 / mean_burst_packets
+        # pi_bad = p_gb / (p_gb + p_bg) = rate  =>  p_gb = rate*p_bg/(1-rate)
+        p_good_to_bad = rate * p_bad_to_good / (1.0 - rate)
+        return cls(min(1.0, p_good_to_bad), p_bad_to_good, rng=rng)
+
+    def stationary_loss_rate(self) -> float:
+        """Long-run fraction of packets dropped (Markov-chain stationary
+        distribution weighted by the per-state drop probabilities)."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            pi_bad = 0.0  # the chain never leaves its initial good state
+        else:
+            pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def should_drop(self, packet: Packet) -> bool:
+        self.seen += 1
+        if self._bad:
+            if self.rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self._bad = True
+        loss_p = self.loss_bad if self._bad else self.loss_good
+        drop = loss_p > 0.0 and bool(self.rng.random() < loss_p)
+        if drop:
+            self.dropped += 1
+        return drop
+
+    def reset(self) -> None:
+        self._bad = False
+        self.dropped = 0
+        self.seen = 0
+
+
+class CompositeLoss(LossModel):
+    """Union of several loss models: a packet drops when *any* component
+    drops it.
+
+    Every component sees every packet even after one has already decided
+    to drop -- stateful models (Gilbert-Elliott chains) must keep
+    advancing on the full packet sequence or their loss statistics would
+    depend on the evaluation order of unrelated components.
+    """
+
+    def __init__(self, models) -> None:
+        self.models = list(models)
+        if not self.models:
+            raise ValueError("CompositeLoss needs at least one component")
+
+    def should_drop(self, packet: Packet) -> bool:
+        drop = False
+        for model in self.models:
+            if model.should_drop(packet):
+                drop = True
+        return drop
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+
+class TimeWindowedLoss(LossModel):
+    """Apply ``inner`` only while the simulated clock is inside
+    ``[start_s, end_s)`` -- a degradation window.  Outside the window
+    packets pass and the inner model is not consulted (its Markov state
+    freezes, like a link whose impairment has cleared)."""
+
+    def __init__(self, sim, inner: LossModel, start_s: float = 0.0,
+                 end_s: float = float("inf")) -> None:
+        if start_s < 0 or end_s < start_s:
+            raise ValueError(f"bad window [{start_s}, {end_s})")
+        self.sim = sim
+        self.inner = inner
+        self.start_s = start_s
+        self.end_s = end_s
+
+    def should_drop(self, packet: Packet) -> bool:
+        if not (self.start_s <= self.sim.now < self.end_s):
+            return False
+        return self.inner.should_drop(packet)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class LinkLoss(LossModel):
+    """Apply ``inner`` only to packets on matching links.
+
+    ``src``/``dst`` are host names; ``None`` matches any host, so a
+    single endpoint can be degraded in one direction, both directions
+    (two instances), or toward everyone.
+    """
+
+    def __init__(self, inner: LossModel, src: Optional[str] = None,
+                 dst: Optional[str] = None) -> None:
+        self.inner = inner
+        self.src = src
+        self.dst = dst
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self.src is not None and packet.src != self.src:
+            return False
+        if self.dst is not None and packet.dst != self.dst:
+            return False
+        return self.inner.should_drop(packet)
+
+    def reset(self) -> None:
+        self.inner.reset()
 
 
 class DeterministicLoss(LossModel):

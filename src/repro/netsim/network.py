@@ -97,6 +97,7 @@ class NetworkStats:
         self.packets_received: Dict[str, int] = defaultdict(int)
         self.packets_dropped: Dict[str, int] = defaultdict(int)
         self.flow_bytes: Dict[str, int] = defaultdict(int)
+        self.flow_packets_dropped: Dict[str, int] = defaultdict(int)
 
     @property
     def total_bytes_sent(self) -> int:
@@ -114,6 +115,7 @@ class NetworkStats:
             self.packets_received,
             self.packets_dropped,
             self.flow_bytes,
+            self.flow_packets_dropped,
         ):
             counter.clear()
 
@@ -193,6 +195,8 @@ class Network:
         wire_arrival = core_exit + self.latency_s
         if lossy and self.loss.should_drop(packet):
             self.stats.packets_dropped[packet.src] += 1
+            if packet.flow:
+                self.stats.flow_packets_dropped[packet.flow] += 1
             if on_drop is not None:
                 sim.call_at(wire_arrival, on_drop, packet)
             return

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from .network import Network
 from .packet import Packet
 
-__all__ = ["TraceEvent", "PacketTracer", "attach_tracer"]
+__all__ = ["TraceEvent", "PacketTracer", "attach_tracer", "FaultRecord", "FaultLog"]
 
 #: Event kinds recorded by the tracer.
 SENT = "sent"
@@ -124,6 +124,43 @@ class PacketTracer:
         if sent == 0:
             return 0.0
         return len(self.of_kind(DROPPED)) / sent
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected-fault lifecycle event (crash, restart, recovery,
+    degradation window edge, ...)."""
+
+    time_s: float
+    kind: str
+    detail: Dict[str, float]
+
+
+class FaultLog:
+    """Timeline of injected faults and the recovery actions they caused.
+
+    The cluster owns one; the fault injectors and the collective runner
+    append to it, giving experiments a single place to correlate "what
+    was injected" with "what the protocol did about it" -- the fault
+    counterpart of :class:`PacketTracer`.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[FaultRecord] = []
+
+    def record(self, time_s: float, kind: str, **detail: float) -> FaultRecord:
+        entry = FaultRecord(time_s=time_s, kind=kind, detail=dict(detail))
+        self.records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> List[FaultRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
 
 
 def attach_tracer(network: Network) -> PacketTracer:

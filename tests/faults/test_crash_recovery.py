@@ -1,0 +1,176 @@
+"""Aggregator crash, slot reassignment, and exact recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.collective import OmniReduce
+from repro.core.config import OmniReduceConfig
+from repro.faults import AggregatorCrash, FaultPlan
+from repro.netsim.cluster import Cluster, ClusterSpec
+from repro.netsim.kernel import Interrupt, Simulator
+from repro.tensors import block_sparse_tensors
+
+pytestmark = pytest.mark.faults
+
+WORKERS = 4
+
+
+def _tensors(elements=16384, seed=0):
+    return block_sparse_tensors(
+        WORKERS, elements, 256, 0.9, rng=np.random.default_rng(seed)
+    )
+
+
+def _spec(transport="rdma", **kw):
+    return ClusterSpec(
+        workers=WORKERS, aggregators=WORKERS, transport=transport, **kw
+    )
+
+
+def _crash_plan(shard=0, time_s=50e-6, failover=None):
+    return FaultPlan(aggregator_crashes=(
+        AggregatorCrash(shard=shard, time_s=time_s, restart_delay_s=100e-6,
+                        failover_shard=failover),
+    ))
+
+
+class TestProcessInterrupt:
+    def test_interrupt_terminates_process(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append("start")
+            yield sim.timeout(10.0)
+            log.append("unreachable")
+
+        proc = sim.spawn(body())
+
+        def killer():
+            yield sim.timeout(1.0)
+            proc.interrupt("crash")
+
+        sim.spawn(killer())
+        sim.run(until=proc)
+        assert log == ["start"]
+        assert proc.triggered
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_can_be_caught(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as exc:
+                log.append(exc.cause)
+                yield sim.timeout(1.0)
+            log.append("resumed")
+
+        proc = sim.spawn(body())
+
+        def killer():
+            yield sim.timeout(2.0)
+            proc.interrupt("restart")
+
+        sim.spawn(killer())
+        sim.run(until=proc)
+        assert log == ["restart", "resumed"]
+        assert sim.now == pytest.approx(3.0)
+
+
+class TestCrashRecovery:
+    def test_crash_with_failover_is_bit_identical(self):
+        """Deterministic mode: recovery reproduces the exact bits."""
+        tensors = _tensors()
+        config = OmniReduceConfig(deterministic=True)
+        baseline = OmniReduce(Cluster(_spec()), config).allreduce(tensors)
+        crashed = OmniReduce(
+            Cluster(_spec(), faults=_crash_plan(failover=1)), config
+        ).allreduce(tensors)
+        assert crashed.complete
+        assert np.array_equal(crashed.output, baseline.output)
+        assert crashed.recovery_events == 1
+        assert crashed.time_s > baseline.time_s
+
+    def test_crash_restart_same_shard(self):
+        tensors = _tensors()
+        expected = np.sum(tensors, axis=0)
+        result = OmniReduce(
+            Cluster(_spec(), faults=_crash_plan())
+        ).allreduce(tensors)
+        assert result.complete
+        np.testing.assert_allclose(result.output, expected, rtol=1e-5)
+        assert result.recovery_events == 1
+
+    def test_fault_event_reporting(self):
+        cluster = Cluster(_spec(), faults=_crash_plan(shard=2, failover=3))
+        result = OmniReduce(cluster).allreduce(_tensors())
+        assert len(result.fault_events) == 1
+        event = result.fault_events[0]
+        assert event.kind == "aggregator-crash"
+        assert event.shard == 2
+        assert event.failover_shard == 3
+        assert event.streams  # at least one stream was in flight
+        assert event.restart_s is not None
+        assert event.recovered_s is not None
+        assert event.recovery_latency_s > 0
+        assert result.details["recovery_latency_s"] == pytest.approx(
+            event.recovery_latency_s
+        )
+
+    def test_fault_log_records_lifecycle(self):
+        cluster = Cluster(_spec(), faults=_crash_plan())
+        OmniReduce(cluster).allreduce(_tensors())
+        kinds = [record.kind for record in cluster.fault_log.records]
+        assert kinds == ["aggregator-crash", "aggregator-restart", "recovered"]
+        crash, restart, _ = cluster.fault_log.records
+        assert restart.time_s == pytest.approx(crash.time_s + 100e-6)
+
+    def test_crash_on_lossy_transport_stays_exact(self):
+        """Loss recovery and crash recovery compose: the result is still
+        the numerically exact sum."""
+        tensors = _tensors()
+        expected = np.sum(tensors, axis=0)
+        plan = _crash_plan(failover=1)
+        cluster = Cluster(_spec(transport="dpdk", loss_rate=0.01), faults=plan)
+        result = OmniReduce(
+            cluster, OmniReduceConfig(timeout_s=300e-6)
+        ).allreduce(tensors)
+        assert result.complete
+        np.testing.assert_allclose(result.output, expected, rtol=1e-5)
+        assert result.recovery_events == 1
+        assert result.retransmissions > 0
+        assert result.timeouts_fired > 0
+
+    def test_crash_after_completion_is_harmless(self):
+        tensors = _tensors()
+        baseline = OmniReduce(Cluster(_spec())).allreduce(tensors)
+        late = FaultPlan(aggregator_crashes=(
+            AggregatorCrash(shard=0, time_s=baseline.time_s * 10),
+        ))
+        result = OmniReduce(Cluster(_spec(), faults=late)).allreduce(tensors)
+        assert result.complete
+        assert np.array_equal(result.output, baseline.output)
+        assert result.recovery_events == 0
+
+
+class TestBackoff:
+    def test_exponential_backoff_reduces_retransmissions(self):
+        tensors = _tensors()
+        spec = _spec(transport="dpdk", loss_rate=0.02)
+        fixed = OmniReduce(
+            Cluster(spec), OmniReduceConfig(timeout_s=100e-6)
+        ).allreduce(tensors)
+        backed = OmniReduce(
+            Cluster(spec),
+            OmniReduceConfig(
+                timeout_s=100e-6, backoff_factor=2.0, timeout_max_s=1e-3
+            ),
+        ).allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        np.testing.assert_allclose(backed.output, expected, rtol=1e-5)
+        # Growing timers fire no more often than the fixed Alg. 2 timer.
+        assert backed.timeouts_fired <= fixed.timeouts_fired
+        assert backed.details["max_backoff_timeout_s"] >= 100e-6

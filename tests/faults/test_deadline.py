@@ -1,0 +1,112 @@
+"""Deadline expiry: graceful degradation with an explicit staleness report."""
+
+import numpy as np
+import pytest
+
+from repro.core.collective import OmniReduce
+from repro.core.config import OmniReduceConfig
+from repro.faults import FaultPlan, StalenessReport, StragglerSchedule
+from repro.netsim.cluster import Cluster, ClusterSpec
+from repro.tensors import block_sparse_tensors
+
+pytestmark = pytest.mark.faults
+
+WORKERS = 4
+
+
+def _tensors(elements=16384, seed=0):
+    return block_sparse_tensors(
+        WORKERS, elements, 256, 0.9, rng=np.random.default_rng(seed)
+    )
+
+
+def _spec():
+    return ClusterSpec(workers=WORKERS, aggregators=WORKERS, transport="rdma")
+
+
+def _straggler_plan(delay_s=5e-3):
+    return FaultPlan(stragglers=(
+        StragglerSchedule(worker=0, delay_s=delay_s),
+    ))
+
+
+class TestDeadlineExpiry:
+    def test_tight_deadline_returns_partial_result(self):
+        tensors = _tensors()
+        cluster = Cluster(_spec(), faults=_straggler_plan())
+        result = OmniReduce(
+            cluster, OmniReduceConfig(deadline_s=1e-3)
+        ).allreduce(tensors)
+        assert not result.complete
+        assert isinstance(result.staleness, StalenessReport)
+        report = result.staleness
+        assert report.deadline_s == pytest.approx(1e-3)
+        assert report.expired_at_s >= report.deadline_s
+        # The straggler (worker 0) never contributed before expiry, so
+        # every slot is still waiting on it and no block aggregated.
+        assert 0 in report.incomplete_workers
+        assert report.incomplete_streams
+        full = np.sum(tensors, axis=0)
+        assert not np.allclose(result.output, full, rtol=1e-5)
+
+    def test_mid_collective_expiry_keeps_completed_blocks_exact(self):
+        """A deadline landing mid-collective yields a genuinely partial
+        result: blocks that finished aggregating carry the exact sum."""
+        tensors = _tensors(elements=65536)
+        spec = ClusterSpec(
+            workers=WORKERS, aggregators=WORKERS,
+            transport="rdma", bandwidth_gbps=1.0,
+        )
+        baseline = OmniReduce(Cluster(spec)).allreduce(tensors)
+        deadline = baseline.time_s / 2
+        result = OmniReduce(
+            Cluster(spec, faults=FaultPlan(stragglers=(
+                StragglerSchedule(worker=0, slowdown=3.0),
+            ))),
+            OmniReduceConfig(deadline_s=deadline),
+        ).allreduce(tensors)
+        assert not result.complete
+        assert result.staleness is not None
+        # Wherever the partial output matches the full sum, the blocks
+        # aggregated exactly; at least some must differ (incomplete).
+        full = np.sum(tensors, axis=0)
+        assert not np.array_equal(result.output, full)
+
+    def test_deadline_caps_measured_time(self):
+        cluster = Cluster(_spec(), faults=_straggler_plan(delay_s=50e-3))
+        result = OmniReduce(
+            cluster, OmniReduceConfig(deadline_s=1e-3)
+        ).allreduce(_tensors())
+        assert result.time_s == pytest.approx(1e-3, rel=0.01)
+
+    def test_fault_log_records_expiry(self):
+        cluster = Cluster(_spec(), faults=_straggler_plan())
+        OmniReduce(cluster, OmniReduceConfig(deadline_s=1e-3)).allreduce(
+            _tensors()
+        )
+        assert cluster.fault_log.of_kind("deadline-expired")
+
+    def test_generous_deadline_completes_normally(self):
+        tensors = _tensors()
+        baseline = OmniReduce(Cluster(_spec())).allreduce(tensors)
+        result = OmniReduce(
+            Cluster(_spec()), OmniReduceConfig(deadline_s=10.0)
+        ).allreduce(tensors)
+        assert result.complete
+        assert result.staleness is None
+        assert np.array_equal(result.output, baseline.output)
+        assert result.time_s == baseline.time_s
+
+    def test_staleness_report_renders(self):
+        cluster = Cluster(_spec(), faults=_straggler_plan())
+        result = OmniReduce(
+            cluster, OmniReduceConfig(deadline_s=1e-3)
+        ).allreduce(_tensors())
+        text = str(result.staleness)
+        assert "deadline" in text
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            OmniReduceConfig(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            OmniReduceConfig(deadline_s=-1.0)

@@ -1,0 +1,196 @@
+"""FaultPlan composition and the zero-fault identity guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.core.collective import OmniReduce
+from repro.core.config import OmniReduceConfig
+from repro.faults import (
+    AggregatorCrash,
+    FaultPlan,
+    LinkDegradation,
+    StragglerSchedule,
+)
+from repro.netsim.cluster import Cluster, ClusterSpec
+from repro.netsim.kernel import Simulator
+from repro.netsim.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    NoLoss,
+)
+from repro.tensors import block_sparse_tensors
+
+pytestmark = pytest.mark.faults
+
+
+def _tensors(workers=4, elements=16384, seed=0):
+    return block_sparse_tensors(
+        workers, elements, 256, 0.9, rng=np.random.default_rng(seed)
+    )
+
+
+def _spec(transport="rdma", workers=4):
+    return ClusterSpec(workers=workers, aggregators=workers, transport=transport)
+
+
+class TestPlanClassification:
+    def test_empty_plan_is_zero(self):
+        plan = FaultPlan()
+        assert plan.is_zero()
+        assert not plan.active()
+
+    def test_zero_intensity_components_stay_zero(self):
+        plan = FaultPlan(
+            loss=NoLoss(),
+            link_degradations=(LinkDegradation(loss_rate=0.0),),
+            stragglers=(StragglerSchedule(worker=0),),
+        )
+        assert plan.is_zero()
+
+    def test_crash_activates(self):
+        plan = FaultPlan(
+            aggregator_crashes=(AggregatorCrash(shard=0, time_s=1e-4),)
+        )
+        assert plan.active()
+
+    def test_nonzero_loss_activates(self):
+        assert FaultPlan(loss=BernoulliLoss(0.01)).active()
+        assert FaultPlan(
+            loss=GilbertElliottLoss.from_stationary_rate(0.01)
+        ).active()
+        assert not FaultPlan(loss=BernoulliLoss(0.0)).active()
+
+    def test_straggler_activates(self):
+        assert FaultPlan(
+            stragglers=(StragglerSchedule(worker=0, delay_s=1e-3),)
+        ).active()
+        assert FaultPlan(
+            stragglers=(StragglerSchedule(worker=0, slowdown=2.0),)
+        ).active()
+
+
+class TestPlanValidation:
+    def test_link_degradation_bounds(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkDegradation(loss_rate=0.1, start_s=2.0, end_s=1.0)
+
+    def test_straggler_bounds(self):
+        with pytest.raises(ValueError):
+            StragglerSchedule(worker=0, delay_s=-1.0)
+        with pytest.raises(ValueError):
+            StragglerSchedule(worker=0, slowdown=0.5)
+
+    def test_crash_bounds(self):
+        with pytest.raises(ValueError):
+            AggregatorCrash(shard=-1, time_s=1e-4)
+        with pytest.raises(ValueError):
+            AggregatorCrash(shard=0, time_s=-1.0)
+
+    def test_crash_shard_checked_against_cluster(self):
+        plan = FaultPlan(
+            aggregator_crashes=(AggregatorCrash(shard=9, time_s=1e-4),)
+        )
+        cluster = Cluster(_spec(), faults=plan)
+        with pytest.raises(ValueError):
+            OmniReduce(cluster).allreduce(_tensors())
+
+
+class TestComposeLoss:
+    def test_zero_plan_returns_base_unchanged(self):
+        base = BernoulliLoss(0.01)
+        assert FaultPlan().compose_loss(Simulator(), base) is base
+
+    def test_plan_loss_stacks_on_base(self):
+        base = BernoulliLoss(0.01)
+        plan = FaultPlan(loss=GilbertElliottLoss.from_stationary_rate(0.01))
+        composed = plan.compose_loss(Simulator(), base)
+        assert isinstance(composed, CompositeLoss)
+        assert base in composed.models
+
+    def test_worker_delay_and_slowdown_accumulate(self):
+        plan = FaultPlan(stragglers=(
+            StragglerSchedule(worker=1, delay_s=1e-3, slowdown=2.0),
+            StragglerSchedule(worker=1, delay_s=5e-4, slowdown=1.5),
+        ))
+        assert plan.worker_delay_s(1) == pytest.approx(1.5e-3)
+        assert plan.worker_slowdown(1) == pytest.approx(3.0)
+        assert plan.worker_delay_s(0) == 0.0
+        assert plan.worker_slowdown(0) == 1.0
+
+
+class TestZeroFaultIdentity:
+    def test_zero_plan_is_bit_identical_to_no_plan(self):
+        tensors = _tensors()
+        baseline = OmniReduce(Cluster(_spec())).allreduce(tensors)
+        with_plan = OmniReduce(
+            Cluster(_spec(), faults=FaultPlan())
+        ).allreduce(tensors)
+        assert with_plan.time_s == baseline.time_s
+        assert with_plan.bytes_sent == baseline.bytes_sent
+        assert np.array_equal(with_plan.output, baseline.output)
+        assert with_plan.complete and baseline.complete
+        assert with_plan.recovery_events == 0
+        assert with_plan.timeouts_fired == 0
+        assert with_plan.fault_events == []
+        assert with_plan.staleness is None
+
+    def test_zero_plan_identity_on_lossy_transport(self):
+        tensors = _tensors()
+        spec = _spec(transport="dpdk")
+        baseline = OmniReduce(Cluster(spec)).allreduce(tensors)
+        with_plan = OmniReduce(
+            Cluster(spec, faults=FaultPlan())
+        ).allreduce(tensors)
+        assert with_plan.time_s == baseline.time_s
+        assert with_plan.bytes_sent == baseline.bytes_sent
+        assert np.array_equal(with_plan.output, baseline.output)
+
+
+class TestRecoveryAutoSelection:
+    def test_active_plan_engages_recovery_on_rdma(self):
+        plan = FaultPlan(
+            aggregator_crashes=(AggregatorCrash(shard=0, time_s=50e-6),)
+        )
+        result = OmniReduce(Cluster(_spec(), faults=plan)).allreduce(_tensors())
+        assert result.details["recovery"] == 1.0
+
+    def test_inactive_plan_keeps_streaming_mode_on_rdma(self):
+        result = OmniReduce(
+            Cluster(_spec(), faults=FaultPlan())
+        ).allreduce(_tensors())
+        assert result.details["recovery"] == 0.0
+
+    def test_explicit_config_wins(self):
+        plan = FaultPlan(
+            stragglers=(StragglerSchedule(worker=0, delay_s=1e-4),)
+        )
+        result = OmniReduce(
+            Cluster(_spec(), faults=plan), OmniReduceConfig(recovery=False)
+        ).allreduce(_tensors())
+        assert result.details["recovery"] == 0.0
+
+
+class TestStragglers:
+    def test_start_delay_extends_completion(self):
+        tensors = _tensors()
+        base = OmniReduce(Cluster(_spec())).allreduce(tensors)
+        plan = FaultPlan(
+            stragglers=(StragglerSchedule(worker=0, delay_s=1e-3),)
+        )
+        slow = OmniReduce(Cluster(_spec(), faults=plan)).allreduce(tensors)
+        assert slow.time_s >= base.time_s + 1e-3
+        assert np.allclose(slow.output, base.output)
+
+    def test_slowdown_scales_worker_bandwidth(self):
+        plan = FaultPlan(
+            stragglers=(StragglerSchedule(worker=0, slowdown=4.0),)
+        )
+        cluster = Cluster(_spec(), faults=plan)
+        tensors = _tensors()
+        base = OmniReduce(Cluster(_spec())).allreduce(tensors)
+        slow = OmniReduce(cluster).allreduce(tensors)
+        assert slow.time_s > base.time_s
+        assert np.allclose(slow.output, base.output)

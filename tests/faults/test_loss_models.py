@@ -1,0 +1,191 @@
+"""Fault-model loss channels: Gilbert-Elliott, composition, windows."""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.netsim.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LinkLoss,
+    LossModel,
+    NoLoss,
+    TimeWindowedLoss,
+)
+from repro.netsim.packet import Packet
+
+pytestmark = pytest.mark.faults
+
+
+def _packet(src="w0", dst="a0"):
+    return Packet(src=src, dst=dst, payload=None, size_bytes=256)
+
+
+class CountingLoss(LossModel):
+    """Passes everything; counts how many packets it was consulted on."""
+
+    def __init__(self):
+        self.seen = 0
+
+    def should_drop(self, packet):
+        self.seen += 1
+        return False
+
+    def reset(self):
+        self.seen = 0
+
+
+class TestGilbertElliott:
+    def test_stationary_rate_closed_form(self):
+        ge = GilbertElliottLoss(p_good_to_bad=0.01, p_bad_to_good=0.25)
+        # pi_bad = p_gb / (p_gb + p_bg), bad state drops everything.
+        assert ge.stationary_loss_rate() == pytest.approx(0.01 / 0.26)
+
+    def test_stationary_rate_with_partial_state_losses(self):
+        ge = GilbertElliottLoss(0.1, 0.1, loss_bad=0.5, loss_good=0.01)
+        assert ge.stationary_loss_rate() == pytest.approx(
+            0.5 * 0.5 + 0.5 * 0.01
+        )
+
+    def test_from_stationary_rate_round_trip(self):
+        for rate in (1e-4, 1e-3, 1e-2, 0.1):
+            ge = GilbertElliottLoss.from_stationary_rate(
+                rate, mean_burst_packets=4.0
+            )
+            assert ge.stationary_loss_rate() == pytest.approx(rate)
+            # Mean sojourn in the bad state is 1/p_bad_to_good packets.
+            assert ge.p_bad_to_good == pytest.approx(0.25)
+
+    def test_empirical_rate_matches_stationary(self):
+        rate = 0.02
+        ge = GilbertElliottLoss.from_stationary_rate(
+            rate, mean_burst_packets=4.0, rng=np.random.default_rng(42)
+        )
+        n = 100_000
+        drops = sum(ge.should_drop(_packet()) for _ in range(n))
+        assert ge.seen == n
+        assert ge.dropped == drops
+        # Burst correlation widens the variance; 30% relative is ~5 sigma.
+        assert drops / n == pytest.approx(rate, rel=0.3)
+
+    def test_losses_are_bursty(self):
+        ge = GilbertElliottLoss.from_stationary_rate(
+            0.05, mean_burst_packets=8.0, rng=np.random.default_rng(7)
+        )
+        outcomes = [ge.should_drop(_packet()) for _ in range(50_000)]
+        runs, current = [], 0
+        for lost in outcomes:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        # Mean loss-run length tracks the configured burst length, far
+        # above the ~1.05 a Bernoulli channel at 5% would produce.
+        assert np.mean(runs) > 3.0
+
+    def test_reset_restores_good_state(self):
+        ge = GilbertElliottLoss(1.0, 0.0)  # jumps to bad and stays
+        assert ge.should_drop(_packet())
+        ge.reset()
+        assert ge.seen == 0 and ge.dropped == 0
+        assert not ge._bad
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.1, -0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss.from_stationary_rate(1.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss.from_stationary_rate(0.01, mean_burst_packets=0.5)
+
+
+class TestCompositeLoss:
+    def test_drops_when_any_component_drops(self):
+        always = DeterministicLoss(lambda p: True)
+        never = NoLoss()
+        assert CompositeLoss([never, always]).should_drop(_packet())
+        assert not CompositeLoss([never, NoLoss()]).should_drop(_packet())
+
+    def test_all_components_advance_even_after_a_drop(self):
+        always = DeterministicLoss(lambda p: True)
+        counter = CountingLoss()
+        composite = CompositeLoss([always, counter])
+        for _ in range(10):
+            assert composite.should_drop(_packet())
+        # The trailing model kept seeing packets; its Markov state (were
+        # it stateful) stays synchronized with the real packet sequence.
+        assert counter.seen == 10
+
+    def test_reset_propagates(self):
+        counter = CountingLoss()
+        composite = CompositeLoss([counter])
+        composite.should_drop(_packet())
+        composite.reset()
+        assert counter.seen == 0
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            CompositeLoss([])
+
+
+class TestTimeWindowedLoss:
+    def test_inner_only_consulted_inside_window(self):
+        sim = types.SimpleNamespace(now=0.0)
+        counter = CountingLoss()
+        windowed = TimeWindowedLoss(sim, counter, start_s=1.0, end_s=2.0)
+        assert not windowed.should_drop(_packet())  # before
+        assert counter.seen == 0
+        sim.now = 1.5
+        windowed.should_drop(_packet())  # inside
+        assert counter.seen == 1
+        sim.now = 2.0
+        assert not windowed.should_drop(_packet())  # end is exclusive
+        assert counter.seen == 1
+
+    def test_drops_inside_window(self):
+        sim = types.SimpleNamespace(now=0.5)
+        windowed = TimeWindowedLoss(
+            sim, DeterministicLoss(lambda p: True), start_s=0.0, end_s=1.0
+        )
+        assert windowed.should_drop(_packet())
+
+    def test_validation(self):
+        sim = types.SimpleNamespace(now=0.0)
+        with pytest.raises(ValueError):
+            TimeWindowedLoss(sim, NoLoss(), start_s=-1.0)
+        with pytest.raises(ValueError):
+            TimeWindowedLoss(sim, NoLoss(), start_s=2.0, end_s=1.0)
+
+
+class TestLinkLoss:
+    def test_matches_src_and_dst(self):
+        lossy = LinkLoss(DeterministicLoss(lambda p: True), src="w0", dst="a0")
+        assert lossy.should_drop(_packet("w0", "a0"))
+        assert not lossy.should_drop(_packet("w1", "a0"))
+        assert not lossy.should_drop(_packet("w0", "a1"))
+
+    def test_none_matches_any_host(self):
+        from_w0 = LinkLoss(DeterministicLoss(lambda p: True), src="w0")
+        assert from_w0.should_drop(_packet("w0", "a3"))
+        assert not from_w0.should_drop(_packet("w1", "a3"))
+        anywhere = LinkLoss(DeterministicLoss(lambda p: True))
+        assert anywhere.should_drop(_packet("x", "y"))
+
+    def test_inner_not_consulted_on_other_links(self):
+        counter = CountingLoss()
+        lossy = LinkLoss(counter, src="w0")
+        lossy.should_drop(_packet("w1", "a0"))
+        assert counter.seen == 0
+
+
+def test_bernoulli_zero_rate_never_drops():
+    loss = BernoulliLoss(0.0, rng=np.random.default_rng(0))
+    assert not any(loss.should_drop(_packet()) for _ in range(100))
