@@ -15,6 +15,7 @@ from .endtoend import (
     table1_workloads,
     table2_overlap_breakdown,
 )
+from .conformance import conformance
 from .faults import fault_recovery
 from .harness import ExperimentResult, format_table, sample_count, tensor_elements
 from .micro import (
@@ -58,5 +59,6 @@ __all__ = [
     "table2_overlap_breakdown",
     "model_validation",
     "ablation_streams",
+    "conformance",
     "fault_recovery",
 ]

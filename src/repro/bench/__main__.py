@@ -20,6 +20,7 @@ from typing import Callable, Dict
 
 from . import (
     ablation_streams,
+    conformance,
     fig01_scalability,
     fig04_dense_allreduce,
     fig05_rdma_methods,
@@ -69,6 +70,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table-2": table2_overlap_breakdown,
     "model-validation": model_validation,
     "ablation-streams": ablation_streams,
+    "conformance": conformance,
 }
 
 

@@ -1,0 +1,122 @@
+"""Conformance sweep: every registry algorithm against the dense oracle.
+
+``python -m repro.bench --experiment conformance`` runs the
+:mod:`repro.conformance` matrix -- all 12 registry algorithms crossed
+with sparsity patterns, plus OmniReduce's dtype/transport/fault axes --
+with the invariant monitors attached, and reports one row per
+algorithm.  A healthy tree reports zero oracle mismatches and zero
+invariant violations everywhere.
+
+The final rows run the test-only mutants (a corrupted result and a
+zero-block spammer) to prove the harness has teeth: each must be
+*caught*, and its failure is shrunk to a minimized seed-replay case
+whose one-command repro appears in the notes.
+
+``REPRO_CONFORMANCE_LEVEL=full`` widens the matrix (more worker counts,
+block sizes, seeds); the default ``smoke`` level is CI-sized.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List
+
+from ..conformance import (
+    ConformanceCase,
+    default_matrix,
+    minimize_case,
+    run_case,
+    sweep,
+)
+from .harness import ExperimentResult
+
+__all__ = ["conformance"]
+
+#: Mutants the experiment must catch, with the axes that expose them.
+_MUTANT_CASES = (
+    ConformanceCase(algorithm="omnireduce", mutant="broken-result"),
+    ConformanceCase(algorithm="omnireduce", mutant="zero-block-spam"),
+)
+
+
+def conformance() -> ExperimentResult:
+    """``conformance``: differential sweep + invariant monitors + mutants."""
+    level = os.environ.get("REPRO_CONFORMANCE_LEVEL", "smoke")
+    cases = default_matrix(level)
+    reports = sweep(cases)
+
+    result = ExperimentResult(
+        "conformance",
+        f"oracle + invariant conformance sweep ({level} matrix, "
+        f"{len(cases)} cases)",
+        [
+            "algorithm", "cases", "oracle_ok", "counters_ok",
+            "violations", "max_abs_err", "status",
+        ],
+    )
+
+    by_algorithm: Dict[str, List] = defaultdict(list)
+    for report in reports:
+        by_algorithm[report.case.algorithm].append(report)
+
+    total_failures = 0
+    for algorithm in sorted(by_algorithm):
+        group = by_algorithm[algorithm]
+        oracle_ok = sum(1 for r in group if not r.oracle_problems)
+        counters_ok = sum(1 for r in group if not r.counter_problems)
+        violations = sum(len(r.violations) for r in group)
+        failures = sum(1 for r in group if not r.ok)
+        total_failures += failures
+        result.add_row(
+            algorithm=algorithm,
+            cases=len(group),
+            oracle_ok=f"{oracle_ok}/{len(group)}",
+            counters_ok=f"{counters_ok}/{len(group)}",
+            violations=violations,
+            max_abs_err=max(r.max_abs_err for r in group),
+            status="PASS" if failures == 0 else f"FAIL({failures})",
+        )
+        for report in group:
+            if not report.ok:
+                result.notes.append(f"FAIL {report.case.case_id}: "
+                                    + "; ".join(report.problems()[:3]))
+
+    # The harness must catch deliberately broken algorithms and shrink
+    # each failure to a replayable minimal case.
+    for case in _MUTANT_CASES:
+        report = run_case(case)
+        caught = not report.ok
+        spec = minimize_case(case) if caught else None
+        result.add_row(
+            algorithm=f"mutant:{case.mutant}",
+            cases=1,
+            oracle_ok="caught" if caught else "MISSED",
+            counters_ok="-",
+            violations=len(report.violations),
+            max_abs_err=report.max_abs_err,
+            status="PASS" if caught else "FAIL",
+        )
+        if spec is not None:
+            result.notes.append(
+                f"mutant {case.mutant} minimized to "
+                f"{spec.constructor_source()} "
+                f"({spec.shrink_runs} shrink runs); first problem: "
+                f"{spec.problems[0] if spec.problems else '<none>'}"
+            )
+        else:
+            total_failures += 1
+            result.notes.append(
+                f"mutant {case.mutant} was NOT caught -- the harness is blind"
+            )
+
+    result.notes.insert(
+        0,
+        "zero violations expected on real algorithms; mutant rows must "
+        "report 'caught' with a minimized seed-replay in the notes",
+    )
+    result.notes.insert(
+        1,
+        f"total failing real-algorithm cases: {total_failures}",
+    )
+    return result

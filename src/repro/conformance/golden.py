@@ -1,0 +1,87 @@
+"""Golden-trace capture and normalization.
+
+A golden trace pins down the *event sequence* of a protocol run -- every
+packet sent, delivered or dropped, in order, with its simulated
+timestamp -- so that an innocent-looking refactor that reorders sends or
+changes packet sizes shows up as a fixture diff instead of a silent
+behaviour change.
+
+Raw traces are not directly comparable across processes: packet ids come
+from a global :mod:`itertools` counter, and OmniReduce operation flows
+are named ``or<N>.up`` / ``or<N>.down`` with a globally increasing
+``N``.  :func:`normalize_trace` removes both sources of run-order
+dependence (flows keep only their suffix; packet ids are renumbered by
+first appearance) while preserving everything that matters: ordering,
+timing, endpoints, sizes and packet identity *within* the trace.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from ..netsim.trace import PacketTracer
+
+__all__ = ["normalize_trace", "trace_to_json", "capture_omnireduce_trace"]
+
+#: OmniReduce flow names: a global op counter plus a direction suffix.
+_OMNIREDUCE_FLOW = re.compile(r"^or\d+\.(?P<direction>up|down)$")
+
+
+def normalize_trace(tracer: PacketTracer) -> List[Dict]:
+    """Render a trace as comparable dicts, free of global-counter state."""
+    pkt_ids: Dict[int, int] = {}
+    out: List[Dict] = []
+    for event in tracer.events:
+        if event.pkt_id not in pkt_ids:
+            pkt_ids[event.pkt_id] = len(pkt_ids)
+        match = _OMNIREDUCE_FLOW.match(event.flow)
+        flow = match.group("direction") if match else event.flow
+        out.append(
+            {
+                # Timestamps are deterministic floats; round-trip them
+                # through repr-exact JSON but round to ns to be robust
+                # against formatting, not arithmetic, differences.
+                "time_ns": round(event.time_s * 1e9, 3),
+                "kind": event.kind,
+                "src": event.src,
+                "dst": event.dst,
+                "size_bytes": event.size_bytes,
+                "flow": flow,
+                "pkt": pkt_ids[event.pkt_id],
+            }
+        )
+    return out
+
+
+def trace_to_json(tracer: PacketTracer) -> str:
+    """Normalized trace as stable, diff-friendly JSON."""
+    return json.dumps(normalize_trace(tracer), indent=1, sort_keys=True)
+
+
+def capture_omnireduce_trace(
+    workers: int = 2,
+    elements: int = 256,
+    block_size: int = 32,
+    seed: int = 7,
+) -> PacketTracer:
+    """Run the canonical small OmniReduce case with a tracer attached."""
+    from ..baselines import registry
+    from ..netsim.trace import attach_tracer
+    from .runner import ConformanceCase
+
+    case = ConformanceCase(
+        algorithm="omnireduce",
+        workers=workers,
+        elements=elements,
+        block_size=block_size,
+        seed=seed,
+    )
+    from ..netsim.cluster import Cluster
+
+    cluster = Cluster(case.cluster_spec())
+    tracer = attach_tracer(cluster.network)
+    session = registry.get("omnireduce").prepare(cluster, case.options())
+    session.allreduce(case.tensors())
+    return tracer

@@ -1,0 +1,109 @@
+"""Deliberately broken collectives (test-only mutants).
+
+A conformance harness that has never caught a bug proves nothing.  The
+mutants wrap a real registry collective and break exactly one promise
+each, so tests (and the ``conformance`` bench experiment) can assert
+the harness detects them and shrinks the failure to a seed-replay:
+
+* ``broken-result`` -- corrupts one element of one worker's output:
+  caught by the dense oracle *and* the worker-agreement check.
+* ``zero-block-spam`` -- silently disables zero-block skipping while
+  still claiming to be OmniReduce: results stay numerically perfect
+  (adding zero is free), so only the :class:`NoZeroBlockMonitor`
+  catches it.  This is the invariant the paper's bandwidth savings
+  rest on.
+
+Mutants are never registered in :data:`repro.baselines.registry.ALGORITHMS`;
+they are reachable only through :class:`~repro.conformance.runner.ConformanceCase`'s
+``mutant`` field.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+import numpy as np
+
+from ..baselines.api import Collective, OmniReduceOptions, Options, Session
+from ..core.collective import CollectiveResult
+from ..netsim.cluster import Cluster
+
+__all__ = ["BrokenResultCollective", "ZeroBlockSpamCollective", "MUTANTS"]
+
+
+class _CorruptingSession(Session):
+    """Delegates to the real session, then corrupts the result."""
+
+    def __init__(self, inner: Session) -> None:
+        super().__init__(inner.cluster, inner.options)
+        self._inner = inner
+
+    def allreduce(self, tensors: Sequence[np.ndarray], **kwargs) -> CollectiveResult:
+        result = self._inner.allreduce(tensors, **kwargs)
+        if result.outputs and result.outputs[0].size:
+            # Flip one element on one worker: breaks the oracle check on
+            # worker 0 and the agreement check between workers.
+            result.outputs[0] = result.outputs[0].copy()
+            result.outputs[0][0] += 1.0
+        return result
+
+    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self._inner.allgather(tensors)
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        return self._inner.broadcast(tensor, root=root)
+
+
+class BrokenResultCollective(Collective):
+    """Wraps any collective; its sessions corrupt one output element."""
+
+    def __init__(self, inner: Collective) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}+broken-result"
+        self.options_cls: Type[Options] = inner.options_cls
+        self.summary = "test-only mutant: corrupts one output element"
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        return _CorruptingSession(self.inner.prepare(cluster, options))
+
+    def options_from_kwargs(self, **kwargs) -> Options:
+        return self.inner.options_from_kwargs(**kwargs)
+
+
+class ZeroBlockSpamCollective(Collective):
+    """OmniReduce with zero-block skipping secretly disabled.
+
+    Numerically indistinguishable from the real thing -- only the
+    no-zero-block invariant monitor can tell the difference.
+    """
+
+    def __init__(self, inner: Collective) -> None:
+        if not inner.name.startswith("omnireduce"):
+            raise ValueError(
+                "zero-block-spam only makes sense wrapping omnireduce, "
+                f"got {inner.name!r}"
+            )
+        self.inner = inner
+        self.name = f"{inner.name}+zero-block-spam"
+        self.options_cls = inner.options_cls
+        self.summary = "test-only mutant: transmits zero blocks"
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        from ..core.config import OmniReduceConfig
+
+        if options is None:
+            options = OmniReduceOptions()
+        if isinstance(options, OmniReduceOptions):
+            config = options.config or OmniReduceConfig()
+            options = OmniReduceOptions(config=config.with_(skip_zero_blocks=False))
+        return self.inner.prepare(cluster, options)
+
+    def options_from_kwargs(self, **kwargs) -> Options:
+        return self.inner.options_from_kwargs(**kwargs)
+
+
+#: mutant name -> wrapper class applied to the case's base collective.
+MUTANTS: Dict[str, Type[Collective]] = {
+    "broken-result": BrokenResultCollective,
+    "zero-block-spam": ZeroBlockSpamCollective,
+}

@@ -1,0 +1,183 @@
+"""The dense reference oracle and uniform result sanity checks.
+
+Every algorithm in the registry promises the same contract: inputs are
+cast to float32, reduced element-wise, and every worker receives the
+identical result tensor.  The oracle computes the expected reduction in
+float64 over the float32-cast inputs (the cast is part of the contract,
+not an approximation) and compares within a per-dtype tolerance that
+scales with the number of summands.
+
+:func:`check_counters` is the counter-sanity half of conformance: the
+uniform :class:`~repro.core.collective.CollectiveResult` fields must be
+internally consistent for *every* algorithm -- e.g. a fault-free run on
+a reliable transport must report zero retransmissions, timeouts,
+duplicates and recovery events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.collective import CollectiveResult
+
+__all__ = ["dense_oracle", "tolerance_for", "check_outputs", "check_counters"]
+
+
+def dense_oracle(
+    tensors: Sequence[np.ndarray], reduction: str = "sum"
+) -> np.ndarray:
+    """Reference AllReduce: reduce float32-cast inputs in float64.
+
+    Mirrors the registry contract (every algorithm casts inputs to
+    float32 before reducing) while removing summation-order effects by
+    accumulating in float64.
+    """
+    flats = [
+        np.ascontiguousarray(t).reshape(-1).astype(np.float32).astype(np.float64)
+        for t in tensors
+    ]
+    stacked = np.stack(flats)
+    if reduction == "sum":
+        return stacked.sum(axis=0)
+    if reduction == "max":
+        return stacked.max(axis=0)
+    if reduction == "min":
+        return stacked.min(axis=0)
+    raise ValueError(f"unsupported reduction {reduction!r}")
+
+
+def tolerance_for(dtype, workers: int) -> float:
+    """Absolute tolerance for comparing a float32 result to the oracle.
+
+    The error of a length-``workers`` float32 summation is bounded by
+    ``workers * eps * max_partial_sum``; we budget a unit scale and a
+    small safety factor, and widen for float16 inputs (which quantize
+    the contributions before the cast to float32).
+    """
+    dtype = np.dtype(dtype)
+    eps = np.finfo(np.float32).eps
+    if dtype == np.float16:
+        eps = float(np.finfo(np.float16).eps)
+    base = 16.0 * max(2, workers) * eps
+    return float(base)
+
+
+def check_outputs(
+    result: CollectiveResult,
+    tensors: Sequence[np.ndarray],
+    reduction: str = "sum",
+    atol_scale: Optional[float] = None,
+) -> List[str]:
+    """Differential check: result vs oracle, plus worker agreement.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    conformant).  ``atol_scale`` overrides the automatic tolerance's
+    magnitude scale (defaults to the oracle's max absolute value).
+    """
+    problems: List[str] = []
+    expected = dense_oracle(tensors, reduction)
+    workers = len(tensors)
+    atol = tolerance_for(np.asarray(tensors[0]).dtype, workers)
+    scale = (
+        atol_scale
+        if atol_scale is not None
+        else max(1.0, float(np.abs(expected).max()) if expected.size else 1.0)
+    )
+    atol *= scale
+
+    if len(result.outputs) != workers:
+        problems.append(
+            f"expected {workers} output tensors, got {len(result.outputs)}"
+        )
+    reference = result.outputs[0]
+    for w, output in enumerate(result.outputs[1:], start=1):
+        if not np.array_equal(reference, output):
+            delta = float(np.abs(reference - output).max())
+            problems.append(
+                f"worker {w} disagrees with worker 0 (max |delta| = {delta:.3e})"
+            )
+    got = np.asarray(reference, dtype=np.float64).reshape(-1)
+    if got.shape != expected.shape:
+        problems.append(
+            f"output length {got.size} != expected {expected.size}"
+        )
+        return problems
+    err = np.abs(got - expected)
+    max_err = float(err.max()) if err.size else 0.0
+    if max_err > atol:
+        where = int(err.argmax())
+        problems.append(
+            f"oracle mismatch: max |err| = {max_err:.3e} > atol {atol:.3e} "
+            f"at element {where} (got {got[where]:.6g}, "
+            f"expected {expected[where]:.6g})"
+        )
+    return problems
+
+
+def check_counters(
+    result: CollectiveResult,
+    expect_faultless: bool = True,
+    expect_reliable: bool = True,
+) -> List[str]:
+    """Uniform CollectiveResult counter sanity, algorithm-independent.
+
+    ``expect_faultless`` asserts the fault/recovery counters stay zero
+    (no fault plan was attached); ``expect_reliable`` additionally pins
+    retransmissions/timeouts to zero (lossless transport, no loss model).
+    """
+    problems: List[str] = []
+
+    def nonneg(name: str, value) -> None:
+        if value < 0:
+            problems.append(f"counter {name} is negative: {value}")
+
+    if not np.isfinite(result.time_s) or result.time_s < 0:
+        problems.append(f"time_s not a finite non-negative value: {result.time_s}")
+    for name in (
+        "bytes_sent",
+        "packets_sent",
+        "upward_bytes",
+        "downward_bytes",
+        "rounds",
+        "retransmissions",
+        "duplicates",
+        "timeouts_fired",
+        "recovery_events",
+    ):
+        nonneg(name, getattr(result, name))
+    if result.packets_sent == 0:
+        problems.append("packets_sent is zero: nothing crossed the wire")
+    if result.bytes_sent < result.packets_sent:
+        problems.append(
+            f"bytes_sent {result.bytes_sent} < packets_sent "
+            f"{result.packets_sent}: packets cannot be sub-byte"
+        )
+    if result.upward_bytes + result.downward_bytes > result.bytes_sent:
+        problems.append(
+            "flow accounting exceeds total traffic: "
+            f"up {result.upward_bytes} + down {result.downward_bytes} "
+            f"> total {result.bytes_sent}"
+        )
+    if expect_faultless:
+        if result.recovery_events or result.fault_events:
+            problems.append(
+                f"fault-free run reports {result.recovery_events} recovery "
+                f"events / {len(result.fault_events)} fault events"
+            )
+        if not result.complete:
+            problems.append("fault-free run reports complete=False")
+        if result.staleness is not None:
+            problems.append("fault-free run carries a staleness report")
+    if expect_reliable:
+        if result.retransmissions or result.timeouts_fired:
+            problems.append(
+                f"loss-free run reports {result.retransmissions} "
+                f"retransmissions / {result.timeouts_fired} timeouts"
+            )
+        if result.duplicates:
+            problems.append(
+                f"loss-free run reports {result.duplicates} duplicate packets"
+            )
+    return problems

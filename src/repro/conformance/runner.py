@@ -1,0 +1,341 @@
+"""The differential conformance runner.
+
+A :class:`ConformanceCase` is a fully declarative description of one
+run: algorithm, cluster shape, tensor pattern, dtype, transport, fault
+plan and seed.  Determinism is the load-bearing property -- the same
+case always reproduces the same simulation, which is what makes
+seed-replay (:mod:`repro.conformance.replay`) possible.
+
+:func:`run_case` materializes the case, attaches the invariant monitors
+to the cluster (kernel step observer + packet-trace listeners), runs the
+collective, drains the network, and checks three things:
+
+1. the result against the dense oracle (within per-dtype tolerance),
+2. the uniform CollectiveResult counters for internal consistency,
+3. every attached invariant monitor.
+
+:func:`default_matrix` builds the sweep the acceptance criteria name:
+every registry algorithm crossed with worker counts, block sizes,
+sparsity patterns, dtypes and fault plans (the fault/dtype/transport
+axes apply to OmniReduce, whose protocol they exercise; baselines run
+the shared axes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import registry
+from ..baselines.api import OmniReduceOptions, Options
+from ..core.collective import CollectiveResult
+from ..core.config import OmniReduceConfig
+from ..faults import AggregatorCrash, FaultPlan, StragglerSchedule
+from ..netsim.cluster import Cluster, ClusterSpec
+from ..netsim.loss import BernoulliLoss, GilbertElliottLoss
+from ..netsim.trace import attach_tracer
+from .monitors import InvariantMonitor, Violation, default_monitors
+from .oracle import check_counters, check_outputs, dense_oracle
+from .patterns import SPARSITY_PATTERNS, make_tensors
+
+__all__ = [
+    "ConformanceCase",
+    "CaseReport",
+    "FAULT_PLANS",
+    "run_case",
+    "sweep",
+    "default_matrix",
+]
+
+#: Retransmission timer used by fault-plan cases (keeps recovery fast at
+#: simulated microsecond scales) and its backoff bounds.
+FAULT_TIMEOUT_S = 300e-6
+FAULT_BACKOFF_FACTOR = 2.0
+FAULT_TIMEOUT_MAX_S = 4 * FAULT_TIMEOUT_S
+
+#: Named fault plans: name -> factory(seed) -> Optional[FaultPlan].
+#: Names (not objects) keep cases serializable into repro snippets.
+FAULT_PLANS: Dict[str, Callable[[int], Optional[FaultPlan]]] = {
+    "none": lambda seed: None,
+    "bernoulli-loss": lambda seed: FaultPlan(
+        loss=BernoulliLoss(5e-3, np.random.default_rng(seed + 11))
+    ),
+    "ge-loss": lambda seed: FaultPlan(
+        loss=GilbertElliottLoss.from_stationary_rate(
+            1e-2, mean_burst_packets=4.0, rng=np.random.default_rng(seed + 13)
+        )
+    ),
+    "crash-failover": lambda seed: FaultPlan(
+        aggregator_crashes=(
+            AggregatorCrash(
+                shard=0, time_s=50e-6, restart_delay_s=100e-6, failover_shard=1
+            ),
+        )
+    ),
+    "straggler": lambda seed: FaultPlan(
+        stragglers=(StragglerSchedule(worker=0, delay_s=200e-6, slowdown=2.0),)
+    ),
+}
+
+#: Fault plans that drop packets (retransmissions become legitimate).
+_LOSSY_FAULTS = frozenset({"bernoulli-loss", "ge-loss"})
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One deterministic conformance run, fully described by its fields."""
+
+    algorithm: str = "omnireduce"
+    workers: int = 4
+    aggregators: Optional[int] = None  # None -> one shard per worker
+    elements: int = 2048
+    block_size: int = 64
+    pattern: str = "uniform"
+    dtype: str = "float32"
+    transport: str = "rdma"
+    fault: str = "none"
+    seed: int = 0
+    #: Test-only mutant wrapped around the algorithm ("" = none); see
+    #: :mod:`repro.conformance.mutants`.
+    mutant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pattern not in SPARSITY_PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.fault not in FAULT_PLANS:
+            raise ValueError(
+                f"unknown fault plan {self.fault!r}; "
+                f"choose from {sorted(FAULT_PLANS)}"
+            )
+        if self.elements < self.block_size:
+            raise ValueError("elements must cover at least one block")
+
+    @property
+    def case_id(self) -> str:
+        parts = [
+            self.algorithm,
+            f"w{self.workers}",
+            f"n{self.elements}",
+            f"bs{self.block_size}",
+            self.pattern,
+            self.dtype,
+            self.transport,
+        ]
+        if self.fault != "none":
+            parts.append(self.fault)
+        if self.mutant:
+            parts.append(f"mutant:{self.mutant}")
+        parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    def with_(self, **changes) -> "ConformanceCase":
+        return replace(self, **changes)
+
+    # -- materialization ---------------------------------------------------
+
+    def cluster_spec(self) -> ClusterSpec:
+        aggregators = self.aggregators if self.aggregators is not None else self.workers
+        return ClusterSpec(
+            workers=self.workers,
+            aggregators=aggregators,
+            transport=self.transport,
+            seed=self.seed,
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return FAULT_PLANS[self.fault](self.seed)
+
+    def tensors(self) -> List[np.ndarray]:
+        return make_tensors(
+            self.pattern,
+            self.workers,
+            self.elements,
+            self.block_size,
+            self.seed,
+            dtype=np.dtype(self.dtype),
+        )
+
+    def options(self) -> Optional[Options]:
+        if not self.algorithm.startswith("omnireduce"):
+            return None
+        config = OmniReduceConfig(block_size=self.block_size)
+        if self.fault != "none":
+            config = config.with_(
+                timeout_s=FAULT_TIMEOUT_S,
+                backoff_factor=FAULT_BACKOFF_FACTOR,
+                timeout_max_s=FAULT_TIMEOUT_MAX_S,
+            )
+        return OmniReduceOptions(config=config)
+
+    def monitors(self) -> List[InvariantMonitor]:
+        backoff = None
+        if (
+            self.algorithm.startswith("omnireduce")
+            and self.fault in _LOSSY_FAULTS
+            and self.transport == "dpdk"
+        ):
+            backoff = (FAULT_TIMEOUT_S, FAULT_BACKOFF_FACTOR, FAULT_TIMEOUT_MAX_S)
+        # skip_zero_blocks is the *promise* the case makes (OmniReduce
+        # conformance always promises it); a mutant that secretly breaks
+        # the promise must still face the monitor.
+        return default_monitors(
+            algorithm=self.algorithm,
+            skip_zero_blocks=True,
+            backoff=backoff,
+        )
+
+
+@dataclass
+class CaseReport:
+    """Outcome of one conformance run."""
+
+    case: ConformanceCase
+    oracle_problems: List[str] = field(default_factory=list)
+    counter_problems: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    result: Optional[CollectiveResult] = None
+    max_abs_err: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.oracle_problems or self.counter_problems or self.violations)
+
+    def problems(self) -> List[str]:
+        return (
+            self.oracle_problems
+            + self.counter_problems
+            + [str(v) for v in self.violations]
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [f"{status} {self.case.case_id} (max_abs_err={self.max_abs_err:.3e})"]
+        lines.extend(f"  - {p}" for p in self.problems())
+        return "\n".join(lines)
+
+
+#: How long (simulated seconds) the runner lets the network drain after
+#: the collective returns, so conservation checks see settled counters.
+DRAIN_GRACE_S = 0.5
+
+
+def _resolve_collective(case: ConformanceCase):
+    collective = registry.get(case.algorithm)
+    if case.mutant:
+        from .mutants import MUTANTS  # local import: mutants import the api
+
+        if case.mutant not in MUTANTS:
+            raise ValueError(
+                f"unknown mutant {case.mutant!r}; choose from {sorted(MUTANTS)}"
+            )
+        collective = MUTANTS[case.mutant](collective)
+    return collective
+
+
+def run_case(
+    case: ConformanceCase,
+    with_monitors: bool = True,
+) -> CaseReport:
+    """Execute one conformance case and check everything checkable."""
+    report = CaseReport(case=case)
+    cluster = Cluster(case.cluster_spec(), faults=case.fault_plan())
+    monitors = case.monitors() if with_monitors else []
+    if monitors:
+        attach_tracer(cluster.network, listeners=monitors)
+        for monitor in monitors:
+            monitor.attach(cluster)
+
+    tensors = case.tensors()
+    collective = _resolve_collective(case)
+    session = collective.prepare(cluster, case.options())
+    result = session.allreduce(tensors)
+    report.result = result
+
+    # Let in-flight packets (late duplicates, downward results already
+    # resolved at the protocol layer) land before conservation checks.
+    cluster.sim.run(max_time=cluster.sim.now + DRAIN_GRACE_S)
+
+    report.oracle_problems = check_outputs(result, tensors)
+    report.counter_problems = check_counters(
+        result,
+        expect_faultless=case.fault not in ("crash-failover",),
+        expect_reliable=case.fault == "none" and case.transport != "dpdk",
+    )
+    for monitor in monitors:
+        report.violations.extend(monitor.finish())
+    expected = dense_oracle(tensors)
+    got = np.asarray(result.outputs[0], dtype=np.float64).reshape(-1)
+    if got.shape == expected.shape:
+        report.max_abs_err = float(np.abs(got - expected).max()) if got.size else 0.0
+    return report
+
+
+def sweep(cases: List[ConformanceCase], with_monitors: bool = True) -> List[CaseReport]:
+    """Run every case; never raises on failures (reports carry them)."""
+    return [run_case(case, with_monitors=with_monitors) for case in cases]
+
+
+def default_matrix(level: str = "smoke") -> List[ConformanceCase]:
+    """The standard conformance matrix.
+
+    ``smoke`` bounds the sweep for CI: every registry algorithm runs the
+    shared axes once, and OmniReduce additionally exercises the fault,
+    dtype and transport axes.  ``full`` crosses the shared axes more
+    broadly (worker counts, block sizes, every pattern per algorithm).
+    """
+    if level not in ("smoke", "full"):
+        raise ValueError("level must be 'smoke' or 'full'")
+    algorithms = sorted(registry.ALGORITHMS)
+    cases: List[ConformanceCase] = []
+
+    if level == "smoke":
+        for algorithm in algorithms:
+            cases.append(ConformanceCase(algorithm=algorithm, pattern="uniform"))
+            cases.append(ConformanceCase(algorithm=algorithm, pattern="all-zero"))
+        for pattern in ("clustered", "dense"):
+            cases.append(ConformanceCase(algorithm="omnireduce", pattern=pattern))
+        for dtype in ("float16", "float64"):
+            cases.append(ConformanceCase(algorithm="omnireduce", dtype=dtype))
+        for transport in ("tcp", "dpdk"):
+            cases.append(
+                ConformanceCase(algorithm="omnireduce", transport=transport)
+            )
+        for fault in ("ge-loss", "crash-failover", "straggler"):
+            cases.append(
+                ConformanceCase(
+                    algorithm="omnireduce", transport="dpdk", fault=fault
+                )
+            )
+        return cases
+
+    for algorithm in algorithms:
+        for pattern in SPARSITY_PATTERNS:
+            for workers in (2, 4):
+                cases.append(
+                    ConformanceCase(
+                        algorithm=algorithm, pattern=pattern, workers=workers
+                    )
+                )
+    for block_size in (32, 256):
+        cases.append(ConformanceCase(algorithm="omnireduce", block_size=block_size))
+    # A non-divisible tail: elements not a multiple of the block size.
+    cases.append(
+        ConformanceCase(algorithm="omnireduce", elements=2048 - 17, block_size=64)
+    )
+    for dtype in ("float16", "float64"):
+        cases.append(ConformanceCase(algorithm="omnireduce", dtype=dtype))
+    for transport in ("tcp", "dpdk"):
+        cases.append(ConformanceCase(algorithm="omnireduce", transport=transport))
+    for fault in ("bernoulli-loss", "ge-loss", "crash-failover", "straggler"):
+        for seed in (0, 1):
+            cases.append(
+                ConformanceCase(
+                    algorithm="omnireduce",
+                    transport="dpdk",
+                    fault=fault,
+                    seed=seed,
+                )
+            )
+    return cases

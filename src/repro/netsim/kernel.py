@@ -307,6 +307,22 @@ class Simulator:
         self._heap: List[_Scheduled] = []
         self._seq = itertools.count()
         self._live_callbacks = 0
+        self._step_observers: List[Callable[[float], None]] = []
+
+    # -- observation -------------------------------------------------------
+
+    def add_step_observer(self, fn: Callable[[float], None]) -> None:
+        """Register ``fn(now)`` to be called before every executed step.
+
+        The conformance harness uses this to watch the virtual clock
+        itself (monotonicity, finiteness) rather than trusting the
+        packet trace's timestamps.  Observers are free because the hot
+        loop skips the dispatch entirely when none are registered.
+        """
+        self._step_observers.append(fn)
+
+    def remove_step_observer(self, fn: Callable[[float], None]) -> None:
+        self._step_observers.remove(fn)
 
     # -- scheduling primitives -------------------------------------------
 
@@ -363,6 +379,9 @@ class Simulator:
                 continue  # cancelled
             self._live_callbacks -= 1
             self.now = entry.time
+            if self._step_observers:
+                for observer in self._step_observers:
+                    observer(entry.time)
             fn, args = entry.fn, entry.args
             entry.fn = None
             entry.args = ()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .network import Network
 from .packet import Packet
@@ -42,11 +42,23 @@ class TraceEvent:
 
 
 class PacketTracer:
-    """Records packet events and derives telemetry from them."""
+    """Records packet events and derives telemetry from them.
 
-    def __init__(self) -> None:
+    ``listeners`` receive every event *live*, with the actual
+    :class:`~repro.netsim.packet.Packet` object (including its payload,
+    which :class:`TraceEvent` deliberately does not retain).  The
+    conformance harness's invariant monitors plug in here; a listener is
+    any object with an ``observe(time_s, kind, packet)`` method.
+    """
+
+    def __init__(self, listeners: Iterable = ()) -> None:
         self.events: List[TraceEvent] = []
+        self.listeners: List = list(listeners)
         self._sent_at: Dict[int, float] = {}
+
+    def add_listener(self, listener) -> None:
+        """Attach a live observer (``observe(time_s, kind, packet)``)."""
+        self.listeners.append(listener)
 
     # -- recording ---------------------------------------------------------
 
@@ -64,6 +76,8 @@ class PacketTracer:
         )
         if kind == SENT:
             self._sent_at[packet.pkt_id] = time_s
+        for listener in self.listeners:
+            listener.observe(time_s, kind, packet)
 
     # -- queries -----------------------------------------------------------
 
@@ -163,13 +177,15 @@ class FaultLog:
         self.records.clear()
 
 
-def attach_tracer(network: Network) -> PacketTracer:
+def attach_tracer(network: Network, listeners: Iterable = ()) -> PacketTracer:
     """Instrument ``network`` with a tracer (monkey-patches its hooks).
 
-    Returns the tracer; detaching is not supported -- build a fresh
-    network for untraced runs.
+    ``listeners`` are forwarded to the tracer and see every event live
+    with the full packet (see :class:`PacketTracer`).  Returns the
+    tracer; detaching is not supported -- build a fresh network for
+    untraced runs.
     """
-    tracer = PacketTracer()
+    tracer = PacketTracer(listeners=listeners)
     original_transmit = network.transmit
     original_deliver = network._deliver
 

@@ -121,3 +121,25 @@ def test_experiment_registry_covers_every_paper_artifact():
     for fig in (1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 20, 21):
         assert f"figure-{fig}" in ids
     assert {"table-1", "table-2"} <= ids
+
+
+def test_conformance_experiment_registered():
+    assert "conformance" in EXPERIMENTS
+
+
+@pytest.mark.conformance
+def test_conformance_experiment_all_pass_and_mutants_caught():
+    result = EXPERIMENTS["conformance"]()
+    statuses = {row["algorithm"]: row["status"] for row in result.rows}
+    # One row per registry algorithm plus the two mutant rows.
+    from repro.baselines.registry import ALGORITHMS
+
+    for name in ALGORITHMS:
+        assert statuses[name] == "PASS"
+    assert statuses["mutant:broken-result"] == "PASS"
+    assert statuses["mutant:zero-block-spam"] == "PASS"
+    mutant_rows = [r for r in result.rows if r["algorithm"].startswith("mutant:")]
+    assert all(r["oracle_ok"] == "caught" for r in mutant_rows)
+    # The notes carry a minimized seed-replay for each mutant.
+    minimized = [n for n in result.notes if "minimized to ConformanceCase(" in n]
+    assert len(minimized) == 2

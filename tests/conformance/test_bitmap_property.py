@@ -1,0 +1,88 @@
+"""Property-based tests: vectorized bitmap vs a naive per-block loop.
+
+The vectorized :func:`repro.tensors.blocks.block_nonzero_bitmap` is the
+hot path every worker runs before streaming; these tests pit it against
+an obviously-correct per-block loop over arbitrary shapes, dtypes and
+block sizes -- including tails where the length is not a multiple of the
+block size, which the paper's description glosses over.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.extra import numpy as npst  # noqa: E402
+
+from repro.tensors.blocks import block_nonzero_bitmap, num_blocks
+
+
+def naive_bitmap(tensor: np.ndarray, block_size: int) -> np.ndarray:
+    """Reference implementation: one explicit loop per block."""
+    flat = np.ascontiguousarray(tensor).reshape(-1)
+    blocks = num_blocks(flat.size, block_size)
+    out = np.zeros(blocks, dtype=bool)
+    for b in range(blocks):
+        chunk = flat[b * block_size : (b + 1) * block_size]
+        out[b] = bool(np.any(chunk))
+    return out
+
+
+# Sparse-ish element pools so generated tensors actually contain zero
+# blocks, plus adversarial float values (-0.0 must count as zero).
+_FLOAT_ELEMENTS = st.sampled_from([0.0, -0.0, 1.0, -1.0, 0.5, 1e-30, np.inf])
+_INT_ELEMENTS = st.sampled_from([0, 0, 0, 1, -1, 127])
+
+_SHAPES = st.one_of(
+    st.tuples(st.integers(0, 300)),
+    st.tuples(st.integers(0, 24), st.integers(0, 24)),
+    st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8)),
+)
+
+
+@st.composite
+def tensors(draw):
+    shape = draw(_SHAPES)
+    dtype = draw(st.sampled_from(["float16", "float32", "float64", "int32", "int64"]))
+    elements = _INT_ELEMENTS if np.issubdtype(np.dtype(dtype), np.integer) else _FLOAT_ELEMENTS
+    return draw(npst.arrays(dtype=dtype, shape=shape, elements=elements))
+
+
+@settings(max_examples=200, deadline=None)
+@given(tensor=tensors(), block_size=st.integers(1, 64))
+def test_vectorized_matches_naive(tensor, block_size):
+    got = block_nonzero_bitmap(tensor, block_size)
+    want = naive_bitmap(tensor, block_size)
+    assert got.dtype == np.bool_
+    np.testing.assert_array_equal(got, want)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    length=st.integers(1, 400),
+    block_size=st.integers(1, 64),
+    data=st.data(),
+)
+def test_non_divisible_tail_block(length, block_size, data):
+    """A tensor whose only non-zero lives in the tail block is seen."""
+    tensor = np.zeros(length, dtype=np.float32)
+    idx = data.draw(st.integers(0, length - 1))
+    tensor[idx] = 1.0
+    got = block_nonzero_bitmap(tensor, block_size)
+    want = naive_bitmap(tensor, block_size)
+    np.testing.assert_array_equal(got, want)
+    assert got[idx // block_size]
+    assert got.sum() == 1
+
+
+def test_empty_tensor():
+    got = block_nonzero_bitmap(np.zeros(0, dtype=np.float32), 8)
+    assert got.size == 0 and got.dtype == np.bool_
+
+
+def test_negative_zero_is_zero():
+    tensor = np.array([-0.0, -0.0, -0.0, -0.0], dtype=np.float32)
+    np.testing.assert_array_equal(
+        block_nonzero_bitmap(tensor, 2), np.array([False, False])
+    )

@@ -1,0 +1,54 @@
+"""Golden-trace regression: the OmniReduce packet sequence is pinned.
+
+The checked-in fixture records every packet event (send/deliver/drop,
+endpoints, sizes, nanosecond timestamps, flow direction) of a small
+canonical OmniReduce run.  Any change to the protocol's wire behaviour
+-- packet ordering, sizes, timing -- diffs against it.
+
+If a behaviour change is *intentional*, regenerate the fixture::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/conformance/test_golden_trace.py
+
+and commit the diff alongside the change that caused it.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.conformance import capture_omnireduce_trace, normalize_trace, trace_to_json
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "omnireduce_golden_trace.json"
+
+
+def test_omnireduce_trace_matches_golden():
+    tracer = capture_omnireduce_trace()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.write_text(trace_to_json(tracer) + "\n")
+    golden = json.loads(FIXTURE.read_text())
+    got = normalize_trace(tracer)
+    assert len(got) == len(golden), (
+        f"event count changed: golden {len(golden)}, got {len(got)} "
+        "(set REPRO_REGEN_GOLDEN=1 to regenerate if intentional)"
+    )
+    for i, (g, e) in enumerate(zip(got, golden)):
+        assert g == e, (
+            f"trace diverges at event {i}:\n  golden: {e}\n  got:    {g}\n"
+            "(set REPRO_REGEN_GOLDEN=1 to regenerate if intentional)"
+        )
+
+
+def test_normalization_erases_global_counters():
+    """Two fresh runs in the same process normalize identically, even
+    though raw pkt_ids and 'or<N>' flow prefixes differ."""
+    first = capture_omnireduce_trace()
+    second = capture_omnireduce_trace()
+    assert first.events[0].pkt_id != second.events[0].pkt_id
+    assert first.events[0].flow != second.events[0].flow
+    assert normalize_trace(first) == normalize_trace(second)
+
+
+def test_normalized_flows_are_directions_only():
+    got = normalize_trace(capture_omnireduce_trace())
+    assert {e["flow"] for e in got} <= {"up", "down"}
+    assert [e["pkt"] for e in got if e["kind"] == "sent"][:2] == [0, 1]

@@ -1,0 +1,103 @@
+"""The dense oracle and counter sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    SPARSITY_PATTERNS,
+    check_counters,
+    check_outputs,
+    dense_oracle,
+    make_tensors,
+    tolerance_for,
+)
+from repro.core.collective import CollectiveResult
+
+
+def test_oracle_is_float32_cast_then_sum():
+    # The collective contract casts inputs to float32 before reducing;
+    # the oracle must model the cast, not reduce in the input dtype.
+    tensors = [np.array([1e-9], dtype=np.float64), np.array([1.0], dtype=np.float64)]
+    expected = float(np.float32(1e-9) + np.float32(1.0))
+    assert dense_oracle(tensors)[0] == pytest.approx(expected)
+
+
+def test_oracle_accumulates_in_float64():
+    # Summing many equal values in float32 loses low bits; the oracle
+    # accumulates in float64 so it stays closer to the true sum than any
+    # float32 reduction tree, which is what makes it an oracle.
+    tensors = [np.full(1, 0.1, dtype=np.float32) for _ in range(100)]
+    true_sum = 100 * float(np.float32(0.1))
+    assert dense_oracle(tensors)[0] == pytest.approx(true_sum, rel=1e-12)
+
+
+def test_tolerance_scales_with_workers_and_dtype():
+    assert tolerance_for("float32", 64) > tolerance_for("float32", 2)
+    assert tolerance_for("float16", 4) > tolerance_for("float32", 4)
+
+
+@pytest.mark.parametrize("pattern", sorted(SPARSITY_PATTERNS))
+def test_patterns_are_deterministic_and_shaped(pattern):
+    a = make_tensors(pattern, workers=3, elements=256, block_size=32, seed=5)
+    b = make_tensors(pattern, workers=3, elements=256, block_size=32, seed=5)
+    c = make_tensors(pattern, workers=3, elements=256, block_size=32, seed=6)
+    assert len(a) == 3 and all(t.shape == (256,) for t in a)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+    if pattern != "all-zero":
+        assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+    if pattern == "all-zero":
+        assert all(not t.any() for t in a)
+    if pattern == "dense":
+        assert all(np.count_nonzero(t) == t.size for t in a)
+
+
+def _result(outputs, **kwargs):
+    defaults = dict(
+        time_s=1e-3,
+        bytes_sent=1000,
+        packets_sent=4,
+        upward_bytes=500,
+        downward_bytes=500,
+        rounds=1,
+        retransmissions=0,
+        duplicates=0,
+    )
+    defaults.update(kwargs)
+    return CollectiveResult(outputs=outputs, **defaults)
+
+
+def test_check_outputs_flags_oracle_mismatch():
+    tensors = [np.ones(8, dtype=np.float32)] * 2
+    wrong = np.ones(8, dtype=np.float32)  # should be 2.0 everywhere
+    problems = check_outputs(_result([wrong, wrong]), tensors)
+    assert any("oracle" in p for p in problems)
+
+
+def test_check_outputs_flags_worker_disagreement():
+    tensors = [np.ones(4, dtype=np.float32)] * 2
+    good = np.full(4, 2.0, dtype=np.float32)
+    bad = good.copy()
+    bad[0] = 3.0
+    problems = check_outputs(_result([good, bad]), tensors)
+    assert any("disagrees" in p for p in problems)
+
+
+def test_check_outputs_accepts_exact_result():
+    tensors = [np.ones(4, dtype=np.float32)] * 2
+    good = np.full(4, 2.0, dtype=np.float32)
+    assert check_outputs(_result([good, good.copy()]), tensors) == []
+
+
+def test_check_counters_flags_inconsistencies():
+    out = [np.zeros(1, dtype=np.float32)]
+    assert check_counters(_result(out)) == []
+    assert any(
+        "retransmissions" in p
+        for p in check_counters(_result(out, retransmissions=3), expect_reliable=True)
+    )
+    assert check_counters(_result(out, retransmissions=3), expect_reliable=False) == []
+    assert any(
+        "negative" in p.lower() or ">=" in p or "non-negative" in p
+        for p in check_counters(_result(out, bytes_sent=-1))
+    )

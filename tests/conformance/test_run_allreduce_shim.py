@@ -1,0 +1,71 @@
+"""The legacy ``run_allreduce`` shim: deprecated but faithful.
+
+Two promises worth pinning: the shim emits its DeprecationWarning
+exactly once per call, and the results are bit-identical to the
+Collective.prepare path (the shim must not alter numerics, counters or
+packet accounting).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines import prepare, run_allreduce
+from repro.baselines.api import OmniReduceOptions
+from repro.conformance import ConformanceCase
+from repro.core.config import OmniReduceConfig
+from repro.netsim.cluster import Cluster
+
+CASE = ConformanceCase(algorithm="omnireduce", workers=2, elements=512, block_size=64)
+
+
+def _fresh_cluster():
+    return Cluster(CASE.cluster_spec())
+
+
+def test_shim_warns_exactly_once_per_call():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_allreduce("omnireduce", _fresh_cluster(), CASE.tensors(), block_size=64)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "run_allreduce() is deprecated" in str(deprecations[0].message)
+
+
+def test_shim_warning_via_pytest_warns():
+    with pytest.warns(DeprecationWarning, match="run_allreduce"):
+        run_allreduce("ring", _fresh_cluster(), CASE.tensors())
+
+
+@pytest.mark.parametrize("name", ["omnireduce", "ring", "ps-sparse"])
+def test_shim_results_identical_to_prepare_path(name):
+    tensors = CASE.tensors()
+    kwargs = {"block_size": 64} if name == "omnireduce" else {}
+    options = (
+        OmniReduceOptions(config=OmniReduceConfig(block_size=64))
+        if name == "omnireduce"
+        else None
+    )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_allreduce(name, _fresh_cluster(), tensors, **kwargs)
+    modern = prepare(name, _fresh_cluster(), options).allreduce(tensors)
+
+    assert len(legacy.outputs) == len(modern.outputs)
+    for a, b in zip(legacy.outputs, modern.outputs):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+    # Same simulation, same accounting -- not merely close.
+    assert legacy.time_s == modern.time_s
+    assert legacy.bytes_sent == modern.bytes_sent
+    assert legacy.packets_sent == modern.packets_sent
+    assert legacy.rounds == modern.rounds
+
+
+def test_shim_rejects_unknown_algorithm():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run_allreduce("no-such-thing", _fresh_cluster(), CASE.tensors())

@@ -325,3 +325,40 @@ def test_many_processes_complete():
         sim.spawn(proc(i))
     sim.run()
     assert sorted(counter) == list(range(500))
+
+
+def test_step_observer_sees_every_step_in_order():
+    sim = Simulator()
+    seen = []
+    sim.add_step_observer(seen.append)
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == sorted(seen)
+    assert seen[-1] == 3.0
+
+
+def test_step_observer_remove():
+    sim = Simulator()
+    seen = []
+    sim.add_step_observer(seen.append)
+    sim.call_at(1.0, lambda: None)
+    sim.run()
+    sim.remove_step_observer(seen.append)
+    sim.call_at(2.0, lambda: None)
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_multiple_step_observers_all_fire():
+    sim = Simulator()
+    a, b = [], []
+    sim.add_step_observer(a.append)
+    sim.add_step_observer(b.append)
+    sim.call_at(0.5, lambda: None)
+    sim.run()
+    assert a == b == [0.5]

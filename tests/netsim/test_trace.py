@@ -131,3 +131,49 @@ def test_tracing_full_collective():
     # Telemetry sees both directions.
     by_host = tracer.bytes_sent_by_host()
     assert "worker-0" in by_host and "agg-0" in by_host
+
+
+class _RecordingListener:
+    def __init__(self):
+        self.events = []
+
+    def observe(self, time_s, kind, packet):
+        self.events.append((time_s, kind, packet))
+
+
+def test_tracer_listeners_see_live_packets_with_payload():
+    sim, net, _ = traced_pair()
+    listener = _RecordingListener()
+    # attach_tracer replaced the hooks already; build a fresh pair with
+    # the listener wired in at attach time instead.
+    sim = Simulator()
+    net = Network(sim, latency_s=1e-6)
+    config = HostConfig(bandwidth_bps=gbps(10.0))
+    net.add_host("a", config)
+    net.add_host("b", config)
+    tracer = attach_tracer(net, listeners=[listener])
+    net.transmit(Packet(src="a", dst="b", payload={"blocks": 3}, size_bytes=128))
+    sim.run()
+    kinds = [kind for _, kind, _ in listener.events]
+    assert kinds == ["sent", "delivered"]
+    # Listeners get the real Packet, payload included (TraceEvent does not).
+    assert listener.events[0][2].payload == {"blocks": 3}
+    assert len(tracer.events) == 2
+
+
+def test_tracer_add_listener_after_attach():
+    sim, net, tracer = traced_pair()
+    listener = _RecordingListener()
+    tracer.add_listener(listener)
+    net.transmit(Packet(src="a", dst="b", payload=None, size_bytes=64))
+    sim.run()
+    assert [kind for _, kind, _ in listener.events] == ["sent", "delivered"]
+
+
+def test_tracer_listener_sees_drops():
+    sim, net, tracer = traced_pair(loss=BernoulliLoss(1.0, np.random.default_rng(0)))
+    listener = _RecordingListener()
+    tracer.add_listener(listener)
+    net.transmit(Packet(src="a", dst="b", payload=None, size_bytes=64))
+    sim.run()
+    assert [kind for _, kind, _ in listener.events] == ["sent", "dropped"]
