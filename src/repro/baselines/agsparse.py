@@ -23,6 +23,7 @@ from ..core.collective import CollectiveResult
 from ..netsim.cluster import Cluster
 from ..tensors.convert import ConversionCostModel, DEFAULT_CONVERSION_MODEL
 from ..tensors.encodings import bitmask_bytes, run_length_bytes
+from ..tensors.accumulate import coo_sum
 from ..tensors.sparse import CooTensor
 from .common import (
     LOCAL_REDUCE_BASE_S,
@@ -152,9 +153,10 @@ class AGsparseAllReduce:
             yield sim.timeout(
                 LOCAL_REDUCE_BASE_S + total_pairs * LOCAL_REDUCE_PER_PAIR_S
             )
-            reduced = gathered[0]
-            for coo in gathered[1:]:
-                reduced = reduced.add(coo)
+            # K-way fold through the dense-scratch accumulator: one
+            # scatter pass per gathered piece instead of N-1 pairwise
+            # merges, same sequential summation order.
+            reduced = coo_sum(gathered)
 
             if self.include_conversion:
                 yield sim.timeout(conversion.sparse_to_dense_s(size, reduced.nnz))

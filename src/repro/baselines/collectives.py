@@ -35,7 +35,7 @@ def ring_allgather(
     workers = cluster.spec.workers
     if len(tensors) != workers:
         raise ValueError(f"expected {workers} tensors, got {len(tensors)}")
-    flats = [np.ascontiguousarray(t).reshape(-1).astype(np.float32) for t in tensors]
+    flats = [np.ascontiguousarray(t, dtype=np.float32).reshape(-1) for t in tensors]
     if any(f.size == 0 for f in flats):
         raise ValueError("cannot gather empty tensors")
 
@@ -85,7 +85,7 @@ def tree_broadcast(
     workers = cluster.spec.workers
     if not 0 <= root < workers:
         raise ValueError(f"root {root} out of range for {workers} workers")
-    flat = np.ascontiguousarray(tensor).reshape(-1).astype(np.float32)
+    flat = np.ascontiguousarray(tensor, dtype=np.float32).reshape(-1)
     if flat.size == 0:
         raise ValueError("cannot broadcast an empty tensor")
 

@@ -50,7 +50,7 @@ def validate_equal_tensors(
         raise ValueError(
             f"expected {cluster.spec.workers} tensors, got {len(tensors)}"
         )
-    flats = [np.ascontiguousarray(t).reshape(-1).astype(np.float32) for t in tensors]
+    flats = [np.ascontiguousarray(t, dtype=np.float32).reshape(-1) for t in tensors]
     size = flats[0].size
     if size == 0:
         raise ValueError("cannot reduce empty tensors")

@@ -24,6 +24,7 @@ from ..core.collective import CollectiveResult
 from ..core.partition import split_ranges
 from ..netsim.cluster import Cluster
 from ..tensors.convert import ConversionCostModel, DEFAULT_CONVERSION_MODEL
+from ..tensors.accumulate import CooAccumulator
 from ..tensors.sparse import CooTensor
 from .common import (
     LOCAL_REDUCE_BASE_S,
@@ -125,25 +126,30 @@ class ParameterServerAllReduce:
             channel = server_channels[j]
             lo, hi = partitions[j]
             reduced_dense: Optional[np.ndarray] = None
+            # W-way fan-in into the reusable dense-scratch accumulator:
+            # one O(nnz) scatter per arriving piece, in arrival order.
+            acc: Optional[CooAccumulator] = None
             reduced_sparse: Optional[CooTensor] = None
             waiting = {("push", rank) for rank in range(workers)}
             while waiting:
                 tag, piece = yield from channel.recv_any(waiting)
                 waiting.discard(tag)
                 if self.sparse:
-                    if reduced_sparse is None:
-                        reduced_sparse = piece
+                    if acc is None:
+                        acc = CooAccumulator(piece.length, dtype=piece.values.dtype)
                     else:
                         yield sim.timeout(
                             LOCAL_REDUCE_BASE_S
-                            + (reduced_sparse.nnz + piece.nnz) * LOCAL_REDUCE_PER_PAIR_S
+                            + (acc.nnz + piece.nnz) * LOCAL_REDUCE_PER_PAIR_S
                         )
-                        reduced_sparse = reduced_sparse.add(piece)
+                    acc.add_coo(piece)
                 else:
                     if reduced_dense is None:
                         reduced_dense = piece.copy()
                     else:
                         reduced_dense = reduced_dense + piece
+            if self.sparse and acc is not None:
+                reduced_sparse = acc.drain()
             for rank in range(workers):
                 if self.sparse:
                     nbytes = max(1, reduced_sparse.nbytes)

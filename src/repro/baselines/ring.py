@@ -52,7 +52,7 @@ class RingAllReduce:
         sim = self.cluster.sim
         if len(tensors) != spec.workers:
             raise ValueError(f"expected {spec.workers} tensors, got {len(tensors)}")
-        flats = [np.ascontiguousarray(t).reshape(-1).astype(np.float32) for t in tensors]
+        flats = [np.ascontiguousarray(t, dtype=np.float32).reshape(-1) for t in tensors]
         size = flats[0].size
         if any(f.size != size for f in flats):
             raise ValueError("all workers must supply tensors of equal length")

@@ -17,7 +17,16 @@ from .endtoend import (
 )
 from .conformance import conformance
 from .faults import fault_recovery
-from .harness import ExperimentResult, format_table, sample_count, tensor_elements
+from .harness import (
+    ExperimentResult,
+    cached_tensors,
+    format_table,
+    job_count,
+    parallel_map,
+    sample_count,
+    tensor_elements,
+)
+from .perf import PerfRecord, measure as measure_perf
 from .micro import (
     ablation_streams,
     fig04_dense_allreduce,
@@ -37,6 +46,11 @@ __all__ = [
     "format_table",
     "tensor_elements",
     "sample_count",
+    "job_count",
+    "parallel_map",
+    "cached_tensors",
+    "PerfRecord",
+    "measure_perf",
     "fig01_scalability",
     "fig04_dense_allreduce",
     "fig05_rdma_methods",

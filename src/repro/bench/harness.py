@@ -6,26 +6,40 @@ notes.  :func:`format_table` renders it in the orientation the paper
 prints, so a benchmark run reproduces the same rows/series as the
 original evaluation section.
 
-Experiment sizes honour two environment variables so that the suite can
-be scaled up on a faster machine:
+Experiment sizes honour three environment variables so that the suite
+can be scaled up on a faster machine:
 
 * ``REPRO_TENSOR_MB`` -- microbenchmark tensor size in MB (default 4;
   the paper uses 100 and observes that "tensor size has a low impact on
   the throughput").
 * ``REPRO_SAMPLES`` -- repetitions averaged per data point (default 1).
+* ``REPRO_JOBS`` -- worker processes for sweep fan-out (default 1, i.e.
+  sequential).  Results are bit-identical at any job count because every
+  data point seeds its own RNG and owns its own simulator; see
+  docs/performance.md.
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from functools import partial
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim import kernel
+from ..tensors import block_sparse_tensors
 
 __all__ = [
     "ExperimentResult",
     "format_table",
     "tensor_elements",
     "sample_count",
+    "job_count",
+    "parallel_map",
+    "cached_tensors",
     "DEFAULT_BLOCK_SIZE",
 ]
 
@@ -47,6 +61,92 @@ def sample_count(default: int = 1) -> int:
     if n < 1:
         raise ValueError("REPRO_SAMPLES must be >= 1")
     return n
+
+
+def job_count(default: int = 1) -> int:
+    """Worker processes used by :func:`parallel_map` (env-tunable)."""
+    n = int(os.environ.get("REPRO_JOBS", default))
+    if n < 1:
+        raise ValueError("REPRO_JOBS must be >= 1")
+    return n
+
+
+def _counted_call(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, int]:
+    """Run ``fn(item)`` and report the simulator events it executed.
+
+    Runs inside pool workers; the event delta travels back with the
+    result so the parent can fold it into its own module-level total
+    (a child's counter would otherwise be lost with the process).
+    """
+    before = kernel.events_total()
+    result = fn(item)
+    return result, kernel.events_total() - before
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+    """Map ``fn`` over ``items``, fanning out across ``REPRO_JOBS`` processes.
+
+    With ``REPRO_JOBS=1`` (the default) this is a plain sequential loop.
+    Otherwise items are distributed over a multiprocessing pool; ``fn``
+    and every item must be picklable, which in practice means ``fn`` is
+    a module-level function and items are plain tuples.  Output order
+    always matches input order, and because each data point builds its
+    own cluster and seeds its own RNG, results are identical to the
+    sequential run.  Simulator event counts from the children are folded
+    back into this process's total so ``--timing`` stays accurate.
+    """
+    items = list(items)
+    jobs = min(job_count(), len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    # ``spawn`` gives every worker a fresh interpreter: no inherited
+    # simulator/tensor-cache state, identical behaviour on every OS.
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(jobs) as pool:
+        pairs = pool.map(partial(_counted_call, fn), items)
+    kernel.add_events(sum(events for _, events in pairs))
+    return [result for result, _ in pairs]
+
+
+#: Bounded memo of generated input tensors.  A sweep point asks every
+#: algorithm in its series for the *same* worker tensors (same seed,
+#: sparsity, shape); generating them once per point instead of once per
+#: algorithm removes an O(algorithms) multiplier from sweep setup cost.
+_TENSOR_CACHE: "OrderedDict[tuple, List[np.ndarray]]" = OrderedDict()
+_TENSOR_CACHE_ENTRIES = 16
+
+
+def cached_tensors(
+    workers: int,
+    elements: int,
+    sparsity: float,
+    seed: int = 0,
+    overlap: str = "random",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> List[np.ndarray]:
+    """Memoized :func:`block_sparse_tensors` with a deterministic seed.
+
+    Cached arrays are handed out read-only: every collective treats its
+    inputs as immutable, and the flag turns any future violation into an
+    immediate error instead of silent cross-algorithm corruption.
+    """
+    key = (workers, elements, float(sparsity), seed, overlap, block_size)
+    tensors = _TENSOR_CACHE.get(key)
+    if tensors is None:
+        tensors = block_sparse_tensors(
+            workers, elements, block_size, sparsity,
+            overlap=overlap, rng=np.random.default_rng(seed),
+        )
+        for tensor in tensors:
+            tensor.setflags(write=False)
+        _TENSOR_CACHE[key] = tensors
+        while len(_TENSOR_CACHE) > _TENSOR_CACHE_ENTRIES:
+            _TENSOR_CACHE.popitem(last=False)
+    else:
+        _TENSOR_CACHE.move_to_end(key)
+    return list(tensors)
 
 
 @dataclass

@@ -17,11 +17,12 @@ from ..core import OmniReduce, OmniReduceConfig
 from ..inetwork import InNetworkOmniReduce
 from ..model import PerfModel
 from ..netsim import Cluster, ClusterSpec
-from ..tensors import block_sparse_tensors
 from ..tensors.convert import DEFAULT_CONVERSION_MODEL
 from .harness import (
     DEFAULT_BLOCK_SIZE,
     ExperimentResult,
+    cached_tensors,
+    parallel_map,
     sample_count,
     tensor_elements,
 )
@@ -57,9 +58,11 @@ def _elements_for(bandwidth_gbps: float) -> int:
 
 
 def _tensors(workers, elements, sparsity, seed=0, overlap="random", block_size=DEFAULT_BLOCK_SIZE):
-    return block_sparse_tensors(
-        workers, elements, block_size, sparsity,
-        overlap=overlap, rng=np.random.default_rng(seed),
+    # Memoized: every algorithm in a sweep point's series reuses the
+    # same generated inputs instead of regenerating them per run.
+    return cached_tensors(
+        workers, elements, sparsity, seed=seed, overlap=overlap,
+        block_size=block_size,
     )
 
 
@@ -166,6 +169,27 @@ def fig05_rdma_methods() -> ExperimentResult:
     return result
 
 
+def _fig06_point(task):
+    """One Figure-6 sweep point; module-level so REPRO_JOBS can fan out."""
+    sparsity, elements, workers = task
+    tcp = _spec("tcp", 10.0, workers)
+    rdma = _spec("rdma", 10.0, workers)
+    rdma_colo = _spec("rdma", 10.0, workers, colocated=True)
+    dpdk = _spec("dpdk", 10.0, workers)
+    base = _baseline_time("ring", tcp, elements, sparsity)
+    return dict(
+        sparsity=int(sparsity * 100),
+        omni_rdma=base / _omni_time(rdma, elements, sparsity),
+        omni_rdma_colocated=base / _omni_time(rdma_colo, elements, sparsity),
+        omni_dpdk=base / _omni_time(dpdk, elements, sparsity),
+        sparcml_ssar=base / _baseline_time("sparcml-ssar", tcp, elements, sparsity),
+        sparcml_dsar=base / _baseline_time("sparcml-dsar", tcp, elements, sparsity),
+        agsparse_nccl=base / _baseline_time("agsparse", tcp, elements, sparsity),
+        agsparse_gloo=base / _baseline_time("agsparse-gloo", tcp, elements, sparsity),
+        parallax=base / _baseline_time("parallax", tcp, elements, sparsity),
+    )
+
+
 def fig06_sparse_methods() -> ExperimentResult:
     """Figure 6: sparse-AllReduce speedups over dense NCCL at 10 Gbps."""
     elements = tensor_elements()
@@ -177,29 +201,39 @@ def fig06_sparse_methods() -> ExperimentResult:
          "sparcml_ssar", "sparcml_dsar", "agsparse_nccl", "agsparse_gloo",
          "parallax"],
     )
-    tcp = _spec("tcp", 10.0, workers)
-    rdma = _spec("rdma", 10.0, workers)
-    rdma_colo = _spec("rdma", 10.0, workers, colocated=True)
-    dpdk = _spec("dpdk", 10.0, workers)
-    for sparsity in SPARSITY_GRID:
-        base = _baseline_time("ring", tcp, elements, sparsity)
-        result.add_row(
-            sparsity=int(sparsity * 100),
-            omni_rdma=base / _omni_time(rdma, elements, sparsity),
-            omni_rdma_colocated=base / _omni_time(rdma_colo, elements, sparsity),
-            omni_dpdk=base / _omni_time(dpdk, elements, sparsity),
-            sparcml_ssar=base / _baseline_time("sparcml-ssar", tcp, elements, sparsity),
-            sparcml_dsar=base / _baseline_time("sparcml-dsar", tcp, elements, sparsity),
-            agsparse_nccl=base / _baseline_time("agsparse", tcp, elements, sparsity),
-            agsparse_gloo=base / _baseline_time("agsparse-gloo", tcp, elements, sparsity),
-            parallax=base / _baseline_time("parallax", tcp, elements, sparsity),
-        )
+    rows = parallel_map(
+        _fig06_point, [(sparsity, elements, workers) for sparsity in SPARSITY_GRID]
+    )
+    for row in rows:
+        result.add_row(**row)
     result.notes.append(
         "paper: OmniReduce >= 1.5x always, up to 6.3x DPDK / 16x RDMA at 99%; "
         "SparCML, AGsparse(NCCL), Parallax beneficial only above "
         "90% / 98% / 99% sparsity respectively"
     )
     return result
+
+
+def _fig07_point(task):
+    """One Figure-7 grid point; module-level so REPRO_JOBS can fan out."""
+    sparsity, workers, elements = task
+    tcp = _spec("tcp", 10.0, workers)
+    dpdk = _spec("dpdk", 10.0, workers)
+    base = _baseline_time("ring", tcp, elements, sparsity)
+    return dict(
+        sparsity=int(sparsity * 100),
+        workers=workers,
+        omnireduce=base / _omni_time(dpdk, elements, sparsity),
+        parallax=base / _baseline_time("parallax", tcp, elements, sparsity),
+        sparcml_ssar=base
+        / _baseline_time("sparcml-ssar", tcp, elements, sparsity),
+        sparcml_dsar=base
+        / _baseline_time("sparcml-dsar", tcp, elements, sparsity),
+        agsparse_nccl=base
+        / _baseline_time("agsparse", tcp, elements, sparsity),
+        agsparse_gloo=base
+        / _baseline_time("agsparse-gloo", tcp, elements, sparsity),
+    )
 
 
 def fig07_sparse_scalability() -> ExperimentResult:
@@ -211,25 +245,13 @@ def fig07_sparse_scalability() -> ExperimentResult:
         ["sparsity", "workers", "omnireduce", "parallax", "sparcml_ssar",
          "sparcml_dsar", "agsparse_nccl", "agsparse_gloo"],
     )
-    for sparsity in (0.0, 0.6, 0.8, 0.96):
-        for workers in (2, 4, 8):
-            tcp = _spec("tcp", 10.0, workers)
-            dpdk = _spec("dpdk", 10.0, workers)
-            base = _baseline_time("ring", tcp, elements, sparsity)
-            result.add_row(
-                sparsity=int(sparsity * 100),
-                workers=workers,
-                omnireduce=base / _omni_time(dpdk, elements, sparsity),
-                parallax=base / _baseline_time("parallax", tcp, elements, sparsity),
-                sparcml_ssar=base
-                / _baseline_time("sparcml-ssar", tcp, elements, sparsity),
-                sparcml_dsar=base
-                / _baseline_time("sparcml-dsar", tcp, elements, sparsity),
-                agsparse_nccl=base
-                / _baseline_time("agsparse", tcp, elements, sparsity),
-                agsparse_gloo=base
-                / _baseline_time("agsparse-gloo", tcp, elements, sparsity),
-            )
+    grid = [
+        (sparsity, workers, elements)
+        for sparsity in (0.0, 0.6, 0.8, 0.96)
+        for workers in (2, 4, 8)
+    ]
+    for row in parallel_map(_fig07_point, grid):
+        result.add_row(**row)
     result.notes.append(
         "paper: OmniReduce speedup grows with workers (even dense); "
         "AGsparse speedup *decreases* with workers"
@@ -299,9 +321,8 @@ def fig15_block_size() -> ExperimentResult:
                 samples = sample_count()
 
                 def one(i, sparsity=sparsity, config=config):
-                    tensors = block_sparse_tensors(
-                        workers, elements, block_size, sparsity,
-                        rng=np.random.default_rng(i),
+                    tensors = _tensors(
+                        workers, elements, sparsity, seed=i, block_size=block_size
                     )
                     return OmniReduce(Cluster(spec), config).allreduce(tensors).time_s
 
@@ -358,8 +379,8 @@ def fig18_p4_aggregator() -> ExperimentResult:
     def p4_time(block_size, sparsity, i):
         config = OmniReduceConfig(block_size=block_size)
         inr = InNetworkOmniReduce(workers=workers, bandwidth_gbps=10.0, config=config)
-        tensors = block_sparse_tensors(
-            workers, elements, block_size, sparsity, rng=np.random.default_rng(i)
+        tensors = _tensors(
+            workers, elements, sparsity, seed=i, block_size=block_size
         )
         return inr.allreduce(tensors).time_s
 

@@ -1,0 +1,139 @@
+"""Performance tracking for the simulation engine.
+
+``python -m repro.bench --timing`` wraps every experiment in
+:func:`measure` and writes the records to ``BENCH_netsim.json`` (see
+:func:`write_report`): wall-clock seconds, the number of simulation
+events the engine executed, and the derived events-per-second engine
+throughput.  The committed copy at the repository root is the perf
+baseline; CI's perf-smoke job re-measures and fails when throughput
+regresses by more than :data:`DEFAULT_TOLERANCE` (see
+:func:`compare`).
+
+Events-per-second is the tracked metric rather than wall time because
+it normalizes away experiment-size changes: adding a sweep point adds
+events and seconds together, but a scheduler regression lowers the
+ratio wherever it runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..netsim import kernel
+
+__all__ = [
+    "PerfRecord",
+    "measure",
+    "write_report",
+    "load_report",
+    "compare",
+    "DEFAULT_TOLERANCE",
+    "PERF_SCHEMA",
+]
+
+PERF_SCHEMA = 1
+
+#: Maximum tolerated fractional drop in events/sec before CI fails.
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass
+class PerfRecord:
+    """Timing of one experiment run."""
+
+    wall_s: float
+    events: int
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "events_per_s": round(self.events_per_s, 1),
+        }
+
+
+def measure(fn: Callable[[], Any]) -> Tuple[Any, PerfRecord]:
+    """Run ``fn`` and capture wall time plus simulator events executed."""
+    events_before = kernel.events_total()
+    start = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - start
+    return result, PerfRecord(wall_s=wall, events=kernel.events_total() - events_before)
+
+
+def _environment() -> Dict[str, Any]:
+    """The REPRO_* knobs in effect, recorded for reproducibility."""
+    return {
+        "REPRO_TENSOR_MB": os.environ.get("REPRO_TENSOR_MB", "4"),
+        "REPRO_SAMPLES": os.environ.get("REPRO_SAMPLES", "1"),
+        "REPRO_JOBS": os.environ.get("REPRO_JOBS", "1"),
+    }
+
+
+def write_report(
+    path: str,
+    records: Dict[str, PerfRecord],
+    notes: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write (or merge into) the machine-readable perf report at ``path``.
+
+    Entries for experiments not in ``records`` are preserved, so the
+    baseline can be built up one experiment at a time.
+    """
+    report: Dict[str, Any] = {"schema": PERF_SCHEMA, "environment": _environment()}
+    if os.path.exists(path):
+        existing = load_report(path)
+        report["entries"] = dict(existing.get("entries", {}))
+        if "notes" in existing:
+            report["notes"] = existing["notes"]
+    else:
+        report["entries"] = {}
+    for name, record in records.items():
+        report["entries"][name] = record.to_dict()
+    if notes:
+        report.setdefault("notes", {}).update(notes)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(
+    baseline: Dict[str, Any],
+    records: Dict[str, PerfRecord],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regression messages for runs slower than baseline by > tolerance.
+
+    Only events-per-second regressions are failures.  Experiments absent
+    from the baseline are skipped (new experiments cannot regress).
+    """
+    failures: List[str] = []
+    entries = baseline.get("entries", {})
+    for name, record in records.items():
+        reference = entries.get(name)
+        if not reference:
+            continue
+        ref_rate = float(reference.get("events_per_s", 0.0))
+        if ref_rate <= 0:
+            continue
+        rate = record.events_per_s
+        if rate < ref_rate * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {rate:,.0f} events/s is "
+                f"{1.0 - rate / ref_rate:.0%} below baseline "
+                f"{ref_rate:,.0f} events/s (tolerance {tolerance:.0%})"
+            )
+    return failures

@@ -109,13 +109,15 @@ class _SlotBase:
         self.stats = SlotStats(stream=self.stream)
         # Current block per lane: the initial row (first blocks of range).
         count = min(self.width, stream_range.num_blocks)
-        self.current: List[int] = [stream_range.block_at(c) for c in range(count)]
+        lo, stride = stream_range.lo, stream_range.stride
+        self.current: List[int] = [lo + c * stride for c in range(count)]
         self.num_lanes = count
+        # The §5 immediate with a zero block count; per-packet encoding
+        # just ORs in the count (always < 2**16 here).
+        self._imm_base = encode_immediate("float32", self.reduction, self.stream, 0)
 
     def _multicast(self, result: ResultPacket) -> None:
-        result.immediate = encode_immediate(
-            "float32", self.reduction, self.stream, len(result.lanes)
-        )
+        result.immediate = self._imm_base | len(result.lanes)
         payload_bytes = result.payload_bytes(self.value_bytes)
         for host in self.worker_hosts:
             self.endpoint.send(host, self._worker_port, result, payload_bytes, self.flow)
@@ -135,10 +137,14 @@ class SlotAggregator(_SlotBase):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        # Per-worker next table, the algorithm's ``next[N]`` (l.18).
-        self._next_table = np.full(
-            (self.num_workers, self.num_lanes), NEG_INFINITY, dtype=np.int64
-        )
+        # Per-worker next table, the algorithm's ``next[N]`` (l.18),
+        # stored column-major (one list per lane) as plain ints: the
+        # per-packet update recomputes only the touched lanes' mins,
+        # which beats a numpy (workers x lanes) reduction at these sizes.
+        self._next_cols: List[List[int]] = [
+            [NEG_INFINITY] * self.num_workers for _ in range(self.num_lanes)
+        ]
+        self._mins: List[int] = [NEG_INFINITY] * self.num_lanes
         self._acc: List[Optional[np.ndarray]] = [None] * self.num_lanes
         # Deterministic mode buffers contributions until the round ends.
         self._pending: List[Dict[int, np.ndarray]] = [
@@ -147,23 +153,28 @@ class SlotAggregator(_SlotBase):
 
     def run(self):
         """Generator process: aggregate until every lane reaches infinity."""
-        while not all(block == INFINITY for block in self.current):
+        next_cols = self._next_cols
+        mins = self._mins
+        current = self.current
+        while not all(block == INFINITY for block in current):
             received = yield self.endpoint.recv()
             packet: WorkerPacket = received.payload
             self.stats.packets_received += 1
+            worker_id = packet.worker_id
             for entry in packet.lanes:
                 if entry.data is not None:
                     if self.deterministic:
-                        self._pending[entry.lane][packet.worker_id] = entry.data
+                        self._pending[entry.lane][worker_id] = entry.data
                     else:
                         self._acc[entry.lane] = _combine(
                             self._acc[entry.lane], entry.data, self.reduction
                         )
-                self._next_table[packet.worker_id, entry.lane] = entry.next_block
+                column = next_cols[entry.lane]
+                column[worker_id] = entry.next_block
+                mins[entry.lane] = min(column)
 
-            mins = self._next_table.min(axis=0)
             complete = all(
-                self.current[lane] == INFINITY or self.current[lane] < mins[lane]
+                current[lane] == INFINITY or current[lane] < mins[lane]
                 for lane in range(self.num_lanes)
             )
             if not complete:
@@ -178,7 +189,7 @@ class SlotAggregator(_SlotBase):
                 # -- zero blocks do not travel downward either.
                 if self.deterministic:
                     data = _ordered_reduce(self._pending[lane], self.reduction)
-                    self._pending[lane] = {}
+                    self._pending[lane].clear()
                 else:
                     data = self._acc[lane]
                 lanes.append(
@@ -190,7 +201,13 @@ class SlotAggregator(_SlotBase):
                     )
                 )
                 self.current[lane] = int(mins[lane])
-            self._acc = [None] * self.num_lanes
+            # Reset the accumulator in place: the emitted arrays travel
+            # inside the result packet, so the slot only drops its
+            # references -- the per-round list/dict containers are reused
+            # for the life of the slot.
+            acc = self._acc
+            for lane in range(self.num_lanes):
+                acc[lane] = None
             self.stats.rounds += 1
             self._multicast(ResultPacket(stream=self.stream, version=0, lanes=lanes))
 
@@ -209,11 +226,10 @@ class RecoverySlotAggregator(_SlotBase):
             0: [dict() for _ in range(lanes)],
             1: [dict() for _ in range(lanes)],
         }
-        self._min_next = {
-            0: np.full(lanes, INFINITY, dtype=np.int64),
-            1: np.full(lanes, INFINITY, dtype=np.int64),
-        }
-        self._seen = {0: np.zeros(workers, bool), 1: np.zeros(workers, bool)}
+        # Plain-int state: these are touched once per received packet,
+        # where list indexing beats numpy scalar indexing handily.
+        self._min_next = {0: [INFINITY] * lanes, 1: [INFINITY] * lanes}
+        self._seen = {0: [False] * workers, 1: [False] * workers}
         self._count = {0: 0, 1: 0}
         self._last_result: Dict[int, ResultPacket] = {}
 
@@ -246,10 +262,18 @@ class RecoverySlotAggregator(_SlotBase):
             self._count[version] += 1
             first_of_round = self._count[version] == 1
             if first_of_round:
-                self._min_next[version][:] = INFINITY
-                self._acc[version] = [None] * self.num_lanes
-                self._pending[version] = [dict() for _ in range(self.num_lanes)]
+                # Overwrite-on-first-packet reset (Alg. 2), reusing the
+                # version's containers rather than reallocating them.
+                min_next = self._min_next[version]
+                for lane in range(self.num_lanes):
+                    min_next[lane] = INFINITY
+                acc = self._acc[version]
+                for lane in range(self.num_lanes):
+                    acc[lane] = None
+                for pending in self._pending[version]:
+                    pending.clear()
 
+            min_next = self._min_next[version]
             for entry in packet.lanes:
                 if entry.data is not None:
                     if self.deterministic:
@@ -258,9 +282,8 @@ class RecoverySlotAggregator(_SlotBase):
                         self._acc[version][entry.lane] = _combine(
                             self._acc[version][entry.lane], entry.data, self.reduction
                         )
-                self._min_next[version][entry.lane] = min(
-                    self._min_next[version][entry.lane], entry.next_block
-                )
+                if entry.next_block < min_next[entry.lane]:
+                    min_next[entry.lane] = entry.next_block
 
             if self._count[version] < self.num_workers:
                 continue

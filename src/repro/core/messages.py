@@ -12,7 +12,6 @@ count 16 bits); the RDMA path attaches it to every message.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -69,7 +68,16 @@ def decode_immediate(imm: int) -> Tuple[str, str, int, int]:
     return data_type, opcode, slot_id, num_blocks
 
 
-@dataclass
+def _lanes_payload_bytes(lanes: List["LaneEntry"], value_bytes: int) -> int:
+    """Wire bytes of a lane list: offsets per lane plus any data."""
+    size = PACKET_FIXED_BYTES + 2 * OFFSET_BYTES * len(lanes)
+    for lane in lanes:
+        data = lane.data
+        if data is not None:
+            size += data.size * value_bytes
+    return size
+
+
 class LaneEntry:
     """One fused block inside a packet.
 
@@ -78,12 +86,31 @@ class LaneEntry:
     sender's next non-zero block in this lane / the aggregator's next
     request.  ``data`` is ``None`` in pure-metadata entries (acks, and
     result lanes that finished).
+
+    A ``__slots__`` class rather than a dataclass: the protocol creates
+    one per fused column per packet, making this one of the hottest
+    allocations in the simulator.
     """
 
-    lane: int
-    block: int
-    next_block: int
-    data: Optional[np.ndarray] = None
+    __slots__ = ("lane", "block", "next_block", "data")
+
+    def __init__(
+        self,
+        lane: int,
+        block: int,
+        next_block: int,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        self.lane = lane
+        self.block = block
+        self.next_block = next_block
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (
+            f"LaneEntry(lane={self.lane}, block={self.block}, "
+            f"next_block={self.next_block}, data={self.data!r})"
+        )
 
     def payload_bytes(self, value_bytes: int = 4) -> int:
         size = 2 * OFFSET_BYTES  # block index + next offset
@@ -92,7 +119,6 @@ class LaneEntry:
         return size
 
 
-@dataclass
 class WorkerPacket:
     """Worker -> aggregator: fused non-zero blocks plus look-ahead metadata.
 
@@ -100,33 +126,61 @@ class WorkerPacket:
     attaches to every message (type, opcode, slot id, block count).
     """
 
-    worker_id: int
-    stream: int
-    version: int
-    lanes: List[LaneEntry] = field(default_factory=list)
-    is_ack: bool = False
-    immediate: Optional[int] = None
+    __slots__ = ("worker_id", "stream", "version", "lanes", "is_ack", "immediate")
+
+    def __init__(
+        self,
+        worker_id: int,
+        stream: int,
+        version: int,
+        lanes: Optional[List[LaneEntry]] = None,
+        is_ack: bool = False,
+        immediate: Optional[int] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.stream = stream
+        self.version = version
+        self.lanes = [] if lanes is None else lanes
+        self.is_ack = is_ack
+        self.immediate = immediate
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPacket(worker_id={self.worker_id}, stream={self.stream}, "
+            f"version={self.version}, lanes={self.lanes!r}, "
+            f"is_ack={self.is_ack}, immediate={self.immediate})"
+        )
 
     def payload_bytes(self, value_bytes: int = 4) -> int:
-        return PACKET_FIXED_BYTES + sum(
-            lane.payload_bytes(value_bytes) for lane in self.lanes
-        )
+        return _lanes_payload_bytes(self.lanes, value_bytes)
 
     @property
     def has_data(self) -> bool:
         return any(lane.data is not None for lane in self.lanes)
 
 
-@dataclass
 class ResultPacket:
     """Aggregator -> workers: aggregated blocks plus next-block requests."""
 
-    stream: int
-    version: int
-    lanes: List[LaneEntry] = field(default_factory=list)
-    immediate: Optional[int] = None
+    __slots__ = ("stream", "version", "lanes", "immediate")
+
+    def __init__(
+        self,
+        stream: int,
+        version: int,
+        lanes: Optional[List[LaneEntry]] = None,
+        immediate: Optional[int] = None,
+    ) -> None:
+        self.stream = stream
+        self.version = version
+        self.lanes = [] if lanes is None else lanes
+        self.immediate = immediate
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultPacket(stream={self.stream}, version={self.version}, "
+            f"lanes={self.lanes!r}, immediate={self.immediate})"
+        )
 
     def payload_bytes(self, value_bytes: int = 4) -> int:
-        return PACKET_FIXED_BYTES + sum(
-            lane.payload_bytes(value_bytes) for lane in self.lanes
-        )
+        return _lanes_payload_bytes(self.lanes, value_bytes)

@@ -19,8 +19,9 @@ column (Figure 3).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -164,24 +165,37 @@ class FusionLayout:
             raise ValueError("fusion width must be >= 1")
         self.view = view
         self.range = stream_range
-        self.width = min(width, max(1, stream_range.num_blocks))
         lo, hi, stride = stream_range.lo, stream_range.hi, stream_range.stride
+        nb = -(-(hi - lo) // stride) if hi > lo else 0
+        self.width = min(width, max(1, nb))
+        w = self.width
+        in_range: Sequence[int]
         if assume_dense:
-            in_range = np.arange(lo, hi, stride, dtype=np.int64)
+            in_range = range(lo, hi, stride)
+        elif lo < stride and hi >= view.blocks:
+            # The planner's striped streams (lo = stream id < stride,
+            # hi = total blocks) hit the per-view residue-class cache: one
+            # pass over the non-zero list serves every stream of the plan.
+            in_range = view.stride_column(stride, lo)
         else:
             indices = view.nonzero_indices
             pos_lo = int(np.searchsorted(indices, lo, side="left"))
             pos_hi = int(np.searchsorted(indices, hi, side="left"))
             window = indices[pos_lo:pos_hi]
-            in_range = window[(window - lo) % stride == 0]
-        self._columns: List[np.ndarray] = []
-        if in_range.size:
-            positions = (in_range - lo) // stride
-            lanes = positions % self.width
-            for lane in range(self.width):
-                self._columns.append(np.asarray(in_range[lanes == lane]))
+            in_range = window[(window - lo) % stride == 0].tolist()
+        # The columns are plain lists: the per-packet lane lookups below
+        # use ``bisect`` on them, which is ~10x cheaper per call than
+        # ``np.searchsorted`` on arrays this small (<= nnz / streams).
+        if w == 1:
+            self._column_lists: List[List[int]] = [list(in_range)]
         else:
-            self._columns = [np.empty(0, dtype=np.int64) for _ in range(self.width)]
+            columns: List[List[int]] = [[] for _ in range(w)]
+            for block in in_range:
+                columns[((block - lo) // stride) % w].append(block)
+            self._column_lists = columns
+        self._column_arrays: Optional[List[np.ndarray]] = None
+        count = min(w, nb)
+        self._first_row: List[int] = [lo + c * stride for c in range(count)]
 
     @property
     def num_lanes(self) -> int:
@@ -193,24 +207,27 @@ class FusionLayout:
 
     def first_row(self) -> List[int]:
         """Block indices of the initial row (one per lane, lane order)."""
-        count = min(self.width, self.range.num_blocks)
-        return [self.range.block_at(c) for c in range(count)]
+        return list(self._first_row)
 
     def is_listed(self, lane: int, block: int) -> bool:
         """True when ``block`` is one of the lane's transmittable blocks
         (non-zero, or every block in dense mode)."""
-        column = self._columns[lane]
-        pos = int(np.searchsorted(column, block, side="left"))
-        return pos < column.size and int(column[pos]) == block
+        column = self._column_lists[lane]
+        pos = bisect_left(column, block)
+        return pos < len(column) and column[pos] == block
 
     def next_in_lane(self, lane: int, after_block: int) -> int:
         """Worker's next transmittable block in ``lane`` strictly after
         ``after_block``; :data:`~repro.tensors.blocks.INFINITY` if none."""
-        column = self._columns[lane]
-        pos = int(np.searchsorted(column, after_block, side="right"))
-        if pos >= column.size:
+        column = self._column_lists[lane]
+        pos = bisect_right(column, after_block)
+        if pos >= len(column):
             return INFINITY
-        return int(column[pos])
+        return column[pos]
 
     def nonzero_in_lane(self, lane: int) -> np.ndarray:
-        return self._columns[lane]
+        if self._column_arrays is None:
+            self._column_arrays = [
+                np.asarray(column, dtype=np.int64) for column in self._column_lists
+            ]
+        return self._column_arrays[lane]

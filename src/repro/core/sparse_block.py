@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..netsim.cluster import Cluster
+from ..tensors.accumulate import CooAccumulator
 from ..tensors.blocks import INFINITY, NEG_INFINITY
 from ..tensors.sparse import CooTensor, INDEX_BYTES, VALUE_BYTES
 from .collective import CollectiveResult
@@ -95,7 +96,8 @@ class SparseOmniReduce:
         worker_hosts = cluster.worker_hosts
         # Key space split into contiguous shards.
         bounds = np.linspace(0, length, self.shards + 1).astype(np.int64)
-        outputs: List[Dict[int, float]] = [dict() for _ in range(workers)]
+        # Per-rank flushed (keys, values) array pairs, merged at the end.
+        outputs: List[List[tuple]] = [[] for _ in range(workers)]
 
         worker_processes = []
         for shard in range(self.shards):
@@ -108,31 +110,33 @@ class SparseOmniReduce:
             def aggregator_proc(
                 endpoint=agg_endpoint, lo=key_lo, hi=key_hi, worker_port=worker_port
             ):
-                memory: Dict[int, float] = {}
+                # The slot's keyed memory: a reusable dense-scratch
+                # accumulator over this shard's key range.  Each packet
+                # is one vectorized scatter-add (O(nnz), no per-key
+                # boxing); a frontier advance flushes everything below
+                # the watermark in one sorted extraction.  float64
+                # scratch matches the Python-float accumulation this
+                # replaces.
+                acc = CooAccumulator(hi - lo, dtype=np.float64)
                 nextkey = np.full(workers, NEG_INFINITY, dtype=np.int64)
                 sent_to = lo
                 done = False
                 while not done:
                     received = yield endpoint.recv()
                     packet: _KvPacket = received.payload
-                    for key, value in zip(packet.keys, packet.values):
-                        memory[int(key)] = memory.get(int(key), 0.0) + float(value)
+                    acc.add(
+                        np.asarray(packet.keys, dtype=np.int64) - lo, packet.values
+                    )
                     nextkey[packet.worker_id] = packet.nextkey
                     frontier = int(nextkey.min())
                     if frontier <= sent_to:
                         continue
-                    flush_keys = sorted(
-                        k for k in memory if sent_to <= k < min(frontier, hi)
-                    )
+                    flush_keys, flush_values = acc.take_below(min(frontier, hi) - lo)
                     result = _KvResult(
-                        keys=np.array(flush_keys, dtype=np.int64),
-                        values=np.array(
-                            [memory[k] for k in flush_keys], dtype=np.float32
-                        ),
+                        keys=flush_keys + lo,
+                        values=flush_values.astype(np.float32),
                         frontier=frontier,
                     )
-                    for key in flush_keys:
-                        del memory[key]
                     sent_to = frontier
                     for rank_i, host in enumerate(worker_hosts):
                         endpoint.send(
@@ -181,9 +185,8 @@ class SparseOmniReduce:
                     while True:
                         received = yield endpoint.recv()
                         result: _KvResult = received.payload
-                        store = outputs[rank]
-                        for key, value in zip(result.keys, result.values):
-                            store[int(key)] = float(value)
+                        if result.keys.size:
+                            outputs[rank].append((result.keys, result.values))
                         if result.frontier >= INFINITY:
                             return sim.now
                         if cursor < keys.size and result.frontier >= int(keys[cursor]):
@@ -196,9 +199,17 @@ class SparseOmniReduce:
         sim.run(until=sim.all_of(worker_processes))
 
         coo_outputs = []
-        for store in outputs:
-            keys = np.array(sorted(store), dtype=np.int64)
-            values = np.array([store[int(k)] for k in keys], dtype=np.float32)
+        for flushed in outputs:
+            if flushed:
+                keys = np.concatenate([k for k, _ in flushed])
+                values = np.concatenate([v for _, v in flushed])
+                # Flush ranges are disjoint but interleave across shards.
+                order = np.argsort(keys, kind="stable")
+                keys = keys[order]
+                values = values[order].astype(np.float32)
+            else:
+                keys = np.empty(0, dtype=np.int64)
+                values = np.empty(0, dtype=np.float32)
             coo_outputs.append(CooTensor(indices=keys, values=values, length=length))
         dense_outputs = [c.to_dense() for c in coo_outputs]
         result = CollectiveResult(

@@ -80,6 +80,10 @@ class _StreamWorkerBase:
         self.prefetch = prefetch
         self.down_engine = down_engine
         self.readiness = readiness
+        # With neither a readiness schedule nor a prefetch plan, every
+        # block is available immediately: the per-packet delay scan
+        # always returns 0 and is skipped wholesale.
+        self._gated = readiness is not None or prefetch is not None
         self.start_delay_s = start_delay_s
         self.agg_host = agg_host
         stream = layout.range.stream
@@ -94,6 +98,9 @@ class _StreamWorkerBase:
         self.finished = False
         self.reduction = reduction
         self.stats = StreamWorkerStats(worker_id=worker_id, stream=stream)
+        # The §5 immediate with a zero block count; per-packet encoding
+        # just ORs in the count (always < 2**16 here).
+        self._imm_base = encode_immediate("float32", reduction, stream, 0)
         # Worker-local next non-zero pointer per lane (the algorithm's
         # ``next`` variable), initialized past the first row.
         self.my_next: List[int] = [
@@ -125,10 +132,23 @@ class _StreamWorkerBase:
         """Write aggregated blocks into the local tensor; book the
         host->GPU copy on the downward engine."""
         nbytes = 0
+        view = self.view
+        flat = view.flat
+        block_size = view.block_size
+        flat_size = flat.size
         for entry in packet.lanes:
-            if entry.data is not None:
-                self.view.set_block(entry.block, entry.data)
-                nbytes += entry.data.size * self.value_bytes
+            data = entry.data
+            if data is not None:
+                # Inlined BlockView.set_block (protocol-produced blocks
+                # are always in range and block-sized): store the
+                # in-range prefix, zero-padding semantics for the tail.
+                start = entry.block * block_size
+                end = start + block_size
+                if end <= flat_size:
+                    flat[start:end] = data
+                else:
+                    flat[start:flat_size] = data[: flat_size - start]
+                nbytes += data.size * self.value_bytes
         if nbytes and self.down_engine is not None:
             self.down_engine.reserve(nbytes, self.sim.now)
 
@@ -142,18 +162,13 @@ class _StreamWorkerBase:
         zero blocks ever crossing the wire.
         """
         entries = []
-        for lane, block in enumerate(self.layout.first_row()):
-            data = None
-            if self.layout.is_listed(lane, block):
-                data = self.contrib.get_block(block)
-            entries.append(
-                LaneEntry(
-                    lane=lane,
-                    block=block,
-                    next_block=self.my_next[lane],
-                    data=data,
-                )
-            )
+        layout = self.layout
+        is_listed = layout.is_listed
+        get_block = self.contrib.get_block
+        my_next = self.my_next
+        for lane, block in enumerate(layout.first_row()):
+            data = get_block(block) if is_listed(lane, block) else None
+            entries.append(LaneEntry(lane, block, my_next[lane], data))
         return WorkerPacket(
             worker_id=self.worker_id,
             stream=self.stream,
@@ -163,9 +178,7 @@ class _StreamWorkerBase:
 
     def _send(self, packet: WorkerPacket) -> None:
         # Attach the §5 32-bit immediate (type, opcode, slot id, blocks).
-        packet.immediate = encode_immediate(
-            "float32", self.reduction, self.stream, len(packet.lanes)
-        )
+        packet.immediate = self._imm_base | len(packet.lanes)
         self.endpoint.send(
             self.agg_host,
             self.agg_port,
@@ -184,6 +197,8 @@ class _StreamWorkerBase:
     def _data_delay(self, packet: WorkerPacket) -> float:
         """Seconds to wait until every data block in ``packet`` has been
         prefetched into host memory."""
+        if not self._gated:
+            return 0.0
         avail = self.sim.now
         for entry in packet.lanes:
             if entry.data is not None:
@@ -230,10 +245,15 @@ class StreamWorker(_StreamWorkerBase):
         self._send(first)
 
         lanes_done = [False] * self.layout.num_lanes
+        my_next = self.my_next
+        next_in_lane = self.layout.next_in_lane
+        get_block = self.contrib.get_block
+        recv = self.endpoint.recv
+        stats = self.stats
         while not all(lanes_done):
-            received = yield self.endpoint.recv()
+            received = yield recv()
             result: ResultPacket = received.payload
-            self.stats.rounds += 1
+            stats.rounds += 1
             self._store_result_lanes(result)
 
             response_lanes: List[LaneEntry] = []
@@ -242,15 +262,15 @@ class StreamWorker(_StreamWorkerBase):
                 if requested == INFINITY:
                     lanes_done[entry.lane] = True
                     continue
-                if requested == self.my_next[entry.lane]:
-                    next_after = self.layout.next_in_lane(entry.lane, requested)
-                    self.my_next[entry.lane] = next_after
+                if requested == my_next[entry.lane]:
+                    next_after = next_in_lane(entry.lane, requested)
+                    my_next[entry.lane] = next_after
                     response_lanes.append(
                         LaneEntry(
-                            lane=entry.lane,
-                            block=requested,
-                            next_block=next_after,
-                            data=self.contrib.get_block(requested),
+                            entry.lane,
+                            requested,
+                            next_after,
+                            get_block(requested),
                         )
                     )
             if response_lanes:
@@ -304,7 +324,8 @@ class RecoveryStreamWorker(_StreamWorkerBase):
     # -- timer management --------------------------------------------------
 
     def _arm_timer(self) -> None:
-        self._timer = self.sim.call_after(self._current_timeout_s, self._on_timeout)
+        sim = self.sim
+        self._timer = sim.call_at(sim.now + self._current_timeout_s, self._on_timeout)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -353,50 +374,55 @@ class RecoveryStreamWorker(_StreamWorkerBase):
                 yield sim.timeout(delay)
             self._transmit(first)
 
+            my_next = self.my_next
+            next_in_lane = self.layout.next_in_lane
+            get_block = self.contrib.get_block
+            recv = self.endpoint.recv
             while True:
-                received = yield self.endpoint.recv()
+                received = yield recv()
                 result: ResultPacket = received.payload
                 if result.version != version:
                     continue  # duplicate result for an already-processed round
-                self._cancel_timer()
+                # Inlined _cancel_timer/_reset_backoff (per valid result).
+                timer = self._timer
+                if timer is not None:
+                    sim.cancel(timer)
+                    self._timer = None
                 self._outstanding = None
-                self._reset_backoff()
+                self._current_timeout_s = self.timeout_s
                 self.stats.rounds += 1
                 self._store_result_lanes(result)
 
-                active = [
-                    entry for entry in result.lanes if entry.next_block != INFINITY
-                ]
-                if not active:
-                    break  # every lane signalled infinity: reduction complete
-
-                version ^= 1
+                # One pass: finished lanes (next == infinity) contribute
+                # no response entry, so an empty response list means the
+                # reduction is complete.
                 response_lanes: List[LaneEntry] = []
                 has_data = False
-                for entry in active:
+                for entry in result.lanes:
                     requested = entry.next_block
-                    if requested == self.my_next[entry.lane]:
-                        next_after = self.layout.next_in_lane(entry.lane, requested)
-                        self.my_next[entry.lane] = next_after
+                    if requested == INFINITY:
+                        continue
+                    if requested == my_next[entry.lane]:
+                        next_after = next_in_lane(entry.lane, requested)
+                        my_next[entry.lane] = next_after
                         response_lanes.append(
                             LaneEntry(
-                                lane=entry.lane,
-                                block=requested,
-                                next_block=next_after,
-                                data=self.contrib.get_block(requested),
+                                entry.lane,
+                                requested,
+                                next_after,
+                                get_block(requested),
                             )
                         )
                         has_data = True
                     else:
                         # Empty acknowledgment lane: echo my next (Alg. 2 l.19).
                         response_lanes.append(
-                            LaneEntry(
-                                lane=entry.lane,
-                                block=requested,
-                                next_block=self.my_next[entry.lane],
-                                data=None,
-                            )
+                            LaneEntry(entry.lane, requested, my_next[entry.lane], None)
                         )
+                if not response_lanes:
+                    break  # every lane signalled infinity: reduction complete
+
+                version ^= 1
                 packet = WorkerPacket(
                     worker_id=self.worker_id,
                     stream=self.stream,

@@ -19,6 +19,28 @@ loss-recovery code uses for retransmission timers.
 The design follows the "explicit is better than implicit" rule: no global
 simulator instance exists; every component receives the simulator object
 it belongs to.
+
+Performance notes (see docs/performance.md for measurements)
+------------------------------------------------------------
+
+The event loop is the single hottest code path of every experiment --
+millions of scheduled callbacks per data point -- so its representation
+is chosen for CPython speed:
+
+* Heap entries are plain ``[time, seq, fn, args]`` lists.  ``heapq``
+  then compares entries with the C implementation of list comparison
+  (floats, then the unique sequence number, never reaching ``fn``),
+  instead of calling back into a Python ``__lt__``.  Lists rather than
+  tuples because cancellation mutates ``entry[2]`` in place.
+* Cancelled entries are tombstoned (``fn = None``) and skipped on pop;
+  when tombstones outnumber live heap entries the heap is compacted in
+  one C-speed ``heapify`` pass, so heavy retransmit-timer churn cannot
+  grow the heap without bound.
+* Same-time callbacks (event triggers, queue hand-offs, process starts)
+  bypass the heap entirely: they are appended to a FIFO ready deque and
+  interleaved with heap entries by sequence number, preserving the
+  global (time, seq) execution order exactly while skipping the
+  ``heappush``/``heappop`` sift cost.
 """
 
 from __future__ import annotations
@@ -39,10 +61,16 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "Interrupt",
+    "events_total",
+    "add_events",
 ]
 
 #: Type of a process body: a generator that yields events.
 ProcessBody = Generator["Event", Any, Any]
+
+#: A scheduled-callback handle: ``[time, seq, fn, args]``.  Opaque to
+#: callers; pass it back to :meth:`Simulator.cancel`.
+ScheduledHandle = List[Any]
 
 
 class SimulationError(RuntimeError):
@@ -84,7 +112,10 @@ class Event:
         self.sim = sim
         self._value: Any = None
         self._triggered = False
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: most events in a run are mailbox gets with
+        # at most one waiter, and events that trigger before anyone
+        # waits never allocate a list at all.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
 
     @property
     def triggered(self) -> bool:
@@ -102,14 +133,19 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.call_at(self.sim.now, callback, self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            call_soon = self.sim._call_soon
+            for callback in callbacks:
+                call_soon(callback, self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._triggered:
-            self.sim.call_at(self.sim.now, callback, self)
+            self.sim._call_soon(callback, self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -190,8 +226,12 @@ class Queue:
     def get(self) -> Event:
         """Return an event that fires with the next item."""
         event = Event(self.sim)
-        if self._items:
-            event.succeed(self._items.popleft())
+        items = self._items
+        if items:
+            # Inlined :meth:`Event.succeed` on a fresh event (no
+            # waiters can exist yet, so there is nothing to schedule).
+            event._triggered = True
+            event._value = items.popleft()
         else:
             self._getters.append(event)
         return event
@@ -218,7 +258,7 @@ class Process(Event):
         self.body = body
         self.name = name or getattr(body, "__name__", "process")
         self._interrupting = False
-        sim.call_at(sim.now, self._resume, _INIT)
+        sim._call_soon(self._resume, _INIT)
 
     def _resume(self, event_or_init: Any) -> None:
         if self._triggered:
@@ -230,7 +270,9 @@ class Process(Event):
         if event_or_init is _INIT:
             send_value = None
         else:
-            send_value = event_or_init.value
+            # Direct slot read: resume callbacks only ever run on
+            # triggered events, so the property's guard is redundant.
+            send_value = event_or_init._value
         try:
             target = self.body.send(send_value)
         except StopIteration as stop:
@@ -254,7 +296,7 @@ class Process(Event):
         if self._triggered or self._interrupting:
             return
         self._interrupting = True
-        self.sim.call_at(self.sim.now, self._throw, cause)
+        self.sim._call_soon(self._throw, cause)
 
     def _throw(self, cause: Any) -> None:
         if self._triggered:
@@ -283,31 +325,60 @@ class _InitSentinel:
 
 _INIT = _InitSentinel()
 
+#: Compact the heap only once tombstones could plausibly dominate; below
+#: this size a rebuild costs more than the dead entries ever will.
+_COMPACT_MIN_DEAD = 64
 
-class _Scheduled:
-    """Heap entry for a scheduled callback.  Cancellation clears ``fn``."""
+#: Process-wide count of executed simulation events, aggregated at
+#: :meth:`Simulator.run` boundaries (see :func:`events_total`).
+_events_total = 0
 
-    __slots__ = ("time", "seq", "fn", "args")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
+def events_total() -> int:
+    """Total simulation events executed in this process.
 
-    def __lt__(self, other: "_Scheduled") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    The counter aggregates every :class:`Simulator`'s executed steps when
+    its :meth:`Simulator.run` returns, so the bench layer can report
+    events-per-second for an experiment that creates many simulators.
+    (Steps driven manually via :meth:`Simulator.step` outside ``run`` are
+    counted the next time that simulator's ``run`` finishes.)
+    """
+    return _events_total
+
+
+def add_events(count: int) -> None:
+    """Fold an externally executed event count into the process total.
+
+    Used by the bench layer's multiprocessing sweep runner: pool workers
+    report how many events they executed, and the parent folds the
+    counts in here so :func:`events_total` covers the whole sweep.
+    """
+    global _events_total
+    _events_total += int(count)
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a priority queue of callbacks."""
+    """The event loop: a virtual clock plus a priority queue of callbacks.
+
+    Scheduled callbacks live in two structures sharing one sequence-number
+    space: a binary heap for future times and a FIFO deque (``_ready``)
+    for callbacks at the current time.  :meth:`step` always executes the
+    globally smallest ``(time, seq)`` entry, so the split is invisible to
+    protocol code -- it exists purely to keep same-time wakeups (the
+    overwhelmingly common case: packet hand-offs, event triggers) off the
+    heap.
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[_Scheduled] = []
+        self._heap: List[ScheduledHandle] = []
+        self._ready: Deque[ScheduledHandle] = deque()
         self._seq = itertools.count()
         self._live_callbacks = 0
+        self._dead = 0
         self._step_observers: List[Callable[[float], None]] = []
+        self.events_executed = 0
+        self._events_reported = 0
 
     # -- observation -------------------------------------------------------
 
@@ -326,7 +397,7 @@ class Simulator:
 
     # -- scheduling primitives -------------------------------------------
 
-    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> _Scheduled:
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> ScheduledHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``.
 
         Returns a handle usable with :meth:`cancel`.
@@ -335,21 +406,60 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now={self.now}"
             )
-        entry = _Scheduled(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, entry)
+        entry: ScheduledHandle = [time, next(self._seq), fn, args]
+        if time == self.now:
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         self._live_callbacks += 1
         return entry
 
-    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> _Scheduled:
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> ScheduledHandle:
         """Schedule ``fn(*args)`` after a relative simulated ``delay``."""
         return self.call_at(self.now + delay, fn, *args)
 
-    def cancel(self, handle: _Scheduled) -> None:
-        """Cancel a scheduled callback (safe to call after it fired)."""
-        if handle.fn is not None:
-            handle.fn = None
-            handle.args = ()
+    def _call_soon(self, fn: Callable[..., None], *args: Any) -> ScheduledHandle:
+        """Immediate-wakeup fast path: schedule ``fn(*args)`` at ``now``.
+
+        Equivalent to ``call_at(self.now, fn, *args)`` -- same sequence
+        space, same FIFO tie-breaking -- but skips the past-check and the
+        heap routing.  Event triggers and process starts funnel through
+        here, which is the hottest scheduling call in any run.
+        """
+        entry: ScheduledHandle = [self.now, next(self._seq), fn, args]
+        self._ready.append(entry)
+        self._live_callbacks += 1
+        return entry
+
+    def cancel(self, handle: ScheduledHandle) -> None:
+        """Cancel a scheduled callback (safe to call after it fired).
+
+        Cancellation tombstones the entry in place; the tombstone is
+        dropped when it surfaces at the heap top, or eagerly when dead
+        entries outnumber live ones (:meth:`_compact`), so repeated
+        arm/cancel cycles -- retransmission timers under churn -- keep
+        the heap size proportional to *live* timers only.
+        """
+        if handle[2] is not None:
+            handle[2] = None
+            handle[3] = ()
             self._live_callbacks -= 1
+            self._dead += 1
+            if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify (one C pass).
+
+        Mutates the heap list in place: the main loop holds aliases to
+        ``self._heap``, which must stay valid across a compaction
+        triggered by a cancel inside a running callback.
+        """
+        self._heap[:] = [entry for entry in self._heap if entry[2] is not None]
+        heapq.heapify(self._heap)
+        # Tombstones may also sit in the ready deque; they drain within
+        # the current timestep, so only the heap needs rebuilding.
+        self._dead = 0
 
     # -- event construction helpers --------------------------------------
 
@@ -372,22 +482,46 @@ class Simulator:
     # -- main loop --------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the next scheduled callback.  Returns False when idle."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.fn is None:
-                continue  # cancelled
-            self._live_callbacks -= 1
-            self.now = entry.time
-            if self._step_observers:
-                for observer in self._step_observers:
-                    observer(entry.time)
-            fn, args = entry.fn, entry.args
-            entry.fn = None
-            entry.args = ()
-            fn(*args)
-            return True
-        return False
+        """Execute the next scheduled callback.  Returns False when idle.
+
+        "Next" means the globally smallest ``(time, seq)`` over both the
+        heap and the ready deque; ready entries are always at the current
+        time, so the heap only wins a tie-break when it holds an entry
+        scheduled at ``now`` *before* the ready entry was.
+        """
+        heap = self._heap
+        ready = self._ready
+        while True:
+            # Surface a live heap head so the tie-break below sees it.
+            while heap and heap[0][2] is None:
+                heapq.heappop(heap)
+                if self._dead:
+                    self._dead -= 1
+            if ready:
+                if heap and heap[0][0] == self.now and heap[0][1] < ready[0][1]:
+                    entry = heapq.heappop(heap)
+                else:
+                    entry = ready.popleft()
+                    if entry[2] is None:  # cancelled same-time callback
+                        if self._dead:
+                            self._dead -= 1
+                        continue
+            elif heap:
+                entry = heapq.heappop(heap)
+            else:
+                return False
+            break
+        time, _seq, fn, args = entry
+        self._live_callbacks -= 1
+        self.now = time
+        self.events_executed += 1
+        if self._step_observers:
+            for observer in self._step_observers:
+                observer(time)
+        entry[2] = None
+        entry[3] = ()
+        fn(*args)
+        return True
 
     def run(self, until: Optional[Event] = None, max_time: float = float("inf")) -> Any:
         """Run until ``until`` fires, the clock passes ``max_time``, or the
@@ -396,15 +530,71 @@ class Simulator:
         Returns ``until.value`` when ``until`` is given and fired.  Raises
         :class:`DeadlockError` if ``until`` is given but can never fire.
         """
-        while True:
-            if until is not None and until.triggered:
-                return until.value
-            if not self._heap or self._live_callbacks == 0:
-                if until is not None and not until.triggered:
-                    raise DeadlockError(
-                        f"simulation drained at t={self.now} before target event fired"
-                    )
-                return None
-            if self._heap[0].time > max_time:
-                return None
-            self.step()
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        # Observer registration mutates this same list object, so a
+        # mid-run ``add_step_observer`` is still seen by the bound local.
+        step_observers = self._step_observers
+        # Local clock mirror: only this loop ever advances ``self.now``,
+        # so the mirror stays exact while saving an attribute load per
+        # event in the comparisons below.
+        now = self.now
+        try:
+            while True:
+                if until is not None and until._triggered:
+                    return until.value
+                if (not heap and not ready) or self._live_callbacks == 0:
+                    if until is not None and not until._triggered:
+                        raise DeadlockError(
+                            f"simulation drained at t={self.now} before target event fired"
+                        )
+                    return None
+                if ready:
+                    if now > max_time:
+                        return None
+                elif heap[0][0] > max_time:
+                    return None
+                # Inlined :meth:`step` (same selection logic, minus the
+                # per-event method call): this loop runs once per
+                # simulation event, millions of times per experiment.
+                while True:
+                    while heap and heap[0][2] is None:
+                        heappop(heap)
+                        if self._dead:
+                            self._dead -= 1
+                    if ready:
+                        if heap and heap[0][0] == now and heap[0][1] < ready[0][1]:
+                            entry = heappop(heap)
+                        else:
+                            entry = ready.popleft()
+                            if entry[2] is None:  # cancelled same-time callback
+                                if self._dead:
+                                    self._dead -= 1
+                                continue
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
+                    time, _seq, fn, args = entry
+                    self._live_callbacks -= 1
+                    now = time
+                    self.now = time
+                    self.events_executed += 1
+                    if step_observers:
+                        for observer in step_observers:
+                            observer(time)
+                    entry[2] = None
+                    entry[3] = ()
+                    fn(*args)
+                    break
+        finally:
+            self._flush_event_count()
+
+    def _flush_event_count(self) -> None:
+        """Fold this simulator's executed steps into the process total."""
+        global _events_total
+        delta = self.events_executed - self._events_reported
+        if delta:
+            self._events_reported = self.events_executed
+            _events_total += delta

@@ -69,13 +69,28 @@ class Host:
     def __init__(self, sim: Simulator, name: str, config: HostConfig) -> None:
         self.sim = sim
         self.name = name
-        self.config = config
         self._ports: Dict[str, Queue] = {}
         # Pipeline-stage availability times.
         self.egress_free_at = 0.0
         self.ingress_free_at = 0.0
         self.rx_cpu_free_at = 0.0
         self.tx_cpu_free_at = 0.0
+        self.config = config  # setter derives the per-packet constants
+
+    @property
+    def config(self) -> HostConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: HostConfig) -> None:
+        # Precomputed per-packet constants for the transmit fast path
+        # (same divisions the hot path would otherwise repeat per packet).
+        # Reassigning ``config`` -- e.g. the in-network switch rewriting
+        # its aggregator host -- keeps them coherent.
+        self._config = config
+        self.tx_cpu_cost_s = config.tx_overhead_s / config.cores
+        self.rx_cpu_cost_s = config.rx_overhead_s / config.cores
+        self.bandwidth_bps = config.bandwidth_bps
 
     def port(self, name: str = "default") -> Queue:
         """Return (creating on first use) the mailbox for ``name``."""
@@ -171,51 +186,60 @@ class Network:
         sim = self.sim
         src = self.hosts[packet.src]
         dst = self.hosts[packet.dst]
+        size_bytes = packet.size_bytes
+        now = sim.now
 
         # Transmit-side CPU stage (per-packet software cost, multi-core).
-        tx_cpu_cost = src.config.tx_overhead_s / src.config.cores
-        tx_ready = max(sim.now, src.tx_cpu_free_at) + tx_cpu_cost
+        free = src.tx_cpu_free_at
+        tx_ready = (now if now > free else free) + src.tx_cpu_cost_s
         src.tx_cpu_free_at = tx_ready
 
         # Egress NIC serialization.
-        tx_start = max(tx_ready, src.egress_free_at)
-        serialization = packet.size_bytes * 8.0 / src.config.bandwidth_bps
+        free = src.egress_free_at
+        tx_start = tx_ready if tx_ready > free else free
+        serialization = size_bytes * 8.0 / src.bandwidth_bps
         src.egress_free_at = tx_start + serialization
 
-        self.stats.bytes_sent[packet.src] += packet.size_bytes
-        self.stats.packets_sent[packet.src] += 1
+        stats = self.stats
+        stats.bytes_sent[packet.src] += size_bytes
+        stats.packets_sent[packet.src] += 1
         if packet.flow:
-            self.stats.flow_bytes[packet.flow] += packet.size_bytes
+            stats.flow_bytes[packet.flow] += size_bytes
 
         core_exit = tx_start + serialization
         if self.topology is not None:
             core_exit = self.topology.traverse_core(
-                core_exit, packet.src, packet.dst, packet.size_bytes
+                core_exit, packet.src, packet.dst, size_bytes
             )
         wire_arrival = core_exit + self.latency_s
         if lossy and self.loss.should_drop(packet):
-            self.stats.packets_dropped[packet.src] += 1
+            stats.packets_dropped[packet.src] += 1
             if packet.flow:
-                self.stats.flow_packets_dropped[packet.flow] += 1
+                stats.flow_packets_dropped[packet.flow] += 1
             if on_drop is not None:
                 sim.call_at(wire_arrival, on_drop, packet)
             return
         sim.call_at(wire_arrival, self._ingress, dst, packet)
 
     def _ingress(self, dst: Host, packet: Packet) -> None:
-        sim = self.sim
-        rx_start = max(sim.now, dst.ingress_free_at)
-        serialization = packet.size_bytes * 8.0 / dst.config.bandwidth_bps
-        dst.ingress_free_at = rx_start + serialization
+        now = self.sim.now
+        free = dst.ingress_free_at
+        rx_start = now if now > free else free
+        rx_done = rx_start + packet.size_bytes * 8.0 / dst.bandwidth_bps
+        dst.ingress_free_at = rx_done
 
         # Receive-side CPU stage.
-        rx_cpu_cost = dst.config.rx_overhead_s / dst.config.cores
-        deliver_at = max(rx_start + serialization, dst.rx_cpu_free_at) + rx_cpu_cost
+        free = dst.rx_cpu_free_at
+        deliver_at = (rx_done if rx_done > free else free) + dst.rx_cpu_cost_s
         dst.rx_cpu_free_at = deliver_at
 
-        sim.call_at(deliver_at, self._deliver, dst, packet)
+        self.sim.call_at(deliver_at, self._deliver, dst, packet)
 
     def _deliver(self, dst: Host, packet: Packet) -> None:
-        self.stats.bytes_received[dst.name] += packet.size_bytes
-        self.stats.packets_received[dst.name] += 1
-        dst.port(packet.port).put(packet)
+        stats = self.stats
+        stats.bytes_received[dst.name] += packet.size_bytes
+        stats.packets_received[dst.name] += 1
+        mailbox = dst._ports.get(packet.port)
+        if mailbox is None:
+            mailbox = dst.port(packet.port)
+        mailbox.put(packet)

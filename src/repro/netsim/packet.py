@@ -10,7 +10,6 @@ component charges the same overheads.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
@@ -39,22 +38,41 @@ ETHERNET_MTU = 1500
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """A unit of transmission on the simulated network.
 
     ``size_bytes`` is the total wire size (payload + headers) and drives
     serialization time; ``payload`` is opaque to the network layer.
+
+    A plain ``__slots__`` class rather than a dataclass: one Packet is
+    built per simulated transmission, so construction cost is hot.
     """
 
-    src: str
-    dst: str
-    payload: Any
-    size_bytes: int
-    port: str = "default"
-    flow: str = ""
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("src", "dst", "payload", "size_bytes", "port", "flow", "pkt_id")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: int,
+        port: str = "default",
+        flow: str = "",
+        pkt_id: int = -1,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.port = port
+        self.flow = flow
+        self.pkt_id = next(_packet_ids) if pkt_id < 0 else pkt_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(src={self.src!r}, dst={self.dst!r}, "
+            f"size_bytes={self.size_bytes}, port={self.port!r}, "
+            f"flow={self.flow!r}, pkt_id={self.pkt_id})"
+        )

@@ -123,7 +123,11 @@ class RdmaTransport(Transport):
         self.mtu = mtu
 
     def wire_bytes(self, payload_bytes: int) -> int:
-        frames = max(1, math.ceil(payload_bytes / self.mtu))
+        # Integer ceiling division: identical to ceil() for these sizes,
+        # without the float round-trip on the per-packet path.
+        frames = (payload_bytes + self.mtu - 1) // self.mtu
+        if frames < 1:
+            frames = 1
         return payload_bytes + frames * RDMA_HEADER_BYTES
 
     def max_payload_bytes(self) -> int:
@@ -158,6 +162,7 @@ class DatagramTransport(Transport):
     def __init__(self, network: Network, mtu: int = ETHERNET_MTU) -> None:
         super().__init__(network)
         self.mtu = mtu
+        self._max_payload = self.max_payload_bytes()
 
     def wire_bytes(self, payload_bytes: int) -> int:
         return payload_bytes + DATAGRAM_HEADER_BYTES
@@ -174,7 +179,7 @@ class DatagramTransport(Transport):
         payload_bytes: int,
         flow: str,
     ) -> None:
-        if payload_bytes > self.max_payload_bytes():
+        if payload_bytes > self._max_payload:
             raise ValueError(
                 f"datagram payload {payload_bytes} B exceeds max "
                 f"{self.max_payload_bytes()} B; packetize at the protocol layer"

@@ -1,5 +1,6 @@
 """Tensor formats, block decomposition, sparsity metrics, and generators."""
 
+from .accumulate import CooAccumulator, coo_sum, union_sorted
 from .bitmap import BitmapCostModel, V100_BITMAP_MODEL
 from .blocks import INFINITY, NEG_INFINITY, BlockView, block_nonzero_bitmap, num_blocks
 from .convert import (
@@ -43,6 +44,9 @@ __all__ = [
     "BitmapCostModel",
     "V100_BITMAP_MODEL",
     "CooTensor",
+    "CooAccumulator",
+    "coo_sum",
+    "union_sorted",
     "INDEX_BYTES",
     "VALUE_BYTES",
     "ConversionCostModel",

@@ -17,7 +17,8 @@ not, so the implementation must not.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Optional
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -78,9 +79,13 @@ class BlockView:
             raise ValueError(f"block size must be >= 1, got {block_size}")
         self.flat = np.ascontiguousarray(tensor).reshape(-1)
         self.block_size = block_size
+        self._block_shape = (block_size,)
         self.blocks = num_blocks(self.flat.size, block_size)
         self.bitmap = block_nonzero_bitmap(self.flat, block_size)
         self._nonzero_indices: Optional[np.ndarray] = None
+        self._nonzero_list: Optional[List[int]] = None
+        self._bitmap_list: Optional[List[bool]] = None
+        self._stride_groups: Dict[int, List[List[int]]] = {}
 
     def __len__(self) -> int:
         return self.blocks
@@ -97,6 +102,20 @@ class BlockView:
         return self._nonzero_indices
 
     @property
+    def _nonzero(self) -> List[int]:
+        """Plain-list mirror of :attr:`nonzero_indices` for bisect scans."""
+        if self._nonzero_list is None:
+            self._nonzero_list = self.nonzero_indices.tolist()
+        return self._nonzero_list
+
+    @property
+    def _bitmap_bools(self) -> List[bool]:
+        """Plain-list mirror of the bitmap for per-block probing."""
+        if self._bitmap_list is None:
+            self._bitmap_list = self.bitmap.tolist()
+        return self._bitmap_list
+
+    @property
     def nonzero_count(self) -> int:
         return int(self.nonzero_indices.size)
 
@@ -111,6 +130,27 @@ class BlockView:
         """Recompute the bitmap after external mutation of the tensor."""
         self.bitmap = block_nonzero_bitmap(self.flat, self.block_size)
         self._nonzero_indices = None
+        self._nonzero_list = None
+        self._bitmap_list = None
+        self._stride_groups.clear()
+
+    def stride_column(self, stride: int, residue: int) -> List[int]:
+        """Sorted non-zero block indices congruent to ``residue`` mod
+        ``stride``.
+
+        All ``stride`` residue classes are built in one pass over the
+        non-zero list and cached, so the per-stream layout construction
+        (every stream of a plan shares one stride) costs O(nnz) total
+        per view instead of O(streams * nnz).  Callers must not mutate
+        the returned list.
+        """
+        groups = self._stride_groups.get(stride)
+        if groups is None:
+            groups = [[] for _ in range(stride)]
+            for block in self._nonzero:
+                groups[block % stride].append(block)
+            self._stride_groups[stride] = groups
+        return groups[residue]
 
     def is_nonzero(self, block: int) -> bool:
         return bool(self.bitmap[block])
@@ -131,7 +171,7 @@ class BlockView:
         """Store ``data`` (length ``block_size``) into block ``block``."""
         if not 0 <= block < self.blocks:
             raise IndexError(f"block {block} out of range [0, {self.blocks})")
-        if data.shape != (self.block_size,):
+        if data.shape != self._block_shape:
             raise ValueError(
                 f"expected block of shape ({self.block_size},), got {data.shape}"
             )
@@ -146,11 +186,11 @@ class BlockView:
         find the first non-zero block.  This is the worker-side scan that
         produces the protocol's ``next`` metadata.
         """
-        indices = self.nonzero_indices
-        pos = int(np.searchsorted(indices, block, side="right"))
-        if pos >= indices.size:
+        indices = self._nonzero
+        pos = bisect_right(indices, block)
+        if pos >= len(indices):
             return INFINITY
-        return int(indices[pos])
+        return indices[pos]
 
     def next_nonzero_in_column(self, block: int, stride: int) -> int:
         """Next non-zero block at ``block + k*stride`` for ``k >= 1``.
@@ -160,9 +200,10 @@ class BlockView:
         found by scanning down that column only.  Returns
         :data:`INFINITY` when the column holds no further non-zero block.
         """
+        bitmap = self._bitmap_bools
         candidate = block + stride
         while candidate < self.blocks:
-            if self.bitmap[candidate]:
+            if bitmap[candidate]:
                 return candidate
             candidate += stride
         return INFINITY

@@ -55,15 +55,31 @@ def _fill_blocks(
     rng: np.random.Generator,
     dtype,
 ) -> np.ndarray:
+    """Fill the given blocks with standard-normal values, vectorized.
+
+    One RNG draw covers every block, then a single scatter writes them
+    all; ``standard_normal`` consumes the bit stream sequentially, so
+    this produces bit-identical tensors to the per-block-draw loop it
+    replaces (same rng state afterwards, too).
+    """
     tensor = np.zeros(length, dtype=dtype)
-    for block in positions:
-        start = int(block) * block_size
-        end = min(start + block_size, length)
-        values = rng.standard_normal(end - start).astype(dtype)
-        # Guarantee the block is non-zero even if the RNG produced zeros.
-        if not values.any():
-            values[0] = dtype(1.0) if not isinstance(dtype, type) else 1.0
-        tensor[start:end] = values
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return tensor
+    starts = positions * block_size
+    lens = np.minimum(starts + block_size, length) - starts
+    offsets = np.cumsum(lens) - lens  # start of each block in the flat draw
+    values = rng.standard_normal(int(lens.sum())).astype(tensor.dtype)
+    # Guarantee every block is non-zero even if the RNG produced zeros
+    # (possible after the cast to a low-precision dtype).
+    nonzero_per_block = np.add.reduceat(values != 0, offsets)
+    dead = np.flatnonzero(nonzero_per_block == 0)
+    if dead.size:
+        values[offsets[dead]] = tensor.dtype.type(1.0)
+    flat_targets = np.repeat(starts, lens) + (
+        np.arange(values.size, dtype=np.int64) - np.repeat(offsets, lens)
+    )
+    tensor[flat_targets] = values
     return tensor
 
 

@@ -58,10 +58,25 @@ class CooTensor:
         return self.nnz * (INDEX_BYTES + VALUE_BYTES)
 
     @classmethod
+    def _unchecked(cls, indices: np.ndarray, values: np.ndarray, length: int) -> "CooTensor":
+        """Construct without re-validating the sorted/unique invariant.
+
+        For internal call sites whose outputs are sorted and in-range by
+        construction (``from_dense``, ``slice_range``, ``add``); the
+        validating ``__post_init__`` pass is O(nnz) and dominates those
+        hot paths otherwise.  ``indices`` must already be int64.
+        """
+        tensor = object.__new__(cls)
+        tensor.indices = indices
+        tensor.values = values
+        tensor.length = length
+        return tensor
+
+    @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CooTensor":
         flat = np.ascontiguousarray(dense).reshape(-1)
         indices = np.flatnonzero(flat)
-        return cls(indices=indices, values=flat[indices].copy(), length=flat.size)
+        return cls._unchecked(indices, flat[indices].copy(), flat.size)
 
     def to_dense(self, dtype=np.float32) -> np.ndarray:
         dense = np.zeros(self.length, dtype=dtype)
@@ -69,21 +84,48 @@ class CooTensor:
         return dense
 
     def add(self, other: "CooTensor") -> "CooTensor":
-        """Sparse sum of two COO tensors (union of supports)."""
+        """Sparse sum of two COO tensors (union of supports).
+
+        Both index arrays are already sorted and duplicate-free (a class
+        invariant), so the union is built by merge -- two vectorized
+        binary-search passes that place each input run directly at its
+        output offset -- with no argsort and no ``np.unique``.  Summation
+        order at shared indices is self-then-other, matching the stable
+        concatenate/reduceat formulation this replaces bit for bit.
+        """
         if self.length != other.length:
             raise ValueError("cannot add COO tensors of different dense lengths")
         if self.nnz == 0:
-            return CooTensor(other.indices.copy(), other.values.copy(), other.length)
+            return CooTensor._unchecked(other.indices.copy(), other.values.copy(), other.length)
         if other.nnz == 0:
-            return CooTensor(self.indices.copy(), self.values.copy(), self.length)
-        merged = np.concatenate([self.indices, other.indices])
-        values = np.concatenate([self.values, other.values])
-        order = np.argsort(merged, kind="stable")
-        merged = merged[order]
-        values = values[order]
-        unique, start = np.unique(merged, return_index=True)
-        summed = np.add.reduceat(values, start)
-        return CooTensor(indices=unique, values=summed, length=self.length)
+            return CooTensor._unchecked(self.indices.copy(), self.values.copy(), self.length)
+        ai, av = self.indices, self.values
+        bi, bv = other.indices, other.values
+        # Where each of other's indices would land among self's; exact
+        # matches are the shared support.
+        pos = ai.searchsorted(bi)
+        hit = pos < ai.size
+        hit[hit] = ai[pos[hit]] == bi[hit]
+        miss = ~hit
+        b_new_i = bi[miss]
+        # Output offset of self's run k is k plus the number of
+        # other-only indices smaller than ai[k]; likewise for other-only
+        # runs, giving a scatter-style merge of the two sorted arrays.
+        a_dest = np.arange(ai.size, dtype=np.int64)
+        a_dest += b_new_i.searchsorted(ai)
+        out_i = np.empty(ai.size + b_new_i.size, dtype=np.int64)
+        out_v = np.empty(out_i.size, dtype=np.result_type(av.dtype, bv.dtype))
+        out_i[a_dest] = ai
+        out_v[a_dest] = av
+        if b_new_i.size:
+            b_dest = pos[miss] + np.arange(b_new_i.size, dtype=np.int64)
+            out_i[b_dest] = b_new_i
+            out_v[b_dest] = bv[miss]
+        shared = bv[hit]
+        if shared.size:
+            # Shared indices are unique, so fancy in-place add is exact.
+            out_v[a_dest[pos[hit]]] += shared
+        return CooTensor._unchecked(out_i, out_v, self.length)
 
     def slice_range(self, start: int, stop: int) -> "CooTensor":
         """COO restriction to dense index range [start, stop), re-based."""
@@ -91,10 +133,10 @@ class CooTensor:
             raise ValueError(f"bad slice [{start}, {stop}) for length {self.length}")
         lo = int(np.searchsorted(self.indices, start, side="left"))
         hi = int(np.searchsorted(self.indices, stop, side="left"))
-        return CooTensor(
-            indices=self.indices[lo:hi] - start,
-            values=self.values[lo:hi].copy(),
-            length=stop - start,
+        return CooTensor._unchecked(
+            self.indices[lo:hi] - start,
+            self.values[lo:hi].copy(),
+            stop - start,
         )
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,136 @@
+"""Perf-tracking layer: measure, report merging, regression compare."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    DEFAULT_TOLERANCE,
+    PERF_SCHEMA,
+    PerfRecord,
+    compare,
+    load_report,
+    measure,
+    write_report,
+)
+from repro.netsim import Simulator
+
+
+def test_perf_record_rate():
+    record = PerfRecord(wall_s=2.0, events=1000)
+    assert record.events_per_s == 500.0
+    assert PerfRecord(wall_s=0.0, events=10).events_per_s == 0.0
+    d = record.to_dict()
+    assert d == {"wall_s": 2.0, "events": 1000, "events_per_s": 500.0}
+
+
+def test_measure_counts_simulator_events():
+    def run():
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.call_after(float(i), out.append, i)
+        sim.run()
+        return out
+
+    result, record = measure(run)
+    assert result == [0, 1, 2, 3, 4]
+    assert record.events == 5  # one dispatched callback per event
+    assert record.wall_s >= 0.0
+
+
+def test_measure_is_delta_not_total():
+    # A second measurement must not include the first run's events.
+    def run():
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+
+    _, first = measure(run)
+    _, second = measure(run)
+    assert first.events == second.events == 1
+
+
+def test_write_report_merges_entries_and_notes(tmp_path):
+    path = str(tmp_path / "bench.json")
+    write_report(path, {"figure-6": PerfRecord(1.0, 100)}, notes={"a": 1})
+    write_report(path, {"figure-7": PerfRecord(2.0, 100)}, notes={"b": 2})
+
+    report = load_report(path)
+    assert report["schema"] == PERF_SCHEMA
+    assert set(report["entries"]) == {"figure-6", "figure-7"}
+    assert report["entries"]["figure-6"]["events_per_s"] == 100.0
+    assert report["notes"] == {"a": 1, "b": 2}
+    assert "environment" in report
+
+    # Re-measuring an experiment overwrites its entry.
+    write_report(path, {"figure-6": PerfRecord(1.0, 200)})
+    report = load_report(path)
+    assert report["entries"]["figure-6"]["events_per_s"] == 200.0
+
+
+def test_report_file_is_valid_json_with_trailing_newline(tmp_path):
+    path = str(tmp_path / "bench.json")
+    write_report(path, {"x": PerfRecord(1.0, 1)})
+    raw = open(path).read()
+    assert raw.endswith("\n")
+    json.loads(raw)
+
+
+def test_compare_flags_only_regressions_beyond_tolerance():
+    baseline = {"entries": {"fig": {"events_per_s": 1000.0}}}
+    # 50% below baseline: fails at the default 30% tolerance.
+    slow = {"fig": PerfRecord(wall_s=1.0, events=500)}
+    failures = compare(baseline, slow)
+    assert len(failures) == 1 and "fig" in failures[0]
+    # 20% below baseline: within tolerance.
+    ok = {"fig": PerfRecord(wall_s=1.0, events=800)}
+    assert compare(baseline, ok) == []
+    # Tolerance is adjustable.
+    assert compare(baseline, ok, tolerance=0.10) != []
+    # Faster than baseline never fails.
+    assert compare(baseline, {"fig": PerfRecord(1.0, 5000)}) == []
+
+
+def test_compare_skips_unknown_and_degenerate_baselines():
+    baseline = {"entries": {"zero": {"events_per_s": 0.0}}}
+    records = {
+        "new-experiment": PerfRecord(1.0, 1),  # absent from baseline
+        "zero": PerfRecord(1.0, 1),  # unusable reference rate
+    }
+    assert compare(baseline, records) == []
+    assert compare({}, records) == []
+
+
+def test_committed_baseline_is_well_formed():
+    """The repo-root BENCH_netsim.json that gates CI parses and has the
+    figure-6 entry the perf-smoke job compares against."""
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    report = load_report(os.path.join(root, "BENCH_netsim.json"))
+    assert report["schema"] == PERF_SCHEMA
+    entry = report["entries"]["figure-6"]
+    assert entry["events_per_s"] > 0
+    assert entry["events"] > 0
+    assert 0.0 < DEFAULT_TOLERANCE < 1.0
+    notes = report.get("notes", {})
+    assert notes.get("figure-6_speedup_vs_seed", 0) >= 3.0
+
+
+def test_perf_record_round_trips_through_compare():
+    record = PerfRecord(wall_s=3.0, events=300)
+    baseline = {"entries": {"fig": record.to_dict()}}
+    # A run identical to its own baseline can never regress.
+    assert compare(baseline, {"fig": record}) == []
+
+
+def test_compare_message_is_informative():
+    baseline = {"entries": {"fig": {"events_per_s": 1000.0}}}
+    (message,) = compare(baseline, {"fig": PerfRecord(1.0, 100)})
+    assert "below baseline" in message
+    assert "fig" in message
+
+
+def test_default_tolerance_matches_documented_gate():
+    assert DEFAULT_TOLERANCE == pytest.approx(0.30)

@@ -1,0 +1,98 @@
+"""Heap hygiene under timer churn.
+
+Retransmission-style workloads arm and cancel far-future timers at a
+high rate (RecoveryStreamWorker arms one per outstanding packet).  A
+naive tombstone scheme would let cancelled entries pile up in the heap
+until their deadline surfaces; the kernel instead compacts eagerly when
+dead entries outnumber live ones, keeping heap size proportional to
+*live* timers only.  These tests pin that bound and the safety of
+compaction triggered from inside a running callback.
+"""
+
+from repro.netsim import Simulator
+from repro.netsim import kernel
+
+
+def test_arm_cancel_churn_keeps_heap_bounded():
+    sim = Simulator()
+    live_fired = []
+    n_live = 64
+    for i in range(n_live):
+        sim.call_after(100.0 + i, live_fired.append, i)
+
+    cancelled_fired = []
+    max_heap = len(sim._heap)
+    for _ in range(5000):
+        handle = sim.call_after(50.0, cancelled_fired.append, -1)
+        sim.cancel(handle)
+        if len(sim._heap) > max_heap:
+            max_heap = len(sim._heap)
+
+    # Compaction triggers once dead entries outnumber live ones, so the
+    # high-water mark is a small multiple of the live population -- not
+    # of the 5000 arm/cancel cycles.
+    bound = n_live + 2 * kernel._COMPACT_MIN_DEAD + 2
+    assert max_heap <= bound
+    assert len(sim._heap) <= bound
+
+    sim.run()
+    assert cancelled_fired == []
+    assert live_fired == list(range(n_live))
+
+
+def test_churn_interleaved_with_time_advance():
+    """Arm/cancel cycles spread over virtual time, like real timeouts."""
+    sim = Simulator()
+    fired = []
+
+    def round_trip(i):
+        fired.append(i)
+        # Arm a timeout for this "packet", then cancel it when the
+        # (instant) response arrives -- the common case under no loss.
+        timer = sim.call_after(10.0, fired.append, -1)
+        sim.cancel(timer)
+        if i < 2000:
+            sim.call_after(0.001, round_trip, i + 1)
+
+    sim.call_after(0.0, round_trip, 0)
+    sim.run()
+    assert fired == list(range(2001))
+    # Only a sub-threshold residue of tombstones may remain; the 2000
+    # cancelled timers must not have accumulated.
+    assert len(sim._heap) <= 2 * kernel._COMPACT_MIN_DEAD + 2
+
+
+def test_cancel_storm_inside_callback_is_safe():
+    """Compaction mutates the heap in place mid-run without corruption.
+
+    The run loop holds aliases to ``sim._heap``; a cancel storm from
+    inside a running callback triggers :meth:`_compact`, which must
+    leave those aliases valid and the surviving timers intact.
+    """
+    sim = Simulator()
+    fired = []
+    victims = [sim.call_after(5.0, fired.append, -1) for _ in range(300)]
+    survivors = [sim.call_after(6.0 + i, fired.append, i) for i in range(5)]
+
+    def storm():
+        for handle in victims:
+            sim.cancel(handle)
+
+    sim.call_after(1.0, storm)
+    sim.run()
+    assert fired == list(range(5))
+    assert survivors[0][2] is None  # fired entries are tombstoned too
+    assert len(sim._heap) == 0
+
+
+def test_cancel_is_idempotent_and_fired_safe():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_after(1.0, fired.append, 1)
+    sim.cancel(handle)
+    sim.cancel(handle)  # double-cancel must not corrupt live accounting
+    keep = sim.call_after(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [2]
+    sim.cancel(keep)  # cancelling after it fired is a no-op
+    assert sim._live_callbacks == 0

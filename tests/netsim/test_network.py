@@ -174,3 +174,28 @@ def test_invalid_host_config_rejected():
         HostConfig(cores=0)
     with pytest.raises(ValueError):
         HostConfig(rx_overhead_s=-1.0)
+
+
+def test_host_config_reassignment_takes_effect():
+    """Rewriting ``host.config`` after construction must re-derive the
+    cached per-packet constants (the in-network switch model does this)."""
+    sim = Simulator()
+    net = Network(sim, latency_s=0.0)
+    net.add_host("a", HostConfig(bandwidth_bps=gbps(10)))
+    slow = net.add_host("b", HostConfig(bandwidth_bps=gbps(10), rx_overhead_s=1.0))
+    box = slow.port()
+
+    slow.config = HostConfig(
+        bandwidth_bps=gbps(100), rx_overhead_s=0.5, cores=2, tx_overhead_s=0.25
+    )
+    assert slow.bandwidth_bps == gbps(100)
+    assert slow.rx_cpu_cost_s == 0.25
+    assert slow.tx_cpu_cost_s == 0.125
+
+    net.transmit(Packet("a", "b", "x", 1000))
+    sim.run()
+    # Serialization at the *old* 10 Gbps would need 8e-7 s; the rx CPU
+    # cost must be the new 0.5/2, not the old 1.0.
+    assert sim.now == pytest.approx(1000 * 8 / gbps(10) + 1000 * 8 / gbps(100) + 0.25)
+    ok, packet = box.try_get()
+    assert ok and packet.payload == "x"

@@ -95,3 +95,47 @@ def test_property_queue_conserves_items(n_processes, seed):
     sim.spawn(consumer())
     sim.run()
     assert consumed == list(range(n_processes))
+
+
+@given(
+    delays=st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=20),
+    fanout=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_fifo_across_ready_deque_and_heap(delays, fanout):
+    """Global FIFO holds when immediate wake-ups mix with heap entries.
+
+    Callbacks scheduled *at the current instant* take the allocation-light
+    ready-deque path while same-time entries scheduled earlier may still
+    sit in the heap; both share one sequence space, so at any instant
+    callbacks must fire in schedule order regardless of which structure
+    holds them.  Ids are assigned in scheduling order, making the
+    invariant "ids ascend within each timestamp".
+    """
+    sim = Simulator()
+    fired = []
+    next_id = [0]
+
+    def schedule(time, make_children):
+        cid = next_id[0]
+        next_id[0] += 1
+        sim.call_at(time, fire, cid, make_children)
+
+    def fire(cid, make_children):
+        fired.append((sim.now, cid))
+        if make_children and next_id[0] < 150:
+            for _ in range(fanout[cid % len(fanout)]):
+                # Immediate wake-up: lands in the ready deque while
+                # earlier same-time siblings may still be heap-resident.
+                schedule(sim.now, False)
+
+    for delay in delays:
+        schedule(delay, True)
+    sim.run()
+
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    for t in set(times):
+        ids = [i for (time, i) in fired if time == t]
+        assert ids == sorted(ids)
+    assert len(fired) == next_id[0]

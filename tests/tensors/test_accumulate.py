@@ -1,0 +1,265 @@
+"""CooTensor.add merge correctness and CooAccumulator semantics.
+
+``CooTensor.add`` was rewritten from a concatenate/stable-argsort/
+``reduceat`` formulation to a two-pointer (binary-search) merge.  The
+old formulation is reimplemented here as the oracle: the merge must
+match it *bit for bit*, including floating-point summation order at
+shared indices (self's value, then other's).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import CooTensor
+from repro.tensors.accumulate import CooAccumulator, coo_sum, union_sorted
+
+
+def reference_add(a: CooTensor, b: CooTensor) -> CooTensor:
+    """The pre-merge implementation: concat, stable sort, reduceat."""
+    indices = np.concatenate([a.indices, b.indices])
+    values = np.concatenate([a.values, b.values])
+    order = np.argsort(indices, kind="stable")
+    indices = indices[order]
+    values = values[order]
+    unique, starts = np.unique(indices, return_index=True)
+    sums = np.add.reduceat(values, starts) if values.size else values[:0]
+    return CooTensor(unique, sums, a.length)
+
+
+def random_coo(rng, length, nnz, dtype=np.float32):
+    indices = np.sort(rng.choice(length, size=nnz, replace=False))
+    values = rng.standard_normal(nnz).astype(dtype)
+    return CooTensor(indices.astype(np.int64), values, length)
+
+
+def assert_coo_identical(got: CooTensor, want: CooTensor):
+    assert got.length == want.length
+    assert np.array_equal(got.indices, want.indices)
+    # Bitwise equality, not allclose: the merge claims FP-identical
+    # summation order.
+    assert got.values.dtype == want.values.dtype
+    assert np.array_equal(
+        got.values.view(np.uint8), want.values.view(np.uint8)
+    )
+
+
+# ---------------------------------------------------------------------------
+# CooTensor.add merge vs the old implementation
+# ---------------------------------------------------------------------------
+
+
+def test_add_random_supports_match_oracle():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        a = random_coo(rng, 500, int(rng.integers(1, 200)))
+        b = random_coo(rng, 500, int(rng.integers(1, 200)))
+        assert_coo_identical(a.add(b), reference_add(a, b))
+
+
+def test_add_disjoint_supports_match_oracle():
+    length = 64
+    a = CooTensor(np.arange(0, length, 2), np.ones(32, np.float32), length)
+    b = CooTensor(np.arange(1, length, 2), 2 * np.ones(32, np.float32), length)
+    result = a.add(b)
+    assert_coo_identical(result, reference_add(a, b))
+    assert result.nnz == 64
+
+
+def test_add_identical_supports_match_oracle():
+    rng = np.random.default_rng(1)
+    indices = np.sort(rng.choice(300, size=50, replace=False)).astype(np.int64)
+    a = CooTensor(indices, rng.standard_normal(50).astype(np.float32), 300)
+    b = CooTensor(indices.copy(), rng.standard_normal(50).astype(np.float32), 300)
+    result = a.add(b)
+    assert_coo_identical(result, reference_add(a, b))
+    assert result.nnz == 50
+
+
+def test_add_with_empty_operands():
+    rng = np.random.default_rng(2)
+    a = random_coo(rng, 100, 10)
+    empty = CooTensor(np.empty(0, np.int64), np.empty(0, np.float32), 100)
+    assert_coo_identical(a.add(empty), a)
+    assert_coo_identical(empty.add(a), a)
+    both = empty.add(empty)
+    assert both.nnz == 0 and both.length == 100
+    # Results are copies, not aliases into the operands.
+    out = a.add(empty)
+    out.values[0] += 1.0
+    assert out.values[0] != a.values[0]
+
+
+def test_add_partial_overlap_matches_dense():
+    rng = np.random.default_rng(3)
+    a = random_coo(rng, 256, 80)
+    b = random_coo(rng, 256, 120)
+    result = a.add(b)
+    dense = a.to_dense() + b.to_dense()
+    assert np.array_equal(result.to_dense(), dense)
+    assert np.all(np.diff(result.indices) > 0)  # sorted, duplicate-free
+
+
+def test_add_length_mismatch_raises():
+    a = CooTensor(np.array([0]), np.array([1.0], np.float32), 10)
+    b = CooTensor(np.array([0]), np.array([1.0], np.float32), 11)
+    with pytest.raises(ValueError):
+        a.add(b)
+
+
+@given(
+    idx_a=st.lists(st.integers(min_value=0, max_value=99), max_size=40),
+    idx_b=st.lists(st.integers(min_value=0, max_value=99), max_size=40),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_add_matches_oracle(idx_a, idx_b, seed):
+    rng = np.random.default_rng(seed)
+    ia = np.array(sorted(set(idx_a)), dtype=np.int64)
+    ib = np.array(sorted(set(idx_b)), dtype=np.int64)
+    a = CooTensor(ia, rng.standard_normal(ia.size).astype(np.float32), 100)
+    b = CooTensor(ib, rng.standard_normal(ib.size).astype(np.float32), 100)
+    assert_coo_identical(a.add(b), reference_add(a, b))
+
+
+# ---------------------------------------------------------------------------
+# union_sorted
+# ---------------------------------------------------------------------------
+
+
+@given(
+    xs=st.lists(st.integers(min_value=0, max_value=60), max_size=30),
+    ys=st.lists(st.integers(min_value=0, max_value=60), max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_union_sorted_matches_set_union(xs, ys):
+    a = np.array(sorted(set(xs)), dtype=np.int64)
+    b = np.array(sorted(set(ys)), dtype=np.int64)
+    got = union_sorted(a, b)
+    assert got.tolist() == sorted(set(xs) | set(ys))
+
+
+# ---------------------------------------------------------------------------
+# CooAccumulator
+# ---------------------------------------------------------------------------
+
+
+def test_coo_sum_matches_sequential_fold():
+    rng = np.random.default_rng(4)
+    coos = [random_coo(rng, 400, int(rng.integers(1, 150))) for _ in range(5)]
+    folded = coos[0]
+    for coo in coos[1:]:
+        folded = folded.add(coo)
+    assert_coo_identical(coo_sum(coos), folded)
+
+
+def test_coo_sum_single_input_is_a_copy():
+    rng = np.random.default_rng(5)
+    only = random_coo(rng, 50, 10)
+    out = coo_sum([only])
+    assert_coo_identical(out, only)
+    out.values[0] += 1.0
+    assert out.values[0] != only.values[0]
+
+
+def test_coo_sum_validates_inputs():
+    with pytest.raises(ValueError):
+        coo_sum([])
+    a = CooTensor(np.array([0]), np.array([1.0], np.float32), 10)
+    b = CooTensor(np.array([0]), np.array([1.0], np.float32), 20)
+    with pytest.raises(ValueError):
+        coo_sum([a, b])
+    with pytest.raises(ValueError):
+        coo_sum([a, a], reuse=CooAccumulator(20))
+
+
+def test_coo_sum_reuses_accumulator():
+    rng = np.random.default_rng(6)
+    acc = CooAccumulator(400)
+    coos = [random_coo(rng, 400, 60) for _ in range(3)]
+    first = coo_sum(coos, reuse=acc)
+    # Stale state from the first round must not leak into the second.
+    second = coo_sum(coos, reuse=acc)
+    assert_coo_identical(first, second)
+    assert acc.nnz == 0  # drained after each call
+
+
+def test_accumulator_take_below_watermark():
+    acc = CooAccumulator(100)
+    acc.add(np.array([5, 40, 80]), np.array([1.0, 2.0, 3.0], np.float32))
+    acc.add(np.array([5, 60]), np.array([10.0, 4.0], np.float32))
+    assert acc.nnz == 4
+    keys, values = acc.take_below(50)
+    assert keys.tolist() == [5, 40]
+    assert values.tolist() == [11.0, 2.0]
+    assert acc.nnz == 2  # 60 and 80 still accumulating
+    # Keys at/above the cut keep accumulating after the flush.
+    acc.add(np.array([60]), np.array([1.0], np.float32))
+    keys, values = acc.take_below(100)
+    assert keys.tolist() == [60, 80]
+    assert values.tolist() == [5.0, 3.0]
+    assert acc.nnz == 0
+
+
+def test_accumulator_take_below_nothing_dirty():
+    acc = CooAccumulator(10)
+    keys, values = acc.take_below(10)
+    assert keys.size == 0 and values.size == 0
+    acc.add(np.array([7]), np.array([1.0], np.float32))
+    keys, _ = acc.take_below(3)  # cut below the dirty window
+    assert keys.size == 0
+    assert acc.nnz == 1
+
+
+def test_accumulator_dense_fast_path_matches_general():
+    length = 64
+    rng = np.random.default_rng(7)
+    dense_vals = rng.standard_normal(length).astype(np.float32)
+    sparse = random_coo(rng, length, 20)
+
+    fast = CooAccumulator(length)
+    fast.add(np.arange(length, dtype=np.int64), dense_vals)  # dense add path
+    fast.add_coo(sparse)
+    assert fast.nnz == length
+    out_fast = fast.drain()  # dense take_below path
+
+    slow = CooAccumulator(length)
+    half = length // 2
+    slow.add(np.arange(half, dtype=np.int64), dense_vals[:half])
+    slow.add(np.arange(half, length, dtype=np.int64), dense_vals[half:])
+    slow.add_coo(sparse)
+    out_slow = slow.drain()
+
+    assert_coo_identical(out_fast, out_slow)
+    assert fast.nnz == 0
+    # Draining resets for reuse: the next round starts clean.
+    assert fast.drain().nnz == 0
+
+
+def test_accumulator_lazy_nnz_recompute():
+    acc = CooAccumulator(50)
+    acc.add(np.array([1, 2, 3]), np.ones(3, np.float32))
+    acc.add(np.array([3, 4]), np.ones(2, np.float32))  # one repeat key
+    assert acc._nnz is None  # stale until read
+    assert acc.nnz == 4
+    assert acc._nnz == 4  # cached after the read
+
+
+def test_accumulator_add_coo_length_mismatch_raises():
+    acc = CooAccumulator(10)
+    with pytest.raises(ValueError):
+        acc.add_coo(CooTensor(np.array([0]), np.array([1.0], np.float32), 11))
+
+
+def test_accumulator_preserves_contribution_order():
+    """FP order per key is add-call order, like a sequential fold."""
+    # Values chosen so that summation order changes the float32 result.
+    big, small = np.float32(1e8), np.float32(1.0)
+    acc = CooAccumulator(4)
+    acc.add(np.array([2]), np.array([big], np.float32))
+    acc.add(np.array([2]), np.array([small], np.float32))
+    acc.add(np.array([2]), np.array([-big], np.float32))
+    _, values = acc.take_below(4)
+    expected = np.float32(np.float32(big + small) - big)
+    assert values[0] == expected

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.tensors.generator import _fill_blocks
 from repro.tensors import (
     block_nonzero_bitmap,
     block_sparse_tensor,
@@ -122,3 +123,77 @@ def test_property_generated_block_sparsity_matches_target(sparsity, workers, blo
     for tensor in tensors:
         bitmap = block_nonzero_bitmap(tensor, block_size)
         assert int(bitmap.sum()) == expected_nonzero
+
+
+# ---------------------------------------------------------------------------
+# _fill_blocks: vectorized scatter, zero-RNG guard, dtype handling
+# ---------------------------------------------------------------------------
+
+
+class _ZeroRng:
+    """Stand-in RNG whose draws are all zero (worst case for the guard)."""
+
+    def standard_normal(self, n):
+        return np.zeros(n, dtype=np.float64)
+
+
+class _TinyRng:
+    """Draws that are non-zero in float64 but underflow to 0 in float16."""
+
+    def standard_normal(self, n):
+        return np.full(n, 1e-30, dtype=np.float64)
+
+
+def test_fill_blocks_all_zero_rng_still_marks_blocks_nonzero():
+    positions = np.array([0, 2, 5])
+    tensor = _fill_blocks(32, 4, positions, _ZeroRng(), np.float32)
+    for block in positions:
+        assert np.any(tensor[block * 4 : (block + 1) * 4] != 0)
+    # Untouched blocks stay zero.
+    assert not np.any(tensor[4:8])
+
+
+def test_fill_blocks_guard_value_matches_tensor_dtype():
+    tensor = _fill_blocks(16, 4, np.array([1]), _ZeroRng(), np.float16)
+    assert tensor.dtype == np.float16
+    block = tensor[4:8]
+    assert block[block != 0].dtype == np.float16
+    assert block[0] == np.float16(1.0)
+
+
+def test_fill_blocks_low_precision_underflow_triggers_guard():
+    # 1e-30 is non-zero in float64 but casts to 0.0 in float16; without
+    # the post-cast guard these blocks would silently be all-zero and
+    # the generated tensor would miss its sparsity target.
+    tensor = _fill_blocks(16, 4, np.array([0, 3]), _TinyRng(), np.float16)
+    assert np.any(tensor[0:4] != 0)
+    assert np.any(tensor[12:16] != 0)
+
+
+def test_fill_blocks_matches_per_block_loop():
+    """The single-draw scatter is bit-identical to the old per-block loop."""
+    length, block_size = 1030, 64  # tail block is partial (6 elements)
+    positions = np.array([0, 3, 16])  # block 16 is the partial tail
+
+    rng_vec = np.random.default_rng(7)
+    vectorized = _fill_blocks(length, block_size, positions, rng_vec, np.float32)
+
+    rng_loop = np.random.default_rng(7)
+    manual = np.zeros(length, dtype=np.float32)
+    for block in positions:
+        start = block * block_size
+        end = min(start + block_size, length)
+        values = rng_loop.standard_normal(end - start).astype(np.float32)
+        if not values.any():
+            values[0] = np.float32(1.0)
+        manual[start:end] = values
+
+    assert np.array_equal(vectorized, manual)
+    # Both consumed the same amount of the bit stream.
+    assert rng_vec.standard_normal() == rng_loop.standard_normal()
+
+
+def test_fill_blocks_empty_positions():
+    tensor = _fill_blocks(16, 4, np.array([], dtype=int), _ZeroRng(), np.float32)
+    assert tensor.shape == (16,)
+    assert not np.any(tensor)
