@@ -71,7 +71,15 @@ class Options:
 
     Immutable and typo-safe: unknown fields fail at construction instead
     of being silently swallowed by a ``**opts`` dict.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is shared by
+    every algorithm: when set, the session attaches it to the cluster
+    and records each collective into its metrics registry and span
+    stream.  ``None`` (the default) falls back to the cluster's own
+    telemetry, if any -- and otherwise costs nothing.
     """
+
+    telemetry: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -155,32 +163,68 @@ class Session:
     once and calls ``allreduce`` per iteration.  Algorithms without a
     native AllGather/Broadcast inherit the dense ring AllGather and
     binomial-tree Broadcast fallbacks.
+
+    Every public collective is recorded through the session's telemetry
+    (``options.telemetry``, falling back to ``cluster.telemetry``) when
+    one is present; subclasses implement the ``_``-prefixed hooks so the
+    recording wrapper applies uniformly to all algorithms.
     """
 
-    def __init__(self, cluster: Cluster, options: Options) -> None:
+    def __init__(
+        self, cluster: Cluster, options: Options, algorithm: str = ""
+    ) -> None:
         self.cluster = cluster
         self.options = options
+        self.algorithm = algorithm or type(self).__name__
+        self.telemetry = getattr(options, "telemetry", None) or getattr(
+            cluster, "telemetry", None
+        )
+        if self.telemetry is not None:
+            self.telemetry.attach(cluster)
+
+    def _recorded(self, run) -> CollectiveResult:
+        tele = self.telemetry
+        if tele is None:
+            return run()
+        with tele.collective(self.algorithm, self.cluster) as op:
+            result = run()
+            if op is not None:
+                op.result = result
+            return result
 
     def allreduce(
         self, tensors: Sequence[np.ndarray], **kwargs
     ) -> CollectiveResult:
-        raise NotImplementedError
+        return self._recorded(lambda: self._allreduce(tensors, **kwargs))
 
     def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
-        return ring_allgather(self.cluster, tensors)
+        return self._recorded(lambda: self._allgather(tensors))
 
     def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        return self._recorded(lambda: self._broadcast(tensor, root))
+
+    def _allreduce(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> CollectiveResult:
+        raise NotImplementedError
+
+    def _allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return ring_allgather(self.cluster, tensors)
+
+    def _broadcast(self, tensor: np.ndarray, root: int) -> CollectiveResult:
         return tree_broadcast(self.cluster, tensor, root=root)
 
 
 class _EngineSession(Session):
     """Session delegating AllReduce to a prebuilt engine object."""
 
-    def __init__(self, cluster: Cluster, options: Options, engine) -> None:
-        super().__init__(cluster, options)
+    def __init__(
+        self, cluster: Cluster, options: Options, engine, algorithm: str = ""
+    ) -> None:
+        super().__init__(cluster, options, algorithm)
         self.engine = engine
 
-    def allreduce(
+    def _allreduce(
         self, tensors: Sequence[np.ndarray], **kwargs
     ) -> CollectiveResult:
         return self.engine.allreduce(tensors, **kwargs)
@@ -189,10 +233,10 @@ class _EngineSession(Session):
 class OmniReduceSession(_EngineSession):
     """OmniReduce session: all three collectives are native (§7)."""
 
-    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+    def _allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
         return self.engine.allgather(tensors)
 
-    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+    def _broadcast(self, tensor: np.ndarray, root: int) -> CollectiveResult:
         return self.engine.broadcast(tensor, root=root)
 
 
@@ -243,7 +287,9 @@ class _FactoryCollective(Collective):
 
     def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
         opts = self._coerce(options)
-        return _EngineSession(cluster, opts, self._factory(cluster, opts))
+        return _EngineSession(
+            cluster, opts, self._factory(cluster, opts), algorithm=self.name
+        )
 
 
 class OmniReduceCollective(Collective):
@@ -263,9 +309,12 @@ class OmniReduceCollective(Collective):
         if isinstance(options, OmniReduceConfig):
             options = OmniReduceOptions(config=options)
         opts = self._coerce(options)
-        return OmniReduceSession(cluster, opts, OmniReduce(cluster, opts.config))
+        return OmniReduceSession(
+            cluster, opts, OmniReduce(cluster, opts.config), algorithm=self.name
+        )
 
     def options_from_kwargs(self, **kwargs) -> OmniReduceOptions:
+        telemetry = kwargs.pop("telemetry", None)
         config = kwargs.pop("config", None)
         if config is not None:
             if kwargs:
@@ -273,10 +322,12 @@ class OmniReduceCollective(Collective):
                     f"pass either config= or raw config fields, not both "
                     f"(extra: {sorted(kwargs)})"
                 )
-            return OmniReduceOptions(config=config)
+            return OmniReduceOptions(telemetry=telemetry, config=config)
         if kwargs:
-            return OmniReduceOptions(config=OmniReduceConfig(**kwargs))
-        return OmniReduceOptions()
+            return OmniReduceOptions(
+                telemetry=telemetry, config=OmniReduceConfig(**kwargs)
+            )
+        return OmniReduceOptions(telemetry=telemetry)
 
 
 def _factories():

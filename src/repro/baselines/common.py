@@ -18,6 +18,7 @@ import numpy as np
 from ..core.collective import CollectiveResult
 from ..netsim.cluster import Cluster
 from ..netsim.transport import Endpoint
+from ..telemetry.collect import TrafficSnapshot
 
 __all__ = [
     "MeasuredRun",
@@ -74,12 +75,8 @@ class MeasuredRun:
     def __init__(self, cluster: Cluster, flow: str) -> None:
         self.cluster = cluster
         self.flow = flow
-        self.start = cluster.sim.now
-        stats = cluster.stats
-        self._bytes_before = stats.total_bytes_sent
-        self._packets_before = sum(stats.packets_sent.values())
-        self._flow_before = stats.flow_bytes.get(flow, 0)
-        self._retx_before = getattr(cluster.transport, "total_retransmissions", 0)
+        self.snapshot = TrafficSnapshot(cluster, flow=flow)
+        self.start = self.snapshot.start_s
 
     def finish(
         self,
@@ -90,18 +87,15 @@ class MeasuredRun:
         downward_bytes: int = 0,
         **details,
     ) -> CollectiveResult:
+        snap = self.snapshot
         if retransmissions is None:
-            retransmissions = (
-                getattr(self.cluster.transport, "total_retransmissions", 0)
-                - self._retx_before
-            )
-        stats = self.cluster.stats
+            retransmissions = snap.retransmissions()
         return CollectiveResult(
             outputs=outputs,
-            time_s=self.cluster.sim.now - self.start,
-            bytes_sent=stats.total_bytes_sent - self._bytes_before,
-            packets_sent=sum(stats.packets_sent.values()) - self._packets_before,
-            upward_bytes=stats.flow_bytes.get(self.flow, 0) - self._flow_before,
+            time_s=snap.elapsed_s(),
+            bytes_sent=snap.bytes_sent(),
+            packets_sent=snap.packets_sent(),
+            upward_bytes=snap.flow_bytes(),
             downward_bytes=downward_bytes,
             rounds=rounds,
             retransmissions=retransmissions,

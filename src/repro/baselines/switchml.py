@@ -32,6 +32,8 @@ class SwitchMLAllReduce:
             cluster,
             base.with_(skip_zero_blocks=False, charge_bitmap=False),
         )
+        # The shared engine records runs under this baseline's name.
+        self._omni.telemetry_label = "switchml"
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
         result = self._omni.allreduce(tensors)

@@ -19,11 +19,18 @@ into ``BENCH_netsim.json`` (see :mod:`repro.bench.perf`); with
 ``--perf-tolerance`` against the committed baseline.  ``--profile FILE``
 runs the experiments under cProfile and dumps the stats for
 ``pstats``/snakeviz (see docs/performance.md).
+
+``--trace FILE`` / ``--metrics FILE`` activate the unified telemetry
+layer (:mod:`repro.telemetry`) for every experiment run and export a
+Perfetto-loadable Chrome trace and/or a metrics JSON afterwards (see
+docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import re
 import sys
 import time
 from typing import Callable, Dict
@@ -85,6 +92,17 @@ EXPERIMENTS: Dict[str, Callable] = {
     "conformance": conformance,
 }
 
+#: Accept compact experiment ids too: "figure6" == "figure-6".
+_COMPACT_ID = re.compile(r"^(figure|table)(\d+)$")
+
+
+def canonical_id(name: str) -> str:
+    """Normalize an experiment id ("figure6" -> "figure-6")."""
+    match = _COMPACT_ID.match(name)
+    if match and name not in EXPERIMENTS:
+        return f"{match.group(1)}-{match.group(2)}"
+    return name
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -131,8 +149,24 @@ def main(argv=None) -> int:
         "--profile", metavar="FILE", default=None,
         help="run experiments under cProfile and dump stats to FILE",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record telemetry and write a Chrome-trace-event JSON "
+             "(open in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="record telemetry and write the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=None, metavar="SECONDS",
+        help="with --trace, sample per-link utilization and queue depth "
+             "every SECONDS of virtual time",
+    )
     args = parser.parse_args(argv)
-    requested = list(args.experiments) + list(args.experiment)
+    requested = [
+        canonical_id(n) for n in list(args.experiments) + list(args.experiment)
+    ]
 
     if args.list or not requested:
         for name in EXPERIMENTS:
@@ -158,6 +192,22 @@ def main(argv=None) -> int:
         import cProfile
 
         profiler = cProfile.Profile()
+
+    telemetry = None
+    if args.trace is not None or args.metrics is not None:
+        from .. import telemetry as tele_mod
+
+        if int(os.environ.get("REPRO_JOBS", "1") or "1") > 1:
+            print(
+                "warning: REPRO_JOBS>1 runs sweep points in child "
+                "processes whose telemetry is not collected; set "
+                "REPRO_JOBS=1 for complete traces",
+                file=sys.stderr,
+            )
+        telemetry = tele_mod.Telemetry(
+            tele_mod.TelemetryConfig(sample_interval_s=args.sample_interval)
+        )
+        tele_mod.runtime.activate(telemetry)
 
     track_perf = args.timing or args.perf_baseline is not None
     records = {}
@@ -196,6 +246,19 @@ def main(argv=None) -> int:
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(15)
         print(f"profile written to {args.profile}")
+
+    if telemetry is not None:
+        from ..telemetry import runtime as tele_runtime
+
+        tele_runtime.deactivate()
+        print(telemetry.summary())
+        print()
+        if args.trace is not None:
+            telemetry.write_trace(args.trace)
+            print(f"trace written to {args.trace} (open in Perfetto)")
+        if args.metrics is not None:
+            telemetry.write_metrics(args.metrics)
+            print(f"metrics written to {args.metrics}")
 
     if args.timing:
         perf.write_report(args.perf_out, records)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..netsim.kernel import Simulator
 from ..netsim.transport import Endpoint, Transport
+from ..telemetry.spans import NULL_RECORDER
 from ..tensors.blocks import INFINITY, NEG_INFINITY
 from .messages import LaneEntry, ResultPacket, WorkerPacket, encode_immediate
 from .partition import StreamRange
@@ -88,8 +89,12 @@ class _SlotBase:
         reduction: str = "sum",
         deterministic: bool = False,
         port_suffix: str = "",
+        recorder=NULL_RECORDER,
     ) -> None:
         self.sim = sim
+        # Telemetry recorder: the shared null recorder unless a
+        # Telemetry is attached; hot-path calls gate on ``enabled``.
+        self.recorder = recorder
         self.block_size = block_size
         self.deterministic = deterministic
         self.range = stream_range
@@ -106,6 +111,8 @@ class _SlotBase:
         )
         self._worker_port = f"{prefix}.w{self.stream}{port_suffix}"
         self.flow = f"{prefix}.down"
+        # Telemetry track (Chrome-trace thread) name for this slot.
+        self._track = f"{agg_host}/slot{self.stream}{port_suffix}"
         self.stats = SlotStats(stream=self.stream)
         # Current block per lane: the initial row (first blocks of range).
         count = min(self.width, stream_range.num_blocks)
@@ -153,11 +160,22 @@ class SlotAggregator(_SlotBase):
 
     def run(self):
         """Generator process: aggregate until every lane reaches infinity."""
+        rec = self.recorder
+        recording = rec.enabled  # constant for the life of the process
+        track = self._track
+        round_open = False
+        if recording:
+            rec.begin(self.sim.now, track, "slot", cat="aggregator",
+                      args={"stream": self.stream, "lanes": self.num_lanes})
         next_cols = self._next_cols
         mins = self._mins
         current = self.current
         while not all(block == INFINITY for block in current):
             received = yield self.endpoint.recv()
+            if recording and not round_open:
+                # Slot occupancy: first contribution opens the round.
+                rec.begin(self.sim.now, track, "round", cat="aggregator")
+                round_open = True
             packet: WorkerPacket = received.payload
             self.stats.packets_received += 1
             worker_id = packet.worker_id
@@ -210,8 +228,15 @@ class SlotAggregator(_SlotBase):
                 acc[lane] = None
             self.stats.rounds += 1
             self._multicast(ResultPacket(stream=self.stream, version=0, lanes=lanes))
+            if recording:
+                rec.end(self.sim.now, track)  # round closes at multicast
+                round_open = False
 
         self.stats.finish_s = self.sim.now
+        if recording:
+            if round_open:
+                rec.end(self.sim.now, track)
+            rec.end(self.sim.now, track)  # slot lifetime
         return self.stats
 
 
@@ -239,8 +264,16 @@ class RecoverySlotAggregator(_SlotBase):
         The process never returns on its own: after the final round it
         keeps answering retransmitted requests (a worker may have lost
         the last result).  The collective runner stops the simulation
-        when every worker finishes.
+        when every worker finishes.  The slot's lifetime span is
+        therefore closed by the telemetry layer at the run boundary.
         """
+        rec = self.recorder
+        recording = rec.enabled  # constant for the life of the process
+        track = self._track
+        round_open = False
+        if recording:
+            rec.begin(self.sim.now, track, "slot", cat="aggregator",
+                      args={"stream": self.stream, "lanes": self.num_lanes})
         while True:
             received = yield self.endpoint.recv()
             packet: WorkerPacket = received.payload
@@ -254,6 +287,11 @@ class RecoverySlotAggregator(_SlotBase):
                 # result: resend it unicast (Alg. 2 l.47-49).
                 self.stats.duplicates += 1
                 if self._count[version] == 0 and version in self._last_result:
+                    if recording:
+                        rec.instant(
+                            self.sim.now, track, "duplicate-service",
+                            cat="aggregator", args={"worker": worker},
+                        )
                     self._unicast(self._last_result[version], worker)
                 continue
 
@@ -261,6 +299,10 @@ class RecoverySlotAggregator(_SlotBase):
             self._seen[version ^ 1][worker] = False
             self._count[version] += 1
             first_of_round = self._count[version] == 1
+            if recording and not round_open:
+                # Slot occupancy: first contribution opens the round.
+                rec.begin(self.sim.now, track, "round", cat="aggregator")
+                round_open = True
             if first_of_round:
                 # Overwrite-on-first-packet reset (Alg. 2), reusing the
                 # version's containers rather than reallocating them.
@@ -314,6 +356,9 @@ class RecoverySlotAggregator(_SlotBase):
             self._last_result[version] = result
             self.stats.rounds += 1
             self._multicast(result)
+            if recording:
+                rec.end(self.sim.now, track)  # round closes at multicast
+                round_open = False
             if all(block == INFINITY for block in self.current):
                 self.stats.finish_s = self.sim.now
                 # Stay alive to service duplicate final-round requests.

@@ -23,6 +23,8 @@ import numpy as np
 from ..faults.models import FaultEvent, StalenessReport
 from ..netsim.cluster import Cluster
 from ..netsim.transport import DatagramTransport
+from ..telemetry.collect import TrafficSnapshot
+from ..telemetry.spans import NULL_RECORDER
 from ..tensors.bitmap import V100_BITMAP_MODEL, BitmapCostModel
 from ..tensors.blocks import BlockView
 from .aggregator import RecoverySlotAggregator, SlotAggregator
@@ -99,6 +101,10 @@ class CollectiveResult:
 
 class OmniReduce:
     """OmniReduce collective operations over a simulated cluster."""
+
+    #: Algorithm label used when the engine records itself into an
+    #: attached telemetry (wrappers like SwitchML* override it).
+    telemetry_label = "omnireduce"
 
     def __init__(
         self,
@@ -258,6 +264,30 @@ class OmniReduce:
         worker_start_delays: Optional[Sequence[float]] = None,
         gradient_readiness: Optional[Sequence] = None,
     ) -> CollectiveResult:
+        """Telemetry boundary around the engine proper.
+
+        The engine is reachable both directly (``OmniReduce(...).allreduce``)
+        and through a :class:`~repro.baselines.api.Session`; the
+        telemetry's re-entrancy guard ensures exactly one frame records
+        the run whichever path was taken.
+        """
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is None:
+            return self._run_impl(tensors, worker_start_delays, gradient_readiness)
+        with telemetry.collective(self.telemetry_label, self.cluster) as op:
+            result = self._run_impl(
+                tensors, worker_start_delays, gradient_readiness
+            )
+            if op is not None:
+                op.result = result
+            return result
+
+    def _run_impl(
+        self,
+        tensors: List[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]] = None,
+        gradient_readiness: Optional[Sequence] = None,
+    ) -> CollectiveResult:
         spec = self.cluster.spec
         config = self.config
         sim = self.cluster.sim
@@ -338,12 +368,10 @@ class OmniReduce:
                 f"({MAX_STREAMS}); lower streams_per_shard or the shard count"
             )
         recovery = self._use_recovery()
+        telemetry = getattr(self.cluster, "telemetry", None)
+        recorder = telemetry.recorder if telemetry is not None else NULL_RECORDER
 
-        stats_before = self.cluster.stats
-        bytes_before = stats_before.total_bytes_sent
-        packets_before = sum(stats_before.packets_sent.values())
-        up_before = stats_before.flow_bytes.get(f"{prefix}.up", 0)
-        down_before = stats_before.flow_bytes.get(f"{prefix}.down", 0)
+        snapshot = TrafficSnapshot(self.cluster)
 
         # Crash recovery re-executes streams from scratch, and workers
         # must then re-read contributions that the first execution may
@@ -381,6 +409,7 @@ class OmniReduce:
                 reduction=config.reduction,
                 deterministic=config.deterministic,
                 port_suffix=suffix,
+                recorder=recorder,
             )
             slots.append(slot)
             slot_proc = sim.spawn(
@@ -412,6 +441,7 @@ class OmniReduce:
                     readiness=readiness_schedules[worker_id],
                     contrib_view=contrib_views[worker_id],
                     port_suffix=suffix,
+                    recorder=recorder,
                 )
                 if recovery:
                     worker = RecoveryStreamWorker(
@@ -612,12 +642,28 @@ class OmniReduce:
                 pending_blocks=pending_blocks,
             )
 
-        stats = self.cluster.stats
         retransmissions = sum(w.stats.retransmissions for w in stream_workers)
         timeouts_fired = sum(w.stats.timeouts_fired for w in stream_workers)
         duplicates = sum(s.stats.duplicates for s in slots)
         rounds = max((s.stats.rounds for s in slots), default=0)
         details_extra: Dict[str, float] = {}
+        # Blocks that never crossed the wire because every value in them
+        # was zero: the paper's bandwidth-saving mechanism, derived from
+        # the generation-0 layouts (sum over workers and streams).
+        if config.skip_zero_blocks:
+            details_extra["zero_blocks_suppressed"] = float(
+                sum(
+                    layout.range.num_blocks - layout.listed_blocks()
+                    for per_worker in layouts.values()
+                    for layout in per_worker
+                )
+            )
+        # Worst per-(worker, stream) time spent blocked on results --
+        # protocol-level stall, complementing the NIC-derived uniform
+        # ``worker_stall_s`` metric.
+        details_extra["worker_recv_wait_max_s"] = max(
+            (w.stats.stall_s for w in stream_workers), default=0.0
+        )
         if fault_events:
             latencies = [
                 e.recovery_latency_s
@@ -637,10 +683,10 @@ class OmniReduce:
         return CollectiveResult(
             outputs=outputs,
             time_s=finish - start,
-            bytes_sent=stats.total_bytes_sent - bytes_before,
-            packets_sent=sum(stats.packets_sent.values()) - packets_before,
-            upward_bytes=stats.flow_bytes.get(f"{prefix}.up", 0) - up_before,
-            downward_bytes=stats.flow_bytes.get(f"{prefix}.down", 0) - down_before,
+            bytes_sent=snapshot.bytes_sent(),
+            packets_sent=snapshot.packets_sent(),
+            upward_bytes=snapshot.flow_bytes(f"{prefix}.up"),
+            downward_bytes=snapshot.flow_bytes(f"{prefix}.down"),
             rounds=rounds,
             retransmissions=retransmissions,
             duplicates=duplicates,

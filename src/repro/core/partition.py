@@ -209,6 +209,12 @@ class FusionLayout:
         """Block indices of the initial row (one per lane, lane order)."""
         return list(self._first_row)
 
+    def listed_blocks(self) -> int:
+        """Total transmittable blocks across all lanes.  The stream's
+        remaining ``range.num_blocks - listed_blocks()`` blocks are
+        all-zero and never cross the wire (zero-block suppression)."""
+        return sum(len(column) for column in self._column_lists)
+
     def is_listed(self, lane: int, block: int) -> bool:
         """True when ``block`` is one of the lane's transmittable blocks
         (non-zero, or every block in dense mode)."""

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..netsim.kernel import Simulator
 from ..netsim.transport import Endpoint, Transport
+from ..telemetry.spans import NULL_RECORDER
 from ..tensors.blocks import BlockView, INFINITY
 from .messages import LaneEntry, ResultPacket, WorkerPacket, encode_immediate
 from .partition import FusionLayout
@@ -41,6 +42,8 @@ class StreamWorkerStats:
     retransmissions: int = 0
     timeouts_fired: int = 0
     rounds: int = 0
+    #: Seconds spent blocked waiting for aggregation results.
+    stall_s: float = 0.0
 
 
 class _StreamWorkerBase:
@@ -64,8 +67,12 @@ class _StreamWorkerBase:
         readiness=None,
         contrib_view: Optional[BlockView] = None,
         port_suffix: str = "",
+        recorder=NULL_RECORDER,
     ) -> None:
         self.sim = sim
+        # Telemetry recorder: the shared null recorder unless a
+        # Telemetry is attached; hot-path calls gate on ``enabled``.
+        self.recorder = recorder
         self.worker_id = worker_id
         self.layout = layout
         self.view = view
@@ -95,6 +102,9 @@ class _StreamWorkerBase:
             worker_host, f"{prefix}.w{stream}{port_suffix}"
         )
         self.flow = f"{prefix}.up"
+        # Telemetry track (Chrome-trace thread) names for this engine.
+        self._track = f"{worker_host}/w{worker_id}.s{stream}{port_suffix}"
+        self._timer_track = self._track + "/timer"
         self.finished = False
         self.reduction = reduction
         self.stats = StreamWorkerStats(worker_id=worker_id, stream=stream)
@@ -231,17 +241,27 @@ class StreamWorker(_StreamWorkerBase):
     def run(self):
         """Generator process: one stream of the basic protocol."""
         sim = self.sim
+        rec = self.recorder
+        recording = rec.enabled  # constant for the life of the process
+        track = self._track
         if self.start_delay_s > 0:
             yield sim.timeout(self.start_delay_s)
         if self.layout.range.num_blocks == 0:
             self.finished = True
             self.stats.finish_s = sim.now
             return self.stats
+        if recording:
+            rec.begin(sim.now, track, "stream", cat="worker",
+                      args={"worker": self.worker_id, "stream": self.stream})
 
         first = self._initial_packet()
         delay = self._data_delay(first)
         if delay > 0:
+            if recording:
+                rec.begin(sim.now, track, "await-data", cat="compute")
             yield sim.timeout(delay)
+            if recording:
+                rec.end(sim.now, track)
         self._send(first)
 
         lanes_done = [False] * self.layout.num_lanes
@@ -251,7 +271,13 @@ class StreamWorker(_StreamWorkerBase):
         recv = self.endpoint.recv
         stats = self.stats
         while not all(lanes_done):
+            wait_from = sim.now
+            if recording:
+                rec.begin(wait_from, track, "await-result", cat="wait")
             received = yield recv()
+            if recording:
+                rec.end(sim.now, track)
+            stats.stall_s += sim.now - wait_from
             result: ResultPacket = received.payload
             stats.rounds += 1
             self._store_result_lanes(result)
@@ -282,11 +308,17 @@ class StreamWorker(_StreamWorkerBase):
                 )
                 delay = self._data_delay(packet)
                 if delay > 0:
+                    if recording:
+                        rec.begin(sim.now, track, "await-data", cat="compute")
                     yield sim.timeout(delay)
+                    if recording:
+                        rec.end(sim.now, track)
                 self._send(packet)
 
         self.finished = True
         self.stats.finish_s = sim.now
+        if recording:
+            rec.end(sim.now, track)
         return self.stats
 
 
@@ -325,12 +357,24 @@ class RecoveryStreamWorker(_StreamWorkerBase):
 
     def _arm_timer(self) -> None:
         sim = self.sim
+        rec = self.recorder
+        if rec.enabled:
+            rec.begin(
+                sim.now,
+                self._timer_track,
+                "retransmit-timer",
+                cat="timer",
+                args={"timeout_s": self._current_timeout_s},
+            )
         self._timer = sim.call_at(sim.now + self._current_timeout_s, self._on_timeout)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
             self.sim.cancel(self._timer)
             self._timer = None
+            rec = self.recorder
+            if rec.enabled:
+                rec.end(self.sim.now, self._timer_track)
 
     def _reset_backoff(self) -> None:
         self._current_timeout_s = self.timeout_s
@@ -338,6 +382,17 @@ class RecoveryStreamWorker(_StreamWorkerBase):
     def _on_timeout(self) -> None:
         if self._outstanding is None:
             return
+        rec = self.recorder
+        if rec.enabled:
+            # The armed timer's lifetime span ends by firing.
+            rec.end(self.sim.now, self._timer_track)
+            rec.instant(
+                self.sim.now,
+                self._timer_track,
+                "timeout-fired",
+                cat="timer",
+                args={"timeout_s": self._current_timeout_s},
+            )
         self.stats.timeouts_fired += 1
         self.stats.retransmissions += 1
         self._send(self._outstanding)
@@ -356,12 +411,19 @@ class RecoveryStreamWorker(_StreamWorkerBase):
     def run(self):
         """Generator process: one stream of the loss-tolerant protocol."""
         sim = self.sim
+        rec = self.recorder
+        recording = rec.enabled  # constant for the life of the process
+        track = self._track
+        timer_track = self._timer_track
         if self.start_delay_s > 0:
             yield sim.timeout(self.start_delay_s)
         if self.layout.range.num_blocks == 0:
             self.finished = True
             self.stats.finish_s = sim.now
             return self.stats
+        if recording:
+            rec.begin(sim.now, track, "stream", cat="worker",
+                      args={"worker": self.worker_id, "stream": self.stream})
 
         # The finally block disarms the retransmission timer even when a
         # fault injector interrupts the process mid-protocol: a dead
@@ -371,15 +433,26 @@ class RecoveryStreamWorker(_StreamWorkerBase):
             first = self._initial_packet(version)
             delay = self._data_delay(first)
             if delay > 0:
+                if recording:
+                    rec.begin(sim.now, track, "await-data", cat="compute")
                 yield sim.timeout(delay)
+                if recording:
+                    rec.end(sim.now, track)
             self._transmit(first)
 
             my_next = self.my_next
             next_in_lane = self.layout.next_in_lane
             get_block = self.contrib.get_block
             recv = self.endpoint.recv
+            stats = self.stats
             while True:
+                wait_from = sim.now
+                if recording:
+                    rec.begin(wait_from, track, "await-result", cat="wait")
                 received = yield recv()
+                if recording:
+                    rec.end(sim.now, track)
+                stats.stall_s += sim.now - wait_from
                 result: ResultPacket = received.payload
                 if result.version != version:
                     continue  # duplicate result for an already-processed round
@@ -388,6 +461,8 @@ class RecoveryStreamWorker(_StreamWorkerBase):
                 if timer is not None:
                     sim.cancel(timer)
                     self._timer = None
+                    if recording:
+                        rec.end(sim.now, timer_track)
                 self._outstanding = None
                 self._current_timeout_s = self.timeout_s
                 self.stats.rounds += 1
@@ -432,7 +507,11 @@ class RecoveryStreamWorker(_StreamWorkerBase):
                 )
                 delay = self._data_delay(packet)
                 if delay > 0:
+                    if recording:
+                        rec.begin(sim.now, track, "await-data", cat="compute")
                     yield sim.timeout(delay)
+                    if recording:
+                        rec.end(sim.now, track)
                 self._transmit(packet)
         finally:
             self._cancel_timer()
@@ -440,4 +519,6 @@ class RecoveryStreamWorker(_StreamWorkerBase):
 
         self.finished = True
         self.stats.finish_s = sim.now
+        if recording:
+            rec.end(sim.now, track)
         return self.stats

@@ -184,6 +184,17 @@ class Cluster:
 
         self.transport = self._build_transport()
 
+        # Auto-attach the process-globally active telemetry, if any
+        # (set by `python -m repro.bench --trace/--metrics`).  The
+        # import is deferred to construction time to keep netsim free
+        # of a module-level dependency on the telemetry package.
+        self.telemetry = None
+        from ..telemetry import runtime as _telemetry_runtime
+
+        _active = _telemetry_runtime.current()
+        if _active is not None:
+            _active.attach(self)
+
     def _build_transport(self) -> Transport:
         if self.spec.transport == "rdma":
             return RdmaTransport(self.network)

@@ -13,9 +13,9 @@ network itself keeps only aggregate counters.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .network import Network
 from .packet import Packet
@@ -49,10 +49,27 @@ class PacketTracer:
     which :class:`TraceEvent` deliberately does not retain).  The
     conformance harness's invariant monitors plug in here; a listener is
     any object with an ``observe(time_s, kind, packet)`` method.
+
+    ``max_events`` bounds memory on long sweeps: the newest
+    ``max_events`` events are kept in a ring buffer and evictions are
+    counted in :attr:`events_dropped` (``0`` keeps no events at all --
+    useful when only live listeners matter).  The default (``None``)
+    retains everything, as before.
     """
 
-    def __init__(self, listeners: Iterable = ()) -> None:
-        self.events: List[TraceEvent] = []
+    def __init__(
+        self, listeners: Iterable = (), max_events: Optional[int] = None
+    ) -> None:
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = max_events
+        if max_events is None:
+            self.events: List[TraceEvent] = []
+            self._latencies: List[float] = []
+        else:
+            self.events = deque(maxlen=max_events)  # type: ignore[assignment]
+            self._latencies = deque(maxlen=max_events)  # type: ignore[assignment]
+        self.events_dropped = 0
         self.listeners: List = list(listeners)
         self._sent_at: Dict[int, float] = {}
 
@@ -63,7 +80,10 @@ class PacketTracer:
     # -- recording ---------------------------------------------------------
 
     def record(self, time_s: float, kind: str, packet: Packet) -> None:
-        self.events.append(
+        events = self.events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.events_dropped += 1  # ring is full: oldest event evicted
+        events.append(
             TraceEvent(
                 time_s=time_s,
                 kind=kind,
@@ -76,6 +96,12 @@ class PacketTracer:
         )
         if kind == SENT:
             self._sent_at[packet.pkt_id] = time_s
+        elif kind == DELIVERED:
+            sent = self._sent_at.pop(packet.pkt_id, None)
+            if sent is not None:
+                self._latencies.append(time_s - sent)
+        else:  # dropped: the packet will never be delivered, drop its entry
+            self._sent_at.pop(packet.pkt_id, None)
         for listener in self.listeners:
             listener.observe(time_s, kind, packet)
 
@@ -125,13 +151,13 @@ class PacketTracer:
         return min(1.0, busy / (hi - lo))
 
     def delivery_latencies(self) -> List[float]:
-        """Send-to-delivery latency of every delivered packet."""
-        out = []
-        for event in self.of_kind(DELIVERED):
-            sent = self._sent_at.get(event.pkt_id)
-            if sent is not None:
-                out.append(event.time_s - sent)
-        return out
+        """Send-to-delivery latency of every delivered packet.
+
+        Latencies are accumulated at delivery time (bounded by
+        ``max_events`` when set), so they survive ring-buffer eviction
+        of the underlying events.
+        """
+        return list(self._latencies)
 
     def drop_rate(self) -> float:
         sent = len(self.of_kind(SENT))
@@ -157,14 +183,25 @@ class FaultLog:
     append to it, giving experiments a single place to correlate "what
     was injected" with "what the protocol did about it" -- the fault
     counterpart of :class:`PacketTracer`.
+
+    Listeners (callables taking the new :class:`FaultRecord`) see every
+    entry live; the telemetry layer uses this to fold fault entries
+    into the unified event stream next to packets and spans.
     """
 
     def __init__(self) -> None:
         self.records: List[FaultRecord] = []
+        self.listeners: List[Callable[[FaultRecord], None]] = []
+
+    def add_listener(self, listener: Callable[[FaultRecord], None]) -> None:
+        """Attach a live observer called with each new record."""
+        self.listeners.append(listener)
 
     def record(self, time_s: float, kind: str, **detail: float) -> FaultRecord:
         entry = FaultRecord(time_s=time_s, kind=kind, detail=dict(detail))
         self.records.append(entry)
+        for listener in self.listeners:
+            listener(entry)
         return entry
 
     def __len__(self) -> int:
@@ -177,15 +214,18 @@ class FaultLog:
         self.records.clear()
 
 
-def attach_tracer(network: Network, listeners: Iterable = ()) -> PacketTracer:
+def attach_tracer(
+    network: Network, listeners: Iterable = (), max_events: Optional[int] = None
+) -> PacketTracer:
     """Instrument ``network`` with a tracer (monkey-patches its hooks).
 
     ``listeners`` are forwarded to the tracer and see every event live
-    with the full packet (see :class:`PacketTracer`).  Returns the
-    tracer; detaching is not supported -- build a fresh network for
-    untraced runs.
+    with the full packet (see :class:`PacketTracer`); ``max_events``
+    bounds the tracer's retained event ring.  Returns the tracer;
+    detaching is not supported -- build a fresh network for untraced
+    runs.
     """
-    tracer = PacketTracer(listeners=listeners)
+    tracer = PacketTracer(listeners=listeners, max_events=max_events)
     original_transmit = network.transmit
     original_deliver = network._deliver
 

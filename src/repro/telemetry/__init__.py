@@ -1,0 +1,241 @@
+"""Unified observability for the simulated collectives.
+
+One :class:`Telemetry` object correlates everything a run emits on the
+simulator's virtual clock:
+
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` holding the
+  uniform metric set every registry algorithm reports,
+* a :class:`~repro.telemetry.spans.SpanTracer` of nested spans from the
+  core protocol (block round-trips, slot occupancy, retransmit timers,
+  worker wait time),
+* live packet events from :class:`~repro.netsim.trace.PacketTracer`
+  and fault entries from :class:`~repro.netsim.trace.FaultLog`,
+* periodic link-utilization / queue-depth samples via
+  :meth:`~repro.netsim.kernel.Simulator.add_step_observer`.
+
+Exporters (:mod:`repro.telemetry.export`) render it all as a text
+summary, a metrics JSON, or Chrome-trace-event JSON loadable in
+Perfetto.  See ``docs/observability.md``.
+
+Usage -- explicit::
+
+    tele = Telemetry()
+    session = collective.prepare(cluster, options_cls(telemetry=tele))
+    result = session.allreduce(tensors)
+    print(summary(tele))
+
+or process-global (what ``python -m repro.bench --trace`` does)::
+
+    runtime.activate(Telemetry())     # every new Cluster auto-attaches
+
+When no telemetry is attached, instrumented components hold the shared
+:data:`~repro.telemetry.spans.NULL_RECORDER` and each instrumentation
+point costs one attribute check (see ``tests/telemetry`` and the CI
+perf gate).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from . import runtime
+from .collect import TrafficSnapshot
+from .export import (
+    chrome_trace,
+    metrics_report,
+    summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import UNIFORM_METRICS, MetricsRegistry, record_result
+from .samplers import LinkUtilizationSampler
+from .spans import NULL_RECORDER, NullRecorder, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "MetricsRegistry",
+    "SpanTracer",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "UNIFORM_METRICS",
+    "TrafficSnapshot",
+    "chrome_trace",
+    "metrics_report",
+    "summary",
+    "write_chrome_trace",
+    "write_metrics",
+    "runtime",
+]
+
+
+@dataclass
+class TelemetryConfig:
+    """What to record and how much of it to keep.
+
+    ``max_span_events`` caps the unified event stream (spans, packet
+    instants, fault instants, samples); past the cap new events are
+    dropped-and-counted, keeping the earliest -- a full figure sweep
+    emits millions of packet events and an unbounded trace would dwarf
+    the experiment itself.  ``max_packet_events`` caps the raw
+    :class:`~repro.netsim.trace.PacketTracer` ring (0 = keep none;
+    the live listener feeding the span stream is unaffected).
+    """
+
+    record_spans: bool = True
+    record_packets: bool = True
+    sample_interval_s: Optional[float] = None
+    max_span_events: Optional[int] = 250_000
+    max_packet_events: int = 0
+
+
+class _PacketListener:
+    """Feeds live packet events into the unified span stream."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: SpanTracer) -> None:
+        self.tracer = tracer
+
+    def observe(self, time_s: float, kind: str, packet) -> None:
+        self.tracer.instant(
+            time_s,
+            f"net/{packet.src}",
+            kind,
+            cat="packet",
+            args={
+                "dst": packet.dst,
+                "bytes": packet.size_bytes,
+                "flow": packet.flow,
+                "pkt_id": packet.pkt_id,
+            },
+        )
+
+
+class _Recording:
+    """Result box yielded by :meth:`Telemetry.collective`."""
+
+    __slots__ = ("result",)
+
+    def __init__(self) -> None:
+        self.result = None
+
+
+class Telemetry:
+    """The unified observability object for one or more runs."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(max_events=self.config.max_span_events)
+        #: Recorder handed to protocol components: the tracer when span
+        #: recording is on, the shared null recorder otherwise.
+        self.recorder = self.tracer if self.config.record_spans else NULL_RECORDER
+        #: pid -> algorithm label, one per recorded collective run.
+        self.run_labels: Dict[int, str] = {}
+        self._next_pid = 0
+        self._depth = 0
+        self._attached_ids = set()
+
+    # -- wiring into a cluster ----------------------------------------------
+
+    def attach(self, cluster) -> None:
+        """Instrument ``cluster`` to report here (idempotent).
+
+        Hooks the network's packet path, subscribes to the fault log,
+        and registers the periodic sampler when configured.  Called
+        automatically by sessions and by ``Cluster.__init__`` when this
+        telemetry is process-globally active.
+        """
+        if id(cluster) in self._attached_ids:
+            return
+        self._attached_ids.add(id(cluster))
+        cluster.telemetry = self
+        if self.config.record_packets:
+            from ..netsim.trace import attach_tracer
+
+            attach_tracer(
+                cluster.network,
+                listeners=[_PacketListener(self.tracer)],
+                max_events=self.config.max_packet_events,
+            )
+        cluster.fault_log.add_listener(self._on_fault)
+        if self.config.sample_interval_s:
+            sampler = LinkUtilizationSampler(
+                cluster, self.tracer, self.config.sample_interval_s
+            )
+            cluster.sim.add_step_observer(sampler)
+
+    def _on_fault(self, record) -> None:
+        self.tracer.instant(
+            record.time_s,
+            "faults",
+            record.kind,
+            cat="fault",
+            args=dict(record.detail),
+        )
+
+    # -- recording a collective run -----------------------------------------
+
+    @contextmanager
+    def collective(self, algorithm: str, cluster):
+        """Record one collective operation end to end.
+
+        Yields a result box; the caller stores the finished
+        :class:`~repro.core.collective.CollectiveResult` in
+        ``box.result`` so the uniform metric set can be derived on
+        exit.  Re-entrant frames (a session delegating to the engine it
+        wraps) yield ``None`` and record nothing -- the outermost frame
+        owns the run.
+        """
+        if self._depth:
+            yield None
+            return
+        self.attach(cluster)
+        self._depth += 1
+        pid = self._next_pid
+        self._next_pid += 1
+        self.tracer.pid = pid
+        self.run_labels[pid] = algorithm
+        snapshot = TrafficSnapshot(cluster)
+        box = _Recording()
+        rec = self.recorder
+        if rec.enabled:
+            rec.begin(snapshot.start_s, "run", algorithm, cat="collective")
+        try:
+            yield box
+        finally:
+            self._depth -= 1
+            now = cluster.sim.now
+            if rec.enabled:
+                rec.end(now, "run")
+            # Components interrupted by faults (or slots that serve
+            # duplicates until the simulation drains) never close their
+            # own spans; balance the stream at the run boundary.
+            self.tracer.close_open_spans(now)
+            if box.result is not None:
+                record_result(
+                    self.metrics,
+                    algorithm,
+                    box.result,
+                    worker_stall_s=snapshot.worker_stall_s(),
+                )
+
+    # -- export conveniences ------------------------------------------------
+
+    def chrome_trace(self):
+        return chrome_trace(self)
+
+    def metrics_report(self):
+        return metrics_report(self)
+
+    def summary(self) -> str:
+        return summary(self)
+
+    def write_trace(self, path: str) -> None:
+        write_chrome_trace(self, path)
+
+    def write_metrics(self, path: str) -> None:
+        write_metrics(self, path)

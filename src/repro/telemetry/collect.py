@@ -1,0 +1,88 @@
+"""Counter snapshots over a cluster's traffic statistics.
+
+:class:`TrafficSnapshot` captures the cluster's cumulative counters at
+the start of a collective and exposes the deltas at the end.  It is the
+one place that knows how to difference :class:`~repro.netsim.network.NetworkStats`
+against a start point: :class:`~repro.baselines.common.MeasuredRun`
+(every baseline) and :class:`~repro.core.collective.OmniReduce`
+(the native engine) both build their results from it, so a counter
+added here is reported identically by all 12 algorithms.
+
+The per-worker *stall* derivation also lives here.  A worker's NIC is
+the only resource it serializes onto, so
+
+    stall = completion_time - tx_bytes * 8 / nic_bandwidth
+
+is the time the worker spent *not* sending -- waiting for aggregation
+results, retransmit timers, or slower peers.  It is derived purely from
+traffic counters, so it is available for every algorithm without
+per-algorithm instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["TrafficSnapshot"]
+
+
+class TrafficSnapshot:
+    """Cumulative cluster counters at one instant, plus delta accessors."""
+
+    def __init__(self, cluster, flow: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.flow = flow
+        self.start_s = cluster.sim.now
+        stats = cluster.stats
+        self._bytes_before = stats.total_bytes_sent
+        self._packets_before = sum(stats.packets_sent.values())
+        self._flow_before: Dict[str, int] = dict(stats.flow_bytes)
+        self._retx_before = getattr(cluster.transport, "total_retransmissions", 0)
+        self._host_bytes_before: Dict[str, int] = dict(stats.bytes_sent)
+
+    # -- deltas since the snapshot ------------------------------------------
+
+    def elapsed_s(self) -> float:
+        return self.cluster.sim.now - self.start_s
+
+    def bytes_sent(self) -> int:
+        return self.cluster.stats.total_bytes_sent - self._bytes_before
+
+    def packets_sent(self) -> int:
+        stats = self.cluster.stats
+        return sum(stats.packets_sent.values()) - self._packets_before
+
+    def flow_bytes(self, flow: Optional[str] = None) -> int:
+        flow = flow if flow is not None else self.flow
+        if flow is None:
+            return 0
+        return self.cluster.stats.flow_bytes.get(
+            flow, 0
+        ) - self._flow_before.get(flow, 0)
+
+    def retransmissions(self) -> int:
+        return (
+            getattr(self.cluster.transport, "total_retransmissions", 0)
+            - self._retx_before
+        )
+
+    def host_bytes_sent(self, host: str) -> int:
+        return self.cluster.stats.bytes_sent.get(
+            host, 0
+        ) - self._host_bytes_before.get(host, 0)
+
+    def worker_stall_s(self, elapsed_s: Optional[float] = None) -> Dict[str, float]:
+        """Per-worker seconds not spent serializing onto the NIC.
+
+        ``elapsed_s`` defaults to the wall (virtual) time since the
+        snapshot; pass the collective's own ``time_s`` when the caller
+        measured it independently.
+        """
+        if elapsed_s is None:
+            elapsed_s = self.elapsed_s()
+        stalls: Dict[str, float] = {}
+        for host_name in self.cluster.worker_hosts:
+            host = self.cluster.host(host_name)
+            busy_s = self.host_bytes_sent(host_name) * 8.0 / host.bandwidth_bps
+            stalls[host_name] = max(0.0, elapsed_s - busy_s)
+        return stalls

@@ -1,0 +1,263 @@
+"""Labeled metrics: counters, gauges, histograms, and the registry.
+
+A :class:`MetricsRegistry` is the single numeric source of truth for a
+run: every collective records the *uniform metric set*
+(:data:`UNIFORM_METRICS`) through :func:`record_result`, and both the
+human-readable end-of-run summary and the JSON export render from the
+registry -- the numbers cannot disagree because they are read from one
+place.
+
+Metrics follow the Prometheus naming convention loosely: a metric has a
+name, a kind, and a set of labeled samples.  Labels are plain keyword
+arguments (``registry.counter("bytes_on_wire").inc(n, algorithm="ring")``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "UNIFORM_METRICS",
+    "record_result",
+]
+
+#: The uniform metric set every registry algorithm must emit, one
+#: labeled sample per ``algorithm`` (see :func:`record_result`):
+#:
+#: * ``time_s`` -- simulated completion time of the collective.
+#: * ``bytes_on_wire`` / ``packets_on_wire`` -- total wire traffic
+#:   including protocol headers.
+#: * ``goodput_gbps`` -- reduced payload bytes per worker over time.
+#: * ``raw_throughput_gbps`` -- wire bytes over time (the gap to
+#:   goodput is protocol overhead plus redundancy).
+#: * ``zero_blocks_suppressed`` -- blocks never transmitted because
+#:   they were all-zero (OmniReduce's mechanism; 0 for algorithms
+#:   without block suppression).
+#: * ``retransmissions`` -- loss-recovery retransmissions.
+#: * ``worker_stall_s`` -- per-worker seconds not spent serializing
+#:   onto the NIC (waiting on results, timers, or other workers),
+#:   observed into a histogram with one sample per worker.
+UNIFORM_METRICS = (
+    "time_s",
+    "bytes_on_wire",
+    "packets_on_wire",
+    "goodput_gbps",
+    "raw_throughput_gbps",
+    "zero_blocks_suppressed",
+    "retransmissions",
+    "worker_stall_s",
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared sample storage for all metric kinds."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._samples: "OrderedDict[LabelKey, Any]" = OrderedDict()
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        """Every label combination recorded so far, in first-seen order."""
+        return [dict(key) for key in self._samples]
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """Samples as JSON-ready dicts: ``{"labels": ..., "value": ...}``."""
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in self._samples.items()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class Counter(_Metric):
+    """Monotonically increasing labeled count."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0) + value
+
+    def value(self, **labels: Any) -> float:
+        return self._samples.get(_label_key(labels), 0)
+
+
+class Gauge(_Metric):
+    """Last-write-wins labeled value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._samples[_label_key(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._samples.get(_label_key(labels))
+
+
+class Histogram(_Metric):
+    """Streaming count/sum/min/max per label set.
+
+    Full bucketing is overkill for simulated runs whose sample counts
+    are small; the four moments cover the summary and export needs.
+    """
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        stats = self._samples.get(key)
+        if stats is None:
+            self._samples[key] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+        else:
+            stats["count"] += 1
+            stats["sum"] += value
+            if value < stats["min"]:
+                stats["min"] = value
+            if value > stats["max"]:
+                stats["max"] = value
+
+    def summary(self, **labels: Any) -> Optional[Dict[str, float]]:
+        stats = self._samples.get(_label_key(labels))
+        return dict(stats) if stats is not None else None
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared thereafter.
+
+    ``registry.counter(name)`` is idempotent; asking for an existing
+    name with a different kind is an error (the registry is the schema).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "OrderedDict[str, _Metric]" = OrderedDict()
+
+    def _get_or_create(self, kind: str, name: str, help: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = _KINDS[kind](name, help)
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create("counter", name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create("histogram", name, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def algorithms(self) -> List[str]:
+        """Every ``algorithm`` label value seen across all metrics."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for metric in self._metrics.values():
+            for labels in metric.labelsets():
+                if "algorithm" in labels:
+                    seen.setdefault(labels["algorithm"])
+        return list(seen)
+
+    def collect(self) -> Dict[str, Any]:
+        """The full registry as a JSON-ready dict."""
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": metric.samples(),
+            }
+            for name, metric in self._metrics.items()
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.collect(), indent=indent, sort_keys=False)
+
+
+def record_result(
+    registry: MetricsRegistry,
+    algorithm: str,
+    result,
+    worker_stall_s: Optional[Dict[str, float]] = None,
+) -> None:
+    """Record the uniform metric set for one finished collective.
+
+    This is the *only* code path from a
+    :class:`~repro.core.collective.CollectiveResult` into the registry:
+    the text summary and the JSON metrics export both read what this
+    function wrote, so their numbers agree by construction.
+
+    ``worker_stall_s`` maps worker host name to that worker's stall
+    seconds (completion time minus NIC serialization busy time); each
+    worker is one histogram observation.
+    """
+    labels = {"algorithm": algorithm}
+    time_s = result.time_s
+    registry.gauge(
+        "time_s", "simulated completion time of the collective"
+    ).set(time_s, **labels)
+    registry.counter(
+        "bytes_on_wire", "wire bytes sent, protocol headers included"
+    ).inc(result.bytes_sent, **labels)
+    registry.counter(
+        "packets_on_wire", "packets transmitted"
+    ).inc(result.packets_sent, **labels)
+    registry.counter(
+        "retransmissions", "loss-recovery retransmissions"
+    ).inc(result.retransmissions, **labels)
+    registry.counter(
+        "zero_blocks_suppressed", "all-zero blocks never transmitted"
+    ).inc(result.details.get("zero_blocks_suppressed", 0), **labels)
+    goodput = result.goodput_gbps()
+    if goodput != goodput or goodput in (float("inf"), float("-inf")):
+        goodput = 0.0
+    registry.gauge(
+        "goodput_gbps", "reduced payload bytes per worker over time"
+    ).set(goodput, **labels)
+    raw = result.bytes_sent * 8.0 / time_s / 1e9 if time_s > 0 else 0.0
+    registry.gauge(
+        "raw_throughput_gbps", "wire bytes over completion time"
+    ).set(raw, **labels)
+    stall = registry.histogram(
+        "worker_stall_s", "per-worker seconds not spent serializing on the NIC"
+    )
+    if worker_stall_s:
+        for host, seconds in worker_stall_s.items():
+            stall.observe(seconds, worker=host, **labels)
+    else:
+        stall.observe(0.0, worker="all", **labels)

@@ -1,0 +1,54 @@
+"""Process-global telemetry activation.
+
+The bench CLI (and any other driver that cannot thread a
+:class:`~repro.telemetry.Telemetry` object through every experiment
+function) activates one here; :class:`~repro.netsim.cluster.Cluster`
+checks :func:`current` at construction and attaches itself, so every
+simulator, network and collective built while a telemetry object is
+active reports into it -- no per-experiment plumbing required.
+
+This module is deliberately dependency-free (no numpy, no repro
+imports) so that the cluster's lazy import of it stays cheap and free
+of import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["current", "activate", "deactivate", "use"]
+
+_current = None
+
+
+def current():
+    """The active :class:`~repro.telemetry.Telemetry`, or ``None``."""
+    return _current
+
+
+def activate(telemetry):
+    """Make ``telemetry`` the process-wide active instance."""
+    global _current
+    _current = telemetry
+    return telemetry
+
+
+def deactivate():
+    """Clear and return the active instance (clusters stop auto-attaching)."""
+    global _current
+    previous = _current
+    _current = None
+    return previous
+
+
+@contextmanager
+def use(telemetry):
+    """Scoped activation: restores the previous instance on exit."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

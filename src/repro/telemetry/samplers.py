@@ -1,0 +1,63 @@
+"""Periodic time-series sampling over a running simulation.
+
+Samplers are plain callables registered through
+:meth:`~repro.netsim.kernel.Simulator.add_step_observer`; the kernel
+invokes them with the current virtual time before every event.  Each
+sampler keeps a ``next sample`` deadline and returns immediately when
+the clock has not reached it, so a coarse ``interval_s`` keeps the
+per-event cost to one float comparison.
+
+Samples are recorded as counter events on the active
+:class:`~repro.telemetry.spans.SpanTracer`; the Chrome trace export
+renders them as stacked counter tracks (per-link utilization, queue
+depth) under the same virtual-time axis as spans and packets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LinkUtilizationSampler"]
+
+
+class LinkUtilizationSampler:
+    """Samples per-host egress utilization and mailbox queue depth.
+
+    Utilization over an interval is the fraction of NIC capacity the
+    host's egress actually used::
+
+        (bytes_sent_delta * 8 / bandwidth_bps) / interval
+
+    Queue depth is the total number of packets parked in the host's
+    port mailboxes -- delivered by the network but not yet consumed by
+    the protocol process, i.e. receiver-side backlog.
+    """
+
+    def __init__(self, cluster, recorder, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.cluster = cluster
+        self.recorder = recorder
+        self.interval_s = interval_s
+        self._next_s = cluster.sim.now + interval_s
+        self._last_s = cluster.sim.now
+        self._last_bytes = dict(cluster.stats.bytes_sent)
+
+    def __call__(self, now: float) -> None:
+        if now < self._next_s:
+            return
+        rec = self.recorder
+        elapsed = now - self._last_s
+        stats = self.cluster.stats
+        network = self.cluster.network
+        for name in list(network.hosts):
+            host = network.host(name)
+            sent = stats.bytes_sent.get(name, 0)
+            delta = sent - self._last_bytes.get(name, 0)
+            self._last_bytes[name] = sent
+            util = (delta * 8.0 / host.bandwidth_bps) / elapsed if elapsed > 0 else 0.0
+            depth = sum(len(q) for q in host._ports.values())
+            rec.counter(now, f"link/{name}", "utilization", round(util, 6))
+            rec.counter(now, f"link/{name}", "queue_depth", depth)
+        self._last_s = now
+        # Skip ahead past any idle gap instead of sampling every missed
+        # interval at once.
+        self._next_s = now + self.interval_s

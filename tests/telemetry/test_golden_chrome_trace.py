@@ -1,0 +1,86 @@
+"""Golden Chrome-trace regression: the exported timeline is pinned.
+
+A small canonical OmniReduce run is recorded through the full telemetry
+stack and exported; the normalized trace (stable packet ids, direction-
+only flow labels, nanosecond-grid timestamps) must match the checked-in
+fixture event for event.  Any change to instrumentation points, span
+taxonomy, packet behaviour, or the exporter diffs against it.
+
+If a change is *intentional*, regenerate::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/telemetry/test_golden_chrome_trace.py
+
+and commit the new fixture alongside the change that caused it.
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+from repro.telemetry import Telemetry
+from repro.telemetry.export import normalize_chrome_trace, validate_chrome_trace
+from repro.tensors import block_sparse_tensors
+
+pytestmark = pytest.mark.telemetry
+
+FIXTURE = (
+    pathlib.Path(__file__).parent / "fixtures" / "chrome_trace_golden.json"
+)
+
+
+def capture_golden_trace():
+    tele = Telemetry()
+    cluster = Cluster(
+        ClusterSpec(workers=2, aggregators=1, bandwidth_gbps=10, transport="rdma")
+    )
+    tele.attach(cluster)
+    tensors = block_sparse_tensors(
+        2, 8 * 16, 16, 0.5, rng=np.random.default_rng(0)
+    )
+    config = OmniReduceConfig(block_size=16, streams_per_shard=1)
+    OmniReduce(cluster, config).allreduce(tensors)
+    return tele
+
+
+def test_chrome_trace_matches_golden():
+    trace = capture_golden_trace().chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    got = normalize_chrome_trace(trace)["traceEvents"]
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(
+            json.dumps({"traceEvents": got}, indent=1, default=float) + "\n"
+        )
+    golden = json.loads(FIXTURE.read_text())["traceEvents"]
+    assert len(got) == len(golden), (
+        f"event count changed: golden {len(golden)}, got {len(got)} "
+        "(set REPRO_REGEN_GOLDEN=1 to regenerate if intentional)"
+    )
+    for i, (g, e) in enumerate(zip(got, golden)):
+        assert g == e, (
+            f"trace diverges at event {i}:\n  golden: {e}\n  got:    {g}\n"
+            "(set REPRO_REGEN_GOLDEN=1 to regenerate if intentional)"
+        )
+
+
+def test_normalization_erases_run_to_run_noise():
+    """Two fresh captures normalize identically even though raw pkt_ids
+    and 'or<N>' flow prefixes differ between runs in one process."""
+    first = normalize_chrome_trace(capture_golden_trace().chrome_trace())
+    second = normalize_chrome_trace(capture_golden_trace().chrome_trace())
+    assert first == second
+
+
+def test_normalized_flows_are_directions_only():
+    got = normalize_chrome_trace(capture_golden_trace().chrome_trace())
+    flows = {
+        e["args"]["flow"]
+        for e in got["traceEvents"]
+        if e.get("args", {}).get("flow")
+    }
+    assert flows <= {"up", "down"}

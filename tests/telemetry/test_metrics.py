@@ -1,0 +1,124 @@
+"""MetricsRegistry: counters, gauges, histograms, and record_result."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.collective import CollectiveResult
+from repro.telemetry.metrics import (
+    UNIFORM_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_result,
+)
+
+
+def test_counter_accumulates_per_labelset():
+    reg = MetricsRegistry()
+    c = reg.counter("bytes", "bytes sent")
+    c.inc(100, algorithm="ring")
+    c.inc(50, algorithm="ring")
+    c.inc(7, algorithm="ps")
+    assert c.value(algorithm="ring") == 150
+    assert c.value(algorithm="ps") == 7
+    assert c.value(algorithm="absent") == 0
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("n", "")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_overwrites():
+    g = Gauge("t", "")
+    g.set(1.5, run="a")
+    g.set(2.5, run="a")
+    assert g.value(run="a") == 2.5
+
+
+def test_histogram_summary():
+    h = Histogram("lat", "")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v, worker="w0")
+    s = h.summary(worker="w0")
+    assert s["count"] == 3
+    assert s["sum"] == 6.0
+    assert s["min"] == 1.0 and s["max"] == 3.0
+
+
+def test_registry_get_or_create_is_idempotent_and_kind_safe():
+    reg = MetricsRegistry()
+    a = reg.counter("x", "first")
+    b = reg.counter("x", "second description ignored")
+    assert a is b
+    with pytest.raises(TypeError):
+        reg.gauge("x", "wrong kind")
+
+
+def test_label_order_is_irrelevant():
+    reg = MetricsRegistry()
+    c = reg.counter("x", "")
+    c.inc(1, a="1", b="2")
+    c.inc(1, b="2", a="1")
+    assert c.value(a="1", b="2") == 2
+
+
+def test_registry_collect_round_trips_through_json():
+    reg = MetricsRegistry()
+    reg.counter("x", "d").inc(3, algorithm="ring")
+    reg.gauge("y", "d").set(1.25, algorithm="ring")
+    reg.histogram("z", "d").observe(0.5, algorithm="ring", worker="w0")
+    blob = json.loads(reg.to_json())
+    assert set(blob) == {"x", "y", "z"}
+    assert blob["x"]["kind"] == "counter"
+    assert blob["x"]["samples"][0]["value"] == 3
+    assert reg.algorithms() == ["ring"]
+
+
+def _result(time_s=2.0, bytes_sent=1_000_000, packets=100, retx=3, zeros=40.0):
+    return CollectiveResult(
+        outputs=[np.zeros(8, dtype=np.float32)],
+        time_s=time_s,
+        bytes_sent=bytes_sent,
+        packets_sent=packets,
+        upward_bytes=bytes_sent // 2,
+        downward_bytes=bytes_sent // 2,
+        rounds=1,
+        retransmissions=retx,
+        duplicates=0,
+        details={"zero_blocks_suppressed": zeros},
+    )
+
+
+def test_record_result_emits_every_uniform_metric():
+    reg = MetricsRegistry()
+    record_result(reg, "ring", _result(), worker_stall_s={"worker-0": 0.25})
+    for name in UNIFORM_METRICS:
+        assert name in reg, name
+        metric = reg.get(name)
+        assert len(metric) >= 1
+    assert reg.get("bytes_on_wire").value(algorithm="ring") == 1_000_000
+    assert reg.get("retransmissions").value(algorithm="ring") == 3
+    assert reg.get("zero_blocks_suppressed").value(algorithm="ring") == 40.0
+    stall = reg.get("worker_stall_s").summary(algorithm="ring", worker="worker-0")
+    assert stall["count"] == 1 and stall["max"] == 0.25
+
+
+def test_record_result_throughput_is_finite_for_zero_time():
+    reg = MetricsRegistry()
+    record_result(reg, "ring", _result(time_s=0.0))
+    good = reg.get("goodput_gbps").value(algorithm="ring")
+    raw = reg.get("raw_throughput_gbps").value(algorithm="ring")
+    assert math.isfinite(good) and math.isfinite(raw)
+
+
+def test_record_result_accumulates_across_iterations():
+    reg = MetricsRegistry()
+    record_result(reg, "ring", _result(bytes_sent=10))
+    record_result(reg, "ring", _result(bytes_sent=5))
+    assert reg.get("bytes_on_wire").value(algorithm="ring") == 15

@@ -1,0 +1,84 @@
+"""The no-op guarantee: telemetry must not perturb the simulation.
+
+Instrumentation points in the protocol hot paths gate on
+``recorder.enabled``; with no telemetry attached the recorder is the
+shared NULL_RECORDER and the simulated run must be *bit-identical* to an
+uninstrumented one -- same virtual timings, same packet counts, same
+simulator event count.  Recording, in turn, may add observer bookkeeping
+but must never change the simulated outcome either.
+"""
+
+import numpy as np
+
+from repro.core import OmniReduce, OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+from repro.telemetry import NULL_RECORDER, Telemetry, TelemetryConfig
+from repro.tensors import block_sparse_tensors
+
+
+def _cluster():
+    return Cluster(
+        ClusterSpec(workers=2, aggregators=2, bandwidth_gbps=10, transport="dpdk")
+    )
+
+
+def _tensors():
+    return block_sparse_tensors(
+        2, 32 * 16, 16, 0.5, rng=np.random.default_rng(7)
+    )
+
+
+def _run(telemetry=None):
+    cluster = _cluster()
+    if telemetry is not None:
+        telemetry.attach(cluster)
+    result = OmniReduce(cluster, OmniReduceConfig(block_size=16)).allreduce(
+        _tensors()
+    )
+    return cluster, result
+
+
+def _fingerprint(result):
+    return (
+        result.time_s,
+        result.bytes_sent,
+        result.packets_sent,
+        result.upward_bytes,
+        result.downward_bytes,
+        result.rounds,
+        result.retransmissions,
+        result.duplicates,
+    )
+
+
+def test_untelemetered_cluster_uses_null_recorder():
+    cluster, _ = _run()
+    assert cluster.telemetry is None
+
+
+def test_recording_run_is_bit_identical_to_bare_run():
+    bare_cluster, bare = _run()
+    tele_cluster, recorded = _run(Telemetry())
+    assert _fingerprint(recorded) == _fingerprint(bare)
+    np.testing.assert_array_equal(recorded.output, bare.output)
+    # Same simulated machine: identical event-by-event execution.
+    assert tele_cluster.sim.events_executed == bare_cluster.sim.events_executed
+
+
+def test_disabled_spans_record_nothing_but_metrics_still_flow():
+    tele = Telemetry(TelemetryConfig(record_spans=False, record_packets=False))
+    _, result = _run(tele)
+    assert tele.recorder is NULL_RECORDER
+    assert len(tele.tracer.events) == 0
+    # The metrics path is independent of span recording.
+    assert "bytes_on_wire" in tele.metrics
+    assert (
+        tele.metrics.get("bytes_on_wire").value(algorithm="omnireduce")
+        == result.bytes_sent
+    )
+
+
+def test_disabled_run_matches_bare_run_too():
+    _, bare = _run()
+    _, quiet = _run(Telemetry(TelemetryConfig(record_spans=False, record_packets=False)))
+    assert _fingerprint(quiet) == _fingerprint(bare)

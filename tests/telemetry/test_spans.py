@@ -1,0 +1,93 @@
+"""SpanTracer and the NullRecorder fast path."""
+
+import pytest
+
+from repro.telemetry.spans import NULL_RECORDER, NullRecorder, SpanTracer
+
+
+def test_begin_end_records_balanced_pairs():
+    t = SpanTracer()
+    t.begin(1.0, "w0", "stream", cat="worker")
+    t.begin(2.0, "w0", "await-result", cat="wait")
+    t.end(3.0, "w0")
+    t.end(4.0, "w0")
+    phases = [e[2] for e in t.events]
+    assert phases == ["B", "B", "E", "E"]
+    # LIFO: the inner span's E carries the inner span's name.
+    assert t.events[2][4] == "await-result"
+    assert t.events[3][4] == "stream"
+    assert not t.open_spans()
+
+
+def test_unmatched_end_is_ignored():
+    t = SpanTracer()
+    t.end(1.0, "nowhere")
+    assert len(t) == 0
+
+
+def test_instant_and_counter():
+    t = SpanTracer()
+    t.instant(1.0, "faults", "aggregator-crash", cat="fault", args={"shard": 0})
+    t.counter(2.0, "link/worker-0", "utilization", 0.7)
+    assert [e[2] for e in t.events] == ["i", "C"]
+    assert t.events[1][6] == {"value": 0.7}
+
+
+def test_cap_drops_new_events_but_keeps_balance():
+    t = SpanTracer(max_events=2)
+    t.begin(1.0, "a", "outer")          # recorded (1 event)
+    t.begin(2.0, "a", "inner")          # recorded (2 events -> full)
+    t.begin(3.0, "a", "dropped-span")   # dropped
+    t.instant(3.5, "a", "dropped-instant")  # dropped
+    t.end(4.0, "a")                     # dropped-span's end: dropped too
+    t.end(5.0, "a")                     # inner's end: KEPT despite cap
+    t.end(6.0, "a")                     # outer's end: KEPT despite cap
+    assert t.dropped == 3
+    phases = [(e[2], e[4]) for e in t.events]
+    assert phases == [
+        ("B", "outer"), ("B", "inner"), ("E", "inner"), ("E", "outer"),
+    ]
+    # Balanced: every recorded B has a recorded E.
+    assert not t.open_spans()
+
+
+def test_close_open_spans_balances_interrupted_tracks():
+    t = SpanTracer()
+    t.begin(1.0, "slot0", "slot")
+    t.begin(2.0, "slot0", "round")
+    t.pid = 1
+    t.begin(3.0, "w0", "stream")
+    closed = t.close_open_spans(9.0)
+    assert closed == 3
+    assert not t.open_spans()
+    ends = [e for e in t.events if e[2] == "E"]
+    assert len(ends) == 3
+    assert all(e[1] == 9.0 for e in ends)
+    # Events force-closed under the original pid keep that pid.
+    assert {e[0] for e in ends} == {0, 1}
+
+
+def test_pid_tracks_are_independent():
+    t = SpanTracer()
+    t.begin(1.0, "x", "first")
+    t.pid = 1
+    # Same track name, new pid: the pid-0 span is not closable from here.
+    t.end(2.0, "x")
+    assert [e[2] for e in t.events] == ["B"]
+    assert t.open_spans() == [(0, "x", "first")]
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(ValueError):
+        SpanTracer(max_events=-1)
+
+
+def test_null_recorder_is_disabled_and_inert():
+    assert NULL_RECORDER.enabled is False
+    assert NULL_RECORDER.dropped == 0
+    # Every method is a no-op returning None -- safe to call blindly.
+    assert NULL_RECORDER.begin(0.0, "t", "n") is None
+    assert NULL_RECORDER.end(0.0, "t") is None
+    assert NULL_RECORDER.instant(0.0, "t", "n") is None
+    assert NULL_RECORDER.counter(0.0, "t", "n", 1.0) is None
+    assert isinstance(NULL_RECORDER, NullRecorder)
