@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.collective import CollectiveResult
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from ..tensors.convert import ConversionCostModel, DEFAULT_CONVERSION_MODEL
 from ..tensors.encodings import bitmask_bytes, run_length_bytes
@@ -97,6 +98,10 @@ class AGsparseAllReduce:
         self.index_encoding = index_encoding
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Spawn the AllGather processes and return the pending op."""
         cluster = self.cluster
         sim = cluster.sim
         flats = validate_equal_tensors(cluster, tensors)
@@ -167,14 +172,20 @@ class AGsparseAllReduce:
             sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
             for rank in range(workers)
         ]
-        sim.run(until=sim.all_of(processes))
-        return run.finish(
-            [out for out in outputs],  # type: ignore[arg-type]
-            rounds=workers - 1,
-            backend=self.backend,
-            index_encoding=self.index_encoding,
-            peak_buffer_bytes=peak_buffer["bytes"],
-        )
+
+        def waits():
+            yield sim.all_of(processes)
+
+        def finalize():
+            return run.finish(
+                [out for out in outputs],  # type: ignore[arg-type]
+                rounds=workers - 1,
+                backend=self.backend,
+                index_encoding=self.index_encoding,
+                peak_buffer_bytes=peak_buffer["bytes"],
+            )
+
+        return PendingCollective(sim, waits, finalize, name=prefix)
 
 
 def agsparse_allreduce(

@@ -23,6 +23,7 @@ on this API.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Type
 
@@ -30,10 +31,16 @@ import numpy as np
 
 from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from ..tensors.convert import DEFAULT_CONVERSION_MODEL, ConversionCostModel
 from .agsparse import AGsparseAllReduce
-from .collectives import ring_allgather, tree_broadcast
+from .collectives import (
+    begin_ring_allgather,
+    begin_tree_broadcast,
+    ring_allgather,
+    tree_broadcast,
+)
 from .halving_doubling import HalvingDoublingAllReduce
 from .parallax import ParallaxAllReduce
 from .ps import ParameterServerAllReduce
@@ -44,6 +51,7 @@ from .switchml import SwitchMLAllReduce
 __all__ = [
     "Options",
     "Session",
+    "PendingResult",
     "Collective",
     "OmniReduceOptions",
     "RingOptions",
@@ -77,9 +85,41 @@ class Options:
     and records each collective into its metrics registry and span
     stream.  ``None`` (the default) falls back to the cluster's own
     telemetry, if any -- and otherwise costs nothing.
+
+    :meth:`from_kwargs` is *the* coercion entry point: everything that
+    accepts loosely-typed options (``prepare``, the legacy
+    ``run_allreduce`` shim, bench helpers) funnels through it.
     """
 
     telemetry: Optional[object] = None
+
+    @classmethod
+    def from_kwargs(cls, options=None, /, **kwargs) -> "Options":
+        """Coerce ``options`` / keyword fields into this options class.
+
+        The single documented way to build options from loose input:
+
+        * ``from_kwargs()`` -- the defaults,
+        * ``from_kwargs(opts)`` -- validated pass-through (``opts`` must
+          already be an instance of this class; anything else raises
+          ``TypeError``),
+        * ``from_kwargs(field=value, ...)`` -- typed construction, with
+          unknown fields failing loudly.
+
+        Subclasses may extend it to accept (and deprecate) historical
+        spellings -- see :meth:`OmniReduceOptions.from_kwargs`.
+        """
+        if options is not None:
+            if kwargs:
+                raise TypeError(
+                    "pass either an options instance or keyword fields, not both"
+                )
+            if isinstance(options, cls):
+                return options
+            raise TypeError(
+                f"expected {cls.__name__} options, got {type(options).__name__}"
+            )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -87,6 +127,38 @@ class OmniReduceOptions(Options):
     """Options for the OmniReduce collective: its full config object."""
 
     config: Optional[OmniReduceConfig] = None
+
+    @classmethod
+    def from_kwargs(cls, options=None, /, **kwargs) -> "OmniReduceOptions":
+        """:meth:`Options.from_kwargs` plus OmniReduce's historical
+        spellings: a bare :class:`OmniReduceConfig` (deprecated) and raw
+        config fields (``block_size=64``, ...) alongside ``config=``."""
+        if isinstance(options, OmniReduceConfig):
+            warnings.warn(
+                "passing a bare OmniReduceConfig is deprecated; use "
+                "OmniReduceOptions(config=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if kwargs:
+                raise TypeError(
+                    "pass either an options instance or keyword fields, not both"
+                )
+            return cls(config=options)
+        if options is not None:
+            return super().from_kwargs(options, **kwargs)
+        telemetry = kwargs.pop("telemetry", None)
+        config = kwargs.pop("config", None)
+        if config is not None:
+            if kwargs:
+                raise TypeError(
+                    f"pass either config= or raw config fields, not both "
+                    f"(extra: {sorted(kwargs)})"
+                )
+            return cls(telemetry=telemetry, config=config)
+        if kwargs:
+            return cls(telemetry=telemetry, config=OmniReduceConfig(**kwargs))
+        return cls(telemetry=telemetry)
 
 
 @dataclass(frozen=True)
@@ -156,6 +228,62 @@ class SwitchMLOptions(Options):
 # ---------------------------------------------------------------------------
 
 
+class PendingResult:
+    """Handle to a collective submitted on a :class:`Session`.
+
+    Two ways to consume it:
+
+    * ``wait()`` -- drive the simulator to completion and return the
+      :class:`~repro.core.collective.CollectiveResult`; bit-identical to
+      having called the synchronous method directly.
+    * ``event`` -- a kernel event firing (with the result as its value)
+      when the operation completes; accessing it switches the operation
+      to cooperative execution, letting other in-flight collectives
+      share the clock.  The caller (e.g. the multi-job service) then
+      drives the simulator however it likes.
+    """
+
+    def __init__(self, session: "Session", pending: PendingCollective, frame=None):
+        self._session = session
+        self._pending = pending
+        self._frame = frame
+        self._hooked = False
+
+    def _close_frame(self, result) -> None:
+        if self._frame is not None:
+            self._session.telemetry.collective_close(self._frame, result)
+
+    @property
+    def done(self) -> bool:
+        return self._pending.done
+
+    @property
+    def event(self):
+        """Completion event; starts cooperative execution if idle."""
+        ev = self._pending.event
+        if not self._hooked:
+            self._hooked = True
+            if self._frame is not None:
+                ev.add_callback(lambda fired: self._close_frame(fired.value))
+        return ev
+
+    def wait(self) -> CollectiveResult:
+        """Block (in virtual time) until completion; returns the result."""
+        result = self._pending.wait()
+        if not self._hooked:
+            self._close_frame(result)
+        return result
+
+    def result(self) -> CollectiveResult:
+        """The finished result; raises if still in flight."""
+        return self._pending.result()
+
+    def map(self, fn) -> "PendingResult":
+        """Apply ``fn`` to the result at completion; returns ``self``."""
+        self._pending.map(fn)
+        return self
+
+
 class Session:
     """One algorithm bound to one cluster, ready to run collectives.
 
@@ -163,6 +291,19 @@ class Session:
     once and calls ``allreduce`` per iteration.  Algorithms without a
     native AllGather/Broadcast inherit the dense ring AllGather and
     binomial-tree Broadcast fallbacks.
+
+    Two execution surfaces share one engine layer:
+
+    * synchronous -- ``allreduce``/``allgather``/``broadcast`` drive the
+      simulator to completion and return the result;
+    * non-blocking -- ``submit``/``submit_allgather``/``submit_broadcast``
+      spawn the protocol processes and return a :class:`PendingResult`,
+      so several operations (or several jobs) can interleave on one
+      simulator.
+
+    Sessions are context managers: ``close()`` (idempotent, also called
+    by ``__exit__``) detaches the session's telemetry from the cluster
+    and rejects further collectives.
 
     Every public collective is recorded through the session's telemetry
     (``options.telemetry``, falling back to ``cluster.telemetry``) when
@@ -176,11 +317,48 @@ class Session:
         self.cluster = cluster
         self.options = options
         self.algorithm = algorithm or type(self).__name__
+        self.closed = False
         self.telemetry = getattr(options, "telemetry", None) or getattr(
             cluster, "telemetry", None
         )
+        self._owns_attachment = False
         if self.telemetry is not None:
+            self._owns_attachment = not self.telemetry.attached(cluster)
             self.telemetry.attach(cluster)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the session down (idempotent).
+
+        Detaches the session's telemetry from the cluster -- the
+        recorded history survives, future traffic is no longer observed
+        -- and marks the session closed; subsequent collectives raise
+        ``RuntimeError``.  A telemetry that was already attached before
+        the session was built (a fleet-level recorder shared by many
+        jobs, the cluster's own) is left attached: the session only
+        undoes the attachment it created.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self.telemetry is not None and self._owns_attachment:
+            self.telemetry.detach(self.cluster)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                f"session for {self.algorithm!r} is closed; prepare a new one"
+            )
+
+    # -- synchronous surface -------------------------------------------------
 
     def _recorded(self, run) -> CollectiveResult:
         tele = self.telemetry
@@ -195,13 +373,52 @@ class Session:
     def allreduce(
         self, tensors: Sequence[np.ndarray], **kwargs
     ) -> CollectiveResult:
+        self._check_open()
         return self._recorded(lambda: self._allreduce(tensors, **kwargs))
 
     def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        self._check_open()
         return self._recorded(lambda: self._allgather(tensors))
 
     def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        self._check_open()
         return self._recorded(lambda: self._broadcast(tensor, root))
+
+    # -- non-blocking surface ------------------------------------------------
+
+    def _submitted(self, begin) -> PendingResult:
+        frame = None
+        if self.telemetry is not None:
+            frame = self.telemetry.collective_open(self.algorithm, self.cluster)
+        try:
+            pending = begin()
+        except BaseException:
+            if frame is not None:
+                self.telemetry.collective_close(frame)
+            raise
+        return PendingResult(self, pending, frame)
+
+    def submit(self, tensors: Sequence[np.ndarray], **kwargs) -> PendingResult:
+        """Begin an AllReduce without driving the clock.
+
+        ``submit(t).wait()`` is bit-identical to ``allreduce(t)``; using
+        the returned handle's ``event`` instead runs the operation
+        cooperatively alongside others on the same simulator.
+        """
+        self._check_open()
+        return self._submitted(lambda: self._submit(tensors, **kwargs))
+
+    def submit_allgather(self, tensors: Sequence[np.ndarray]) -> PendingResult:
+        """Begin an AllGather without driving the clock."""
+        self._check_open()
+        return self._submitted(lambda: self._submit_allgather(tensors))
+
+    def submit_broadcast(self, tensor: np.ndarray, root: int = 0) -> PendingResult:
+        """Begin a Broadcast without driving the clock."""
+        self._check_open()
+        return self._submitted(lambda: self._submit_broadcast(tensor, root))
+
+    # -- algorithm hooks -----------------------------------------------------
 
     def _allreduce(
         self, tensors: Sequence[np.ndarray], **kwargs
@@ -213,6 +430,17 @@ class Session:
 
     def _broadcast(self, tensor: np.ndarray, root: int) -> CollectiveResult:
         return tree_broadcast(self.cluster, tensor, root=root)
+
+    def _submit(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> PendingCollective:
+        raise NotImplementedError
+
+    def _submit_allgather(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        return begin_ring_allgather(self.cluster, tensors)
+
+    def _submit_broadcast(self, tensor: np.ndarray, root: int) -> PendingCollective:
+        return begin_tree_broadcast(self.cluster, tensor, root=root)
 
 
 class _EngineSession(Session):
@@ -229,6 +457,11 @@ class _EngineSession(Session):
     ) -> CollectiveResult:
         return self.engine.allreduce(tensors, **kwargs)
 
+    def _submit(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> PendingCollective:
+        return self.engine.begin(tensors, **kwargs)
+
 
 class OmniReduceSession(_EngineSession):
     """OmniReduce session: all three collectives are native (§7)."""
@@ -238,6 +471,17 @@ class OmniReduceSession(_EngineSession):
 
     def _broadcast(self, tensor: np.ndarray, root: int) -> CollectiveResult:
         return self.engine.broadcast(tensor, root=root)
+
+    def _submit(
+        self, tensors: Sequence[np.ndarray], **kwargs
+    ) -> PendingCollective:
+        return self.engine.begin_allreduce(tensors, **kwargs)
+
+    def _submit_allgather(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        return self.engine.begin_allgather(tensors)
+
+    def _submit_broadcast(self, tensor: np.ndarray, root: int) -> PendingCollective:
+        return self.engine.begin_broadcast(tensor, root=root)
 
 
 # ---------------------------------------------------------------------------
@@ -259,18 +503,22 @@ class Collective:
         return self.options_cls()
 
     def options_from_kwargs(self, **kwargs) -> Options:
-        """Build typed options from legacy ``**opts``-style keywords."""
-        return self.options_cls(**kwargs)
+        """Deprecated: use ``self.options_cls.from_kwargs(**kwargs)``."""
+        warnings.warn(
+            "Collective.options_from_kwargs() is deprecated; use "
+            f"{self.options_cls.__name__}.from_kwargs() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.options_cls.from_kwargs(**kwargs)
 
     def _coerce(self, options: Optional[Options]) -> Options:
         if options is None:
             return self.default_options()
-        if not isinstance(options, self.options_cls):
-            raise TypeError(
-                f"{self.name!r} expects {self.options_cls.__name__} options, "
-                f"got {type(options).__name__}"
-            )
-        return options
+        try:
+            return self.options_cls.from_kwargs(options)
+        except TypeError as exc:
+            raise TypeError(f"{self.name!r}: {exc}") from None
 
     def __repr__(self) -> str:
         return f"<Collective {self.name!r} ({self.options_cls.__name__})>"
@@ -295,10 +543,11 @@ class _FactoryCollective(Collective):
 class OmniReduceCollective(Collective):
     """OmniReduce behind the unified protocol.
 
-    For backward compatibility with the old registry convention,
-    ``options_from_kwargs`` accepts either ``config=<OmniReduceConfig>``
-    or raw :class:`OmniReduceConfig` field keywords, and ``prepare``
-    additionally coerces a bare :class:`OmniReduceConfig`.
+    Historical spellings (a bare :class:`OmniReduceConfig` passed to
+    ``prepare``, raw config field keywords) are accepted -- with
+    deprecation warnings where applicable -- by
+    :meth:`OmniReduceOptions.from_kwargs`, which ``_coerce`` funnels
+    everything through.
     """
 
     name = "omnireduce"
@@ -306,28 +555,10 @@ class OmniReduceCollective(Collective):
     summary = "sparse streaming aggregation (this paper)"
 
     def prepare(self, cluster: Cluster, options=None) -> Session:
-        if isinstance(options, OmniReduceConfig):
-            options = OmniReduceOptions(config=options)
         opts = self._coerce(options)
         return OmniReduceSession(
             cluster, opts, OmniReduce(cluster, opts.config), algorithm=self.name
         )
-
-    def options_from_kwargs(self, **kwargs) -> OmniReduceOptions:
-        telemetry = kwargs.pop("telemetry", None)
-        config = kwargs.pop("config", None)
-        if config is not None:
-            if kwargs:
-                raise TypeError(
-                    f"pass either config= or raw config fields, not both "
-                    f"(extra: {sorted(kwargs)})"
-                )
-            return OmniReduceOptions(telemetry=telemetry, config=config)
-        if kwargs:
-            return OmniReduceOptions(
-                telemetry=telemetry, config=OmniReduceConfig(**kwargs)
-            )
-        return OmniReduceOptions(telemetry=telemetry)
 
 
 def _factories():

@@ -19,10 +19,16 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.collective import CollectiveResult
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from .common import MeasuredRun, SegmentedChannel, fresh_prefix
 
-__all__ = ["ring_allgather", "tree_broadcast"]
+__all__ = [
+    "ring_allgather",
+    "tree_broadcast",
+    "begin_ring_allgather",
+    "begin_tree_broadcast",
+]
 
 SEGMENT_BYTES = 65536
 
@@ -31,6 +37,13 @@ def ring_allgather(
     cluster: Cluster, tensors: Sequence[np.ndarray]
 ) -> CollectiveResult:
     """Dense ring AllGather: every worker ends with the concatenation."""
+    return begin_ring_allgather(cluster, tensors).wait()
+
+
+def begin_ring_allgather(
+    cluster: Cluster, tensors: Sequence[np.ndarray]
+) -> PendingCollective:
+    """Spawn the ring AllGather processes and return the pending op."""
     sim = cluster.sim
     workers = cluster.spec.workers
     if len(tensors) != workers:
@@ -73,14 +86,26 @@ def ring_allgather(
         sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
         for rank in range(workers)
     ]
-    sim.run(until=sim.all_of(processes))
-    return run.finish(list(outputs), rounds=workers - 1)
+
+    def waits():
+        yield sim.all_of(processes)
+
+    return PendingCollective(
+        sim, waits, lambda: run.finish(list(outputs), rounds=workers - 1), name=prefix
+    )
 
 
 def tree_broadcast(
     cluster: Cluster, tensor: np.ndarray, root: int = 0
 ) -> CollectiveResult:
     """Binomial-tree Broadcast of ``tensor`` from ``root``."""
+    return begin_tree_broadcast(cluster, tensor, root).wait()
+
+
+def begin_tree_broadcast(
+    cluster: Cluster, tensor: np.ndarray, root: int = 0
+) -> PendingCollective:
+    """Spawn the broadcast processes and return the pending op."""
     sim = cluster.sim
     workers = cluster.spec.workers
     if not 0 <= root < workers:
@@ -133,5 +158,10 @@ def tree_broadcast(
         sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
         for rank in range(workers)
     ]
-    sim.run(until=sim.all_of(processes))
-    return run.finish(list(outputs), rounds=rounds)
+
+    def waits():
+        yield sim.all_of(processes)
+
+    return PendingCollective(
+        sim, waits, lambda: run.finish(list(outputs), rounds=rounds), name=prefix
+    )

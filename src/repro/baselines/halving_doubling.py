@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.collective import CollectiveResult
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from .common import MeasuredRun, SegmentedChannel, fresh_prefix, validate_equal_tensors
 
@@ -34,6 +35,10 @@ class HalvingDoublingAllReduce:
         self.cluster = cluster
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Spawn the halving-doubling processes; return the pending op."""
         cluster = self.cluster
         sim = cluster.sim
         flats = validate_equal_tensors(cluster, tensors)
@@ -45,7 +50,9 @@ class HalvingDoublingAllReduce:
 
         outputs = [f.copy() for f in flats]
         if workers == 1:
-            return run.finish(outputs, rounds=0)
+            return PendingCollective.completed(
+                sim, run.finish(outputs, rounds=0), name=prefix
+            )
 
         hosts = cluster.worker_hosts
         transport = cluster.transport
@@ -123,8 +130,13 @@ class HalvingDoublingAllReduce:
             sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
             for rank in range(workers)
         ]
-        sim.run(until=sim.all_of(processes))
-        return run.finish(outputs, rounds=2 * steps)
+
+        def waits():
+            yield sim.all_of(processes)
+
+        return PendingCollective(
+            sim, waits, lambda: run.finish(outputs, rounds=2 * steps), name=prefix
+        )
 
 
 def halving_doubling_allreduce(

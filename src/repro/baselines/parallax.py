@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.collective import CollectiveResult
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from .ps import ParameterServerAllReduce
 from .ring import RingAllReduce
@@ -39,19 +40,40 @@ class ParallaxAllReduce:
         self.include_conversion = include_conversion
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
-        dense = RingAllReduce(self.cluster).allreduce(tensors)
-        sparse = ParameterServerAllReduce(
-            self.cluster, sparse=True, include_conversion=self.include_conversion
-        ).allreduce(tensors)
-        winner, loser, choice = (
-            (dense, sparse, "allreduce")
-            if dense.time_s <= sparse.time_s
-            else (sparse, dense, "sparse-ps")
-        )
-        winner.details["parallax_choice"] = choice
-        winner.details["candidate_allreduce_s"] = dense.time_s
-        winner.details["candidate_sparse_ps_s"] = sparse.time_s
-        return winner
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Run both candidate paths back to back; pending yields the winner.
+
+        The two sub-collectives chain through :meth:`PendingCollective.steps`,
+        so the oracle's measure-both methodology needs no extra control
+        process of its own.
+        """
+        sim = self.cluster.sim
+        candidates = {}
+
+        def waits():
+            dense_pending = RingAllReduce(self.cluster).begin(tensors)
+            candidates["dense"] = yield from dense_pending.steps()
+            sparse_pending = ParameterServerAllReduce(
+                self.cluster, sparse=True, include_conversion=self.include_conversion
+            ).begin(tensors)
+            candidates["sparse"] = yield from sparse_pending.steps()
+
+        def finalize():
+            dense = candidates["dense"]
+            sparse = candidates["sparse"]
+            winner, loser, choice = (
+                (dense, sparse, "allreduce")
+                if dense.time_s <= sparse.time_s
+                else (sparse, dense, "sparse-ps")
+            )
+            winner.details["parallax_choice"] = choice
+            winner.details["candidate_allreduce_s"] = dense.time_s
+            winner.details["candidate_sparse_ps_s"] = sparse.time_s
+            return winner
+
+        return PendingCollective(sim, waits, finalize, name="parallax")
 
 
 class ParallaxRuntime:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult
 from ..core.partition import split_ranges
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from ..tensors.convert import ConversionCostModel, DEFAULT_CONVERSION_MODEL
 from ..tensors.accumulate import CooAccumulator
@@ -58,6 +59,10 @@ class ParameterServerAllReduce:
         self.conversion_model = conversion_model
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Spawn the push-pull processes and return the pending op."""
         cluster = self.cluster
         sim = cluster.sim
         flats = validate_equal_tensors(cluster, tensors)
@@ -169,9 +174,17 @@ class ParameterServerAllReduce:
         ]
         for j in range(active_servers):
             sim.spawn(server_proc(j), name=f"{prefix}-s{j}")
-        sim.run(until=sim.all_of(processes))
-        return run.finish(
-            outputs, rounds=2, sparse=float(self.sparse), servers=active_servers
+
+        def waits():
+            yield sim.all_of(processes)
+
+        return PendingCollective(
+            sim,
+            waits,
+            lambda: run.finish(
+                outputs, rounds=2, sparse=float(self.sparse), servers=active_servers
+            ),
+            name=prefix,
         )
 
 

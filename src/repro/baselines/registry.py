@@ -61,5 +61,5 @@ def run_allreduce(
         stacklevel=2,
     )
     collective = get(name)
-    opts = collective.options_from_kwargs(**options)
+    opts = collective.options_cls.from_kwargs(**options)
     return collective.prepare(cluster, opts).allreduce(tensors)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult
 from ..core.partition import split_ranges
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from .common import MeasuredRun
 
@@ -48,6 +49,10 @@ class RingAllReduce:
         self.segment_elements = max(1, min(segment_elements, max_elements))
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Spawn the ring processes and return the pending operation."""
         spec = self.cluster.spec
         sim = self.cluster.sim
         if len(tensors) != spec.workers:
@@ -78,7 +83,7 @@ class RingAllReduce:
 
         outputs = [f.copy() for f in flats]
         if workers == 1:
-            return run.finish(outputs)
+            return PendingCollective.completed(sim, run.finish(outputs), name=prefix)
 
         chunks = split_ranges(size, workers)
         while len(chunks) < workers:  # more workers than elements
@@ -152,9 +157,16 @@ class RingAllReduce:
             sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
             for rank in range(workers)
         ]
-        sim.run(until=sim.all_of(processes))
 
-        return run.finish(outputs, rounds=2 * (workers - 1))
+        def waits():
+            yield sim.all_of(processes)
+
+        return PendingCollective(
+            sim,
+            waits,
+            lambda: run.finish(outputs, rounds=2 * (workers - 1)),
+            name=prefix,
+        )
 
 
 def ring_allreduce(cluster: Cluster, tensors: Sequence[np.ndarray]) -> CollectiveResult:

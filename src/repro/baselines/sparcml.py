@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult
 from ..core.partition import split_ranges
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 from ..tensors.convert import ConversionCostModel, DEFAULT_CONVERSION_MODEL
 from ..tensors.sparse import CooTensor, INDEX_BYTES, VALUE_BYTES
@@ -73,6 +74,10 @@ class SparCML:
     # -- dispatch ---------------------------------------------------------
 
     def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self.begin(tensors).wait()
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Spawn the chosen algorithm's processes; return the pending op."""
         flats = validate_equal_tensors(self.cluster, tensors)
         coos = [CooTensor.from_dense(f) for f in flats]
         mode = self.mode
@@ -91,7 +96,7 @@ class SparCML:
         coos: List[CooTensor],
         dynamic: bool,
         chosen: str,
-    ) -> CollectiveResult:
+    ) -> PendingCollective:
         cluster = self.cluster
         sim = cluster.sim
         workers = cluster.spec.workers
@@ -188,14 +193,22 @@ class SparCML:
             sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
             for rank in range(workers)
         ]
-        sim.run(until=sim.all_of(processes))
-        return run.finish(list(outputs), rounds=workers - 1, algorithm=chosen)
+
+        def waits():
+            yield sim.all_of(processes)
+
+        return PendingCollective(
+            sim,
+            waits,
+            lambda: run.finish(list(outputs), rounds=workers - 1, algorithm=chosen),
+            name=prefix,
+        )
 
     # -- recursive doubling --------------------------------------------------
 
     def _recursive_doubling(
         self, flats: List[np.ndarray], coos: List[CooTensor], chosen: str
-    ) -> CollectiveResult:
+    ) -> PendingCollective:
         cluster = self.cluster
         sim = cluster.sim
         workers = cluster.spec.workers
@@ -261,8 +274,18 @@ class SparCML:
             sim.spawn(worker_proc(rank), name=f"{prefix}-w{rank}")
             for rank in range(workers)
         ]
-        sim.run(until=sim.all_of(processes))
-        return run.finish(list(outputs), rounds=p2.bit_length() - 1, algorithm=chosen)
+
+        def waits():
+            yield sim.all_of(processes)
+
+        return PendingCollective(
+            sim,
+            waits,
+            lambda: run.finish(
+                list(outputs), rounds=p2.bit_length() - 1, algorithm=chosen
+            ),
+            name=prefix,
+        )
 
 
 def sparcml_allreduce(

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
+from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 
 __all__ = ["SwitchMLAllReduce", "switchml_allreduce"]
@@ -35,10 +36,18 @@ class SwitchMLAllReduce:
         # The shared engine records runs under this baseline's name.
         self._omni.telemetry_label = "switchml"
 
-    def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
-        result = self._omni.allreduce(tensors)
+    @staticmethod
+    def _stamp(result: CollectiveResult) -> CollectiveResult:
         result.details["algorithm"] = "switchml*"
         return result
+
+    def allreduce(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self._stamp(self._omni.allreduce(tensors))
+
+    def begin(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Cooperative variant; skips the engine's telemetry frame (the
+        caller owns recording for in-flight operations)."""
+        return self._omni.begin_allreduce(tensors).map(self._stamp)
 
 
 def switchml_allreduce(

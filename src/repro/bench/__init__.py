@@ -17,6 +17,7 @@ from .endtoend import (
 )
 from .conformance import conformance
 from .faults import fault_recovery
+from .multijob import multijob
 from .harness import (
     ExperimentResult,
     cached_tensors,
@@ -75,4 +76,5 @@ __all__ = [
     "ablation_streams",
     "conformance",
     "fault_recovery",
+    "multijob",
 ]

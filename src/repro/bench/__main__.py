@@ -61,6 +61,7 @@ from . import (
     fig21_loss_recovery,
     format_table,
     model_validation,
+    multijob,
     table1_workloads,
     table2_overlap_breakdown,
 )
@@ -90,6 +91,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "model-validation": model_validation,
     "ablation-streams": ablation_streams,
     "conformance": conformance,
+    "multijob": multijob,
 }
 
 #: Accept compact experiment ids too: "figure6" == "figure-6".

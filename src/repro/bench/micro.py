@@ -93,7 +93,7 @@ def _baseline_time(name, spec, elements, sparsity, seed=0, **opts):
     samples = sample_count()
 
     collective = get_collective(name)
-    options = collective.options_from_kwargs(**opts)
+    options = collective.options_cls.from_kwargs(**opts)
 
     def one(i):
         tensors = _tensors(spec.workers, elements, sparsity, seed=seed + i)

@@ -1,0 +1,128 @@
+"""Capacity planning for the multi-job fabric service.
+
+Not a figure from the paper: the paper benchmarks one collective at a
+time on a dedicated testbed.  This experiment asks the follow-on
+operational question -- how many concurrent training jobs can one
+aggregation fabric sustain?  A :class:`~repro.service.FabricService`
+shares an 8-worker/8-aggregator cluster between a Poisson stream of
+mixed Table-1 jobs (each on its own worker/aggregator shard slice,
+all interleaving on one simulator), with background cross-traffic and
+a persistent straggler NIC composed onto the fabric.  Sweeping the
+offered arrival rate maps the saturation curve: queue waits, p50/p99
+completion times, SLO violations and admission rejections as load
+approaches and passes capacity.
+
+``REPRO_MULTIJOB_TRACE=<file>`` additionally exports the fleet-level
+Perfetto trace of the highest offered rate -- every job's span, every
+collective, every queue-depth change on one virtual-time axis.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..faults import FaultPlan, StragglerSchedule
+from ..netsim.cluster import Cluster, ClusterSpec
+from ..netsim.crosstraffic import CrossTrafficGenerator
+from ..service import FabricService, job_mix
+from ..telemetry import Telemetry, TelemetryConfig
+from .harness import ExperimentResult
+
+__all__ = ["multijob"]
+
+#: Offered arrival rates swept (jobs per second of virtual time).
+RATES_PER_S = (50.0, 200.0, 800.0, 3200.0)
+JOBS_PER_RATE = 12
+SLO_S = 0.050
+COMPUTE_SCALE = 0.002
+_WORKLOAD_MIX = ("deeplight", "lstm", "bert", "resnet152")
+
+
+def _build_service(record_trace: bool):
+    """One shared fabric with cross-traffic and a straggler NIC."""
+    faults = FaultPlan(stragglers=(StragglerSchedule(worker=7, slowdown=1.25),))
+    cluster = Cluster(
+        ClusterSpec(workers=8, aggregators=8, bandwidth_gbps=10.0), faults=faults
+    )
+    telemetry = Telemetry(
+        TelemetryConfig(record_spans=record_trace, record_packets=False)
+    )
+    service = FabricService(cluster, telemetry=telemetry, queue_limit=4)
+    crosstraffic = CrossTrafficGenerator(
+        cluster,
+        pairs=[("worker-0", "worker-4"), ("worker-2", "worker-6")],
+        load=0.05,
+        rng=np.random.default_rng(11),
+    )
+    return cluster, telemetry, service, crosstraffic
+
+
+def _offered_jobs(rate_per_s: float, seed: int):
+    specs = job_mix(
+        JOBS_PER_RATE,
+        workloads=_WORKLOAD_MIX,
+        workers=3,
+        aggregators=3,
+        iterations=3,
+        elements=16384,
+        compute_scale=COMPUTE_SCALE,
+        slo_s=SLO_S,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 97)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_per_s, size=len(specs)))
+    return specs, [float(t) for t in arrivals]
+
+
+def multijob() -> ExperimentResult:
+    """Offered jobs/hour vs completion percentiles on one shared fabric."""
+    trace_path = os.environ.get("REPRO_MULTIJOB_TRACE")
+    result = ExperimentResult(
+        experiment_id="multijob",
+        title="Multi-job fabric service capacity sweep "
+        f"(8w/8a shared fabric, {JOBS_PER_RATE} jobs/rate, "
+        f"SLO {SLO_S * 1e3:.0f} ms)",
+        columns=[
+            "rate_per_s",
+            "jobs_per_hour",
+            "completed",
+            "rejected",
+            "mean_wait_ms",
+            "p50_completion_ms",
+            "p99_completion_ms",
+            "slo_violations",
+        ],
+    )
+    for index, rate in enumerate(RATES_PER_S):
+        record_trace = trace_path is not None and rate == max(RATES_PER_S)
+        cluster, telemetry, service, crosstraffic = _build_service(record_trace)
+        specs, arrivals = _offered_jobs(rate, seed=1000 + index)
+        crosstraffic.start()
+        service.offer(specs, arrivals)
+        report = service.drain()
+        crosstraffic.stop()
+        result.add_row(
+            rate_per_s=rate,
+            jobs_per_hour=rate * 3600.0,
+            completed=len(report.completed),
+            rejected=len(report.rejected),
+            mean_wait_ms=report.mean_wait_s * 1e3,
+            p50_completion_ms=report.completion_percentile(50) * 1e3,
+            p99_completion_ms=report.completion_percentile(99) * 1e3,
+            slo_violations=report.slo_violations,
+        )
+        if record_trace:
+            telemetry.write_trace(trace_path)
+            result.notes.append(f"fleet trace written to {trace_path}")
+    result.notes.append(
+        "mixed Table-1 workloads (deeplight/lstm/bert/resnet152), 3 workers + "
+        "3 aggregator shards per job, first-fit admission with a 4-deep FIFO "
+        "queue; background cross-traffic at 5% link load on two worker pairs "
+        "and a persistent 1.25x straggler NIC on worker-7"
+    )
+    result.notes.append(
+        "completion time is arrival-to-finish (queueing counts against the SLO)"
+    )
+    return result

@@ -38,14 +38,20 @@ class _CorruptingSession(Session):
         super().__init__(inner.cluster, inner.options)
         self._inner = inner
 
-    def allreduce(self, tensors: Sequence[np.ndarray], **kwargs) -> CollectiveResult:
-        result = self._inner.allreduce(tensors, **kwargs)
+    @staticmethod
+    def _corrupt(result: CollectiveResult) -> CollectiveResult:
         if result.outputs and result.outputs[0].size:
             # Flip one element on one worker: breaks the oracle check on
             # worker 0 and the agreement check between workers.
             result.outputs[0] = result.outputs[0].copy()
             result.outputs[0][0] += 1.0
         return result
+
+    def allreduce(self, tensors: Sequence[np.ndarray], **kwargs) -> CollectiveResult:
+        return self._corrupt(self._inner.allreduce(tensors, **kwargs))
+
+    def submit(self, tensors: Sequence[np.ndarray], **kwargs):
+        return self._inner.submit(tensors, **kwargs).map(self._corrupt)
 
     def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
         return self._inner.allgather(tensors)
@@ -65,9 +71,6 @@ class BrokenResultCollective(Collective):
 
     def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
         return _CorruptingSession(self.inner.prepare(cluster, options))
-
-    def options_from_kwargs(self, **kwargs) -> Options:
-        return self.inner.options_from_kwargs(**kwargs)
 
 
 class ZeroBlockSpamCollective(Collective):
@@ -97,9 +100,6 @@ class ZeroBlockSpamCollective(Collective):
             config = options.config or OmniReduceConfig()
             options = OmniReduceOptions(config=config.with_(skip_zero_blocks=False))
         return self.inner.prepare(cluster, options)
-
-    def options_from_kwargs(self, **kwargs) -> Options:
-        return self.inner.options_from_kwargs(**kwargs)
 
 
 #: mutant name -> wrapper class applied to the case's base collective.

@@ -237,8 +237,16 @@ def _resolve_collective(case: ConformanceCase):
 def run_case(
     case: ConformanceCase,
     with_monitors: bool = True,
+    async_sessions: bool = False,
 ) -> CaseReport:
-    """Execute one conformance case and check everything checkable."""
+    """Execute one conformance case and check everything checkable.
+
+    ``async_sessions`` runs the collective through the non-blocking
+    ``Session.submit`` surface (then waits) instead of the synchronous
+    method -- the two are contractually bit-identical, and running the
+    whole matrix this way proves the async path preserves results,
+    counters and every invariant the monitors watch.
+    """
     report = CaseReport(case=case)
     cluster = Cluster(case.cluster_spec(), faults=case.fault_plan())
     monitors = case.monitors() if with_monitors else []
@@ -250,7 +258,10 @@ def run_case(
     tensors = case.tensors()
     collective = _resolve_collective(case)
     session = collective.prepare(cluster, case.options())
-    result = session.allreduce(tensors)
+    if async_sessions:
+        result = session.submit(tensors).wait()
+    else:
+        result = session.allreduce(tensors)
     report.result = result
 
     # Let in-flight packets (late duplicates, downward results already
@@ -272,9 +283,16 @@ def run_case(
     return report
 
 
-def sweep(cases: List[ConformanceCase], with_monitors: bool = True) -> List[CaseReport]:
+def sweep(
+    cases: List[ConformanceCase],
+    with_monitors: bool = True,
+    async_sessions: bool = False,
+) -> List[CaseReport]:
     """Run every case; never raises on failures (reports carry them)."""
-    return [run_case(case, with_monitors=with_monitors) for case in cases]
+    return [
+        run_case(case, with_monitors=with_monitors, async_sessions=async_sessions)
+        for case in cases
+    ]
 
 
 def default_matrix(level: str = "smoke") -> List[ConformanceCase]:

@@ -30,6 +30,7 @@ from ..tensors.blocks import BlockView
 from .aggregator import RecoverySlotAggregator, SlotAggregator
 from .config import MAX_STREAMS, OmniReduceConfig
 from .partition import FusionLayout, fusion_width, plan_streams
+from .pending import PendingCollective
 from .prefetch import CopyEngine, PrefetchSchedule
 from .worker import RecoveryStreamWorker, StreamWorker
 
@@ -140,17 +141,28 @@ class OmniReduce:
         transmitted.  Readiness times are relative to the collective's
         start.
         """
-        tensors = self._validate_inputs(tensors)
-        if worker_start_delays is not None:
-            if len(worker_start_delays) != self.cluster.spec.workers:
-                raise ValueError("need one start delay per worker")
-            if any(d < 0 for d in worker_start_delays):
-                raise ValueError("start delays must be non-negative")
-        if gradient_readiness is not None and len(gradient_readiness) != (
-            self.cluster.spec.workers
-        ):
-            raise ValueError("need one readiness schedule per worker")
+        tensors = self._validate_allreduce(
+            tensors, worker_start_delays, gradient_readiness
+        )
         return self._run(tensors, worker_start_delays, gradient_readiness)
+
+    def begin_allreduce(
+        self,
+        tensors: Sequence[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]] = None,
+        gradient_readiness: Optional[Sequence] = None,
+    ) -> PendingCollective:
+        """Non-blocking :meth:`allreduce`: spawn the protocol processes
+        and return the pending operation without driving the clock.
+
+        Unlike the synchronous path this opens no telemetry frame -- an
+        in-flight operation's recording belongs to whoever drives it
+        (:class:`~repro.baselines.api.Session` or the multi-job service).
+        """
+        tensors = self._validate_allreduce(
+            tensors, worker_start_delays, gradient_readiness
+        )
+        return self._begin_impl(tensors, worker_start_delays, gradient_readiness)
 
     def allreduce_bucket(
         self, buckets: Sequence[Sequence[np.ndarray]]
@@ -195,6 +207,24 @@ class OmniReduce:
         zeros elsewhere, so only its own segment's blocks are non-zero
         and no zero padding is ever transmitted.
         """
+        return self._run(self._pad_allgather(tensors))
+
+    def begin_allgather(self, tensors: Sequence[np.ndarray]) -> PendingCollective:
+        """Non-blocking :meth:`allgather` (no telemetry frame)."""
+        return self._begin_impl(self._pad_allgather(tensors))
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        """Distribute ``tensor`` from ``root`` to every worker (§7):
+        an AllReduce where the other ``N-1`` contributions are empty."""
+        return self._run(self._pad_broadcast(tensor, root))
+
+    def begin_broadcast(self, tensor: np.ndarray, root: int = 0) -> PendingCollective:
+        """Non-blocking :meth:`broadcast` (no telemetry frame)."""
+        return self._begin_impl(self._pad_broadcast(tensor, root))
+
+    # -- internals ----------------------------------------------------------
+
+    def _pad_allgather(self, tensors: Sequence[np.ndarray]) -> List[np.ndarray]:
         if len(tensors) != self.cluster.spec.workers:
             raise ValueError("need exactly one tensor per worker")
         flats = [np.ascontiguousarray(t).reshape(-1) for t in tensors]
@@ -206,22 +236,35 @@ class OmniReduce:
             contribution = np.zeros(total, dtype=np.float32)
             contribution[offset : offset + flat.size] = flat
             padded.append(contribution)
-        return self._run(padded)
+        return padded
 
-    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
-        """Distribute ``tensor`` from ``root`` to every worker (§7):
-        an AllReduce where the other ``N-1`` contributions are empty."""
+    def _pad_broadcast(self, tensor: np.ndarray, root: int) -> List[np.ndarray]:
         workers = self.cluster.spec.workers
         if not 0 <= root < workers:
             raise ValueError(f"root {root} out of range for {workers} workers")
         flat = np.ascontiguousarray(tensor).reshape(-1).astype(np.float32)
-        contributions = [
+        return [
             flat.copy() if w == root else np.zeros(flat.size, dtype=np.float32)
             for w in range(workers)
         ]
-        return self._run(contributions)
 
-    # -- internals ----------------------------------------------------------
+    def _validate_allreduce(
+        self,
+        tensors: Sequence[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]],
+        gradient_readiness: Optional[Sequence],
+    ) -> List[np.ndarray]:
+        tensors = self._validate_inputs(tensors)
+        if worker_start_delays is not None:
+            if len(worker_start_delays) != self.cluster.spec.workers:
+                raise ValueError("need one start delay per worker")
+            if any(d < 0 for d in worker_start_delays):
+                raise ValueError("start delays must be non-negative")
+        if gradient_readiness is not None and len(gradient_readiness) != (
+            self.cluster.spec.workers
+        ):
+            raise ValueError("need one readiness schedule per worker")
+        return tensors
 
     def _validate_inputs(self, tensors: Sequence[np.ndarray]) -> List[np.ndarray]:
         if len(tensors) != self.cluster.spec.workers:
@@ -288,6 +331,16 @@ class OmniReduce:
         worker_start_delays: Optional[Sequence[float]] = None,
         gradient_readiness: Optional[Sequence] = None,
     ) -> CollectiveResult:
+        return self._begin_impl(
+            tensors, worker_start_delays, gradient_readiness
+        ).wait()
+
+    def _begin_impl(
+        self,
+        tensors: List[np.ndarray],
+        worker_start_delays: Optional[Sequence[float]] = None,
+        gradient_readiness: Optional[Sequence] = None,
+    ) -> PendingCollective:
         spec = self.cluster.spec
         config = self.config
         sim = self.cluster.sim
@@ -585,132 +638,137 @@ class OmniReduce:
 
             deadline_handle = sim.call_at(start + config.deadline_s, _expire)
 
-        done = sim.all_of(worker_processes)
-        sim.run(until=done)
-        # Drain recovery work: respawned generations must finish too, and
-        # a crash's restart may still be pending when generation 0 ends.
-        while True:
-            pending = [p for p in extra_procs if not p.triggered]
-            if pending:
-                sim.run(until=sim.all_of(pending))
-                continue
-            unfired = [s for s in respawn_signals if not s.triggered]
-            if unfired and not halted[0]:
-                sim.run(until=unfired[0])
-                continue
-            break
-        # The simulator outlives this collective: disarm whatever never
-        # fired (late crashes, the deadline).
-        for handle in fault_handles:
-            sim.cancel(handle)
-        if deadline_handle is not None:
-            sim.cancel(deadline_handle)
-
-        # A crash is recovered once every respawned worker of its
-        # affected streams has finished; the recovery timestamp is the
-        # last of their finish times.
-        for event, workers in event_workers:
-            if event.recovered_s is None and all(w.finished for w in workers):
-                event.recovered_s = max(w.stats.finish_s for w in workers)
-                self.cluster.fault_log.record(
-                    event.recovered_s, "recovered", shard=event.shard
-                )
-
-        finish = sim.now
-        for engine in down_engines:
-            if engine is not None:
-                finish = max(finish, engine.free_at)
-
-        staleness = None
-        if halted[0]:
-            incomplete_streams = []
-            incomplete_workers = set()
-            pending_blocks = 0
-            for info in stream_infos:
-                unfinished = [w for w in info["workers"] if not w.finished]
-                if not unfinished:
+        def waits():
+            yield sim.all_of(worker_processes)
+            # Drain recovery work: respawned generations must finish too,
+            # and a crash's restart may still be pending when generation 0
+            # ends.
+            while True:
+                pending = [p for p in extra_procs if not p.triggered]
+                if pending:
+                    yield sim.all_of(pending)
                     continue
-                incomplete_streams.append(info["range"].stream)
-                for worker in unfinished:
-                    incomplete_workers.add(worker.worker_id)
-                    pending_blocks += worker.pending_blocks()
-            staleness = StalenessReport(
-                deadline_s=config.deadline_s,
-                expired_at_s=expired_at[0],
-                incomplete_streams=tuple(sorted(incomplete_streams)),
-                incomplete_workers=tuple(sorted(incomplete_workers)),
-                pending_blocks=pending_blocks,
+                unfired = [s for s in respawn_signals if not s.triggered]
+                if unfired and not halted[0]:
+                    yield unfired[0]
+                    continue
+                break
+            # The simulator outlives this collective: disarm whatever
+            # never fired (late crashes, the deadline).
+            for handle in fault_handles:
+                sim.cancel(handle)
+            if deadline_handle is not None:
+                sim.cancel(deadline_handle)
+
+        def finalize() -> CollectiveResult:
+            # A crash is recovered once every respawned worker of its
+            # affected streams has finished; the recovery timestamp is the
+            # last of their finish times.
+            for event, workers in event_workers:
+                if event.recovered_s is None and all(w.finished for w in workers):
+                    event.recovered_s = max(w.stats.finish_s for w in workers)
+                    self.cluster.fault_log.record(
+                        event.recovered_s, "recovered", shard=event.shard
+                    )
+
+            finish = sim.now
+            for engine in down_engines:
+                if engine is not None:
+                    finish = max(finish, engine.free_at)
+
+            staleness = None
+            if halted[0]:
+                incomplete_streams = []
+                incomplete_workers = set()
+                pending_blocks = 0
+                for info in stream_infos:
+                    unfinished = [w for w in info["workers"] if not w.finished]
+                    if not unfinished:
+                        continue
+                    incomplete_streams.append(info["range"].stream)
+                    for worker in unfinished:
+                        incomplete_workers.add(worker.worker_id)
+                        pending_blocks += worker.pending_blocks()
+                staleness = StalenessReport(
+                    deadline_s=config.deadline_s,
+                    expired_at_s=expired_at[0],
+                    incomplete_streams=tuple(sorted(incomplete_streams)),
+                    incomplete_workers=tuple(sorted(incomplete_workers)),
+                    pending_blocks=pending_blocks,
+                )
+
+            retransmissions = sum(w.stats.retransmissions for w in stream_workers)
+            timeouts_fired = sum(w.stats.timeouts_fired for w in stream_workers)
+            duplicates = sum(s.stats.duplicates for s in slots)
+            rounds = max((s.stats.rounds for s in slots), default=0)
+            details_extra: Dict[str, float] = {}
+            # Blocks that never crossed the wire because every value in
+            # them was zero: the paper's bandwidth-saving mechanism,
+            # derived from the generation-0 layouts (sum over workers and
+            # streams).
+            if config.skip_zero_blocks:
+                details_extra["zero_blocks_suppressed"] = float(
+                    sum(
+                        layout.range.num_blocks - layout.listed_blocks()
+                        for per_worker in layouts.values()
+                        for layout in per_worker
+                    )
+                )
+            # Worst per-(worker, stream) time spent blocked on results --
+            # protocol-level stall, complementing the NIC-derived uniform
+            # ``worker_stall_s`` metric.
+            details_extra["worker_recv_wait_max_s"] = max(
+                (w.stats.stall_s for w in stream_workers), default=0.0
+            )
+            if fault_events:
+                latencies = [
+                    e.recovery_latency_s
+                    for e in fault_events
+                    if e.recovery_latency_s is not None
+                ]
+                details_extra["recovery_latency_s"] = max(latencies, default=0.0)
+            if recovery:
+                details_extra["max_backoff_timeout_s"] = max(
+                    (
+                        w.backoff_timeout_s
+                        for w in stream_workers
+                        if hasattr(w, "backoff_timeout_s")
+                    ),
+                    default=config.timeout_s,
+                )
+            return CollectiveResult(
+                outputs=outputs,
+                time_s=finish - start,
+                bytes_sent=snapshot.bytes_sent(),
+                packets_sent=snapshot.packets_sent(),
+                upward_bytes=snapshot.flow_bytes(f"{prefix}.up"),
+                downward_bytes=snapshot.flow_bytes(f"{prefix}.down"),
+                rounds=rounds,
+                retransmissions=retransmissions,
+                duplicates=duplicates,
+                timeouts_fired=timeouts_fired,
+                recovery_events=len(fault_events),
+                complete=not halted[0],
+                fault_events=fault_events,
+                staleness=staleness,
+                details={
+                    **details_extra,
+                    "bitmap_delay_s": bitmap_delay,
+                    "fusion_width": width,
+                    "streams": len(plan),
+                    "recovery": float(recovery),
+                    # Aggregator state is the slot pool: one (or two, with
+                    # recovery's versioning) block-sized accumulators per
+                    # lane per stream -- independent of both tensor size
+                    # and worker count, the §3 space-complexity claim.
+                    "aggregator_pool_bytes": float(
+                        len(plan)
+                        * width
+                        * config.block_size
+                        * value_bytes
+                        * (2 if recovery else 1)
+                    ),
+                },
             )
 
-        retransmissions = sum(w.stats.retransmissions for w in stream_workers)
-        timeouts_fired = sum(w.stats.timeouts_fired for w in stream_workers)
-        duplicates = sum(s.stats.duplicates for s in slots)
-        rounds = max((s.stats.rounds for s in slots), default=0)
-        details_extra: Dict[str, float] = {}
-        # Blocks that never crossed the wire because every value in them
-        # was zero: the paper's bandwidth-saving mechanism, derived from
-        # the generation-0 layouts (sum over workers and streams).
-        if config.skip_zero_blocks:
-            details_extra["zero_blocks_suppressed"] = float(
-                sum(
-                    layout.range.num_blocks - layout.listed_blocks()
-                    for per_worker in layouts.values()
-                    for layout in per_worker
-                )
-            )
-        # Worst per-(worker, stream) time spent blocked on results --
-        # protocol-level stall, complementing the NIC-derived uniform
-        # ``worker_stall_s`` metric.
-        details_extra["worker_recv_wait_max_s"] = max(
-            (w.stats.stall_s for w in stream_workers), default=0.0
-        )
-        if fault_events:
-            latencies = [
-                e.recovery_latency_s
-                for e in fault_events
-                if e.recovery_latency_s is not None
-            ]
-            details_extra["recovery_latency_s"] = max(latencies, default=0.0)
-        if recovery:
-            details_extra["max_backoff_timeout_s"] = max(
-                (
-                    w.backoff_timeout_s
-                    for w in stream_workers
-                    if hasattr(w, "backoff_timeout_s")
-                ),
-                default=config.timeout_s,
-            )
-        return CollectiveResult(
-            outputs=outputs,
-            time_s=finish - start,
-            bytes_sent=snapshot.bytes_sent(),
-            packets_sent=snapshot.packets_sent(),
-            upward_bytes=snapshot.flow_bytes(f"{prefix}.up"),
-            downward_bytes=snapshot.flow_bytes(f"{prefix}.down"),
-            rounds=rounds,
-            retransmissions=retransmissions,
-            duplicates=duplicates,
-            timeouts_fired=timeouts_fired,
-            recovery_events=len(fault_events),
-            complete=not halted[0],
-            fault_events=fault_events,
-            staleness=staleness,
-            details={
-                **details_extra,
-                "bitmap_delay_s": bitmap_delay,
-                "fusion_width": width,
-                "streams": len(plan),
-                "recovery": float(recovery),
-                # Aggregator state is the slot pool: one (or two, with
-                # recovery's versioning) block-sized accumulators per
-                # lane per stream -- independent of both tensor size and
-                # worker count, the §3 space-complexity claim.
-                "aggregator_pool_bytes": float(
-                    len(plan)
-                    * width
-                    * config.block_size
-                    * value_bytes
-                    * (2 if recovery else 1)
-                ),
-            },
-        )
+        return PendingCollective(sim, waits, finalize, name=prefix)

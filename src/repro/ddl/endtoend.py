@@ -135,7 +135,7 @@ class EndToEndRun:
             collective = get_collective(self.algorithm)
             result = collective.prepare(
                 self._cluster,
-                collective.options_from_kwargs(**self.algorithm_options),
+                collective.options_cls.from_kwargs(**self.algorithm_options),
             ).allreduce(contributions)
             aggregated = result.output / workers
 

@@ -128,7 +128,7 @@ class TrainingSimulator:
                 cluster = Cluster(spec)
                 collective = get_collective(algorithm)
                 result = collective.prepare(
-                    cluster, collective.options_from_kwargs(**algorithm_options)
+                    cluster, collective.options_cls.from_kwargs(**algorithm_options)
                 ).allreduce(tensors)
                 times.append(result.time_s)
             return float(np.mean(times))

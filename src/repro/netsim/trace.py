@@ -77,6 +77,11 @@ class PacketTracer:
         """Attach a live observer (``observe(time_s, kind, packet)``)."""
         self.listeners.append(listener)
 
+    def remove_listener(self, listener) -> None:
+        """Detach a live observer; a no-op if it is not attached."""
+        if listener in self.listeners:
+            self.listeners.remove(listener)
+
     # -- recording ---------------------------------------------------------
 
     def record(self, time_s: float, kind: str, packet: Packet) -> None:
@@ -196,6 +201,11 @@ class FaultLog:
     def add_listener(self, listener: Callable[[FaultRecord], None]) -> None:
         """Attach a live observer called with each new record."""
         self.listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[FaultRecord], None]) -> None:
+        """Detach a live observer; a no-op if it is not attached."""
+        if listener in self.listeners:
+            self.listeners.remove(listener)
 
     def record(self, time_s: float, kind: str, **detail: float) -> FaultRecord:
         entry = FaultRecord(time_s=time_s, kind=kind, detail=dict(detail))

@@ -1,0 +1,41 @@
+"""Multi-job fabric service.
+
+The paper evaluates one collective at a time on a dedicated testbed;
+production fabrics run many training jobs at once.  This package turns
+the simulated testbed into a shared *service*: a long-lived scheduler
+on the simulator's virtual clock that admits a stream of training jobs
+(mixed Table-1 workloads), shards the aggregator pool between them,
+runs each job's iterations through the non-blocking
+``Session.submit`` surface so every job's collectives interleave on
+one simulator, and tracks job-level completion times against SLOs.
+
+Pieces:
+
+* :class:`~repro.service.view.FabricSlice` -- a per-job view of the
+  shared cluster exposing only the job's worker/aggregator shard
+  allocation, so unmodified collective engines run on a slice exactly
+  as they would on a dedicated cluster.
+* :class:`~repro.service.jobs.JobSpec` / ``JobRecord`` -- what a
+  tenant asks for and what happened to it.
+* :class:`~repro.service.scheduler.FabricService` -- admission control
+  (first-fit shard allocation, bounded FIFO queue), Poisson arrivals,
+  per-job execution, SLO accounting and the fleet-level telemetry
+  timeline.
+
+See ``python -m repro.bench --experiment multijob`` for the capacity
+planning sweep and ``docs/api.md`` for the session API it builds on.
+"""
+
+from .jobs import JobRecord, JobSpec, job_mix, poisson_arrivals
+from .scheduler import FabricService, ServiceReport
+from .view import FabricSlice
+
+__all__ = [
+    "FabricSlice",
+    "JobSpec",
+    "JobRecord",
+    "job_mix",
+    "poisson_arrivals",
+    "FabricService",
+    "ServiceReport",
+]

@@ -1,0 +1,176 @@
+"""Job descriptions and lifecycle records for the fabric service.
+
+A :class:`JobSpec` is a tenant's request: which Table-1 workload it
+trains (gradient sparsity and per-iteration compute time come from
+:data:`repro.ddl.workloads.WORKLOADS`), which registry algorithm moves
+its gradients, how many workers/aggregator shards it needs, and its
+completion SLO.  A :class:`JobRecord` is what the scheduler writes as
+the job moves through arrival -> admission (or queueing / rejection)
+-> iterations -> completion.
+
+:func:`poisson_arrivals` and :func:`job_mix` generate the offered
+load: exponential inter-arrival times at a target rate, and a
+deterministic round-robin mix over the benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ddl.workloads import WORKLOADS, WorkloadSpec
+
+__all__ = ["JobSpec", "JobRecord", "poisson_arrivals", "job_mix"]
+
+#: Job states, in lifecycle order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's training job, as submitted to the service.
+
+    ``elements`` is the per-iteration gradient size in float32 elements
+    (scaled down from the workload's full model so capacity sweeps stay
+    cheap); sparsity and compute time derive from the named workload.
+    ``compute_scale`` shrinks the calibrated single-GPU iteration time
+    by the same token.  ``slo_s`` is the completion deadline measured
+    from *arrival* (queueing counts against the SLO, as it does for the
+    tenant).
+    """
+
+    name: str
+    workload: str = "deeplight"
+    algorithm: str = "omnireduce"
+    workers: int = 2
+    aggregators: int = 2
+    iterations: int = 2
+    elements: int = 16384
+    compute_scale: float = 0.0
+    slo_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+        if self.workers < 1 or self.aggregators < 1:
+            raise ValueError("jobs need at least one worker and one aggregator")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.elements < 1:
+            raise ValueError("elements must be >= 1")
+        if self.compute_scale < 0:
+            raise ValueError("compute_scale must be >= 0")
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        return WORKLOADS[self.workload]
+
+    @property
+    def sparsity(self) -> float:
+        return self.workload_spec.element_sparsity
+
+    @property
+    def compute_time_s(self) -> float:
+        """Per-iteration compute gap on the virtual clock."""
+        return self.workload_spec.compute_time_s * self.compute_scale
+
+
+@dataclass
+class JobRecord:
+    """What happened to one submitted job."""
+
+    spec: JobSpec
+    arrival_s: float
+    status: str = QUEUED
+    admitted_s: Optional[float] = None
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    worker_ids: Tuple[int, ...] = ()
+    aggregator_ids: Tuple[int, ...] = ()
+    iterations_done: int = 0
+    comm_time_s: float = 0.0
+    iteration_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Arrival-to-start queueing delay (``None`` until started)."""
+        if self.started_s is None:
+            return None
+        return self.started_s - self.arrival_s
+
+    @property
+    def completion_s(self) -> Optional[float]:
+        """Arrival-to-finish time -- what the SLO is measured against."""
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.arrival_s
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        completion = self.completion_s
+        if completion is None:
+            return None
+        return completion <= self.spec.slo_s
+
+
+def poisson_arrivals(
+    rate_per_s: float, horizon_s: float, rng: np.random.Generator
+) -> List[float]:
+    """Arrival times of a Poisson process over ``[0, horizon_s)``."""
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return times
+
+
+def job_mix(
+    count: int,
+    workloads: Sequence[str] = ("deeplight", "lstm", "bert", "resnet152"),
+    algorithm: str = "omnireduce",
+    workers: int = 2,
+    aggregators: int = 2,
+    iterations: int = 2,
+    elements: int = 16384,
+    compute_scale: float = 0.0,
+    slo_s: float = 60.0,
+    seed: int = 0,
+) -> List[JobSpec]:
+    """A deterministic round-robin mix of Table-1 workloads.
+
+    Jobs are named ``job-<i>/<workload>`` so fleet traces stay
+    readable; per-job seeds vary so tensor contents differ.
+    """
+    specs = []
+    for i in range(count):
+        workload = workloads[i % len(workloads)]
+        specs.append(
+            JobSpec(
+                name=f"job-{i}/{workload}",
+                workload=workload,
+                algorithm=algorithm,
+                workers=workers,
+                aggregators=aggregators,
+                iterations=iterations,
+                elements=elements,
+                compute_scale=compute_scale,
+                slo_s=slo_s,
+                seed=seed + i,
+            )
+        )
+    return specs

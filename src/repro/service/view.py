@@ -1,0 +1,84 @@
+"""Per-job views of a shared cluster.
+
+A :class:`FabricSlice` is what the scheduler hands a job: the shared
+simulator, network and transport, but only the job's allocated worker
+and aggregator hosts.  Collective engines read ``worker_hosts``,
+``aggregator_hosts`` and ``spec`` from their cluster, so an engine
+built on a slice runs entirely inside the job's allocation while its
+packets contend with every other job's on the real shared fabric --
+bandwidth isolation happens where it physically would, at the NICs.
+
+Slices are views, not copies: host state, network counters and the
+fault log live on the base cluster.  Telemetry resolves a slice to its
+base (see :meth:`repro.telemetry.Telemetry.attach`), so all jobs land
+on one fleet-level timeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..netsim.cluster import Cluster
+
+__all__ = ["FabricSlice"]
+
+
+class FabricSlice:
+    """A job's window onto a shared :class:`~repro.netsim.cluster.Cluster`.
+
+    ``worker_ids`` / ``aggregator_ids`` index into the base cluster's
+    host lists.  The slice's ``spec`` reports the *allocation's* sizes
+    (so engines shard tensors over the job's hosts only), while
+    everything not overridden -- ``sim``, ``network``, ``transport``,
+    ``fault_log``, ``telemetry``, ... -- delegates to the base.
+    """
+
+    def __init__(
+        self,
+        base: Cluster,
+        worker_ids: Sequence[int],
+        aggregator_ids: Sequence[int] = (),
+    ) -> None:
+        if not worker_ids:
+            raise ValueError("a slice needs at least one worker")
+        for i in worker_ids:
+            if not 0 <= i < base.spec.workers:
+                raise ValueError(f"worker id {i} outside the base cluster")
+        self.base = base
+        self.worker_ids = tuple(worker_ids)
+        self.worker_hosts: List[str] = [base.worker_hosts[i] for i in worker_ids]
+        if base.spec.colocated:
+            # Colocated shards ride on the job's own workers.
+            self.aggregator_ids = self.worker_ids
+            self.aggregator_hosts = list(self.worker_hosts)
+        else:
+            if not aggregator_ids:
+                raise ValueError("a slice needs at least one aggregator")
+            for j in aggregator_ids:
+                if not 0 <= j < base.spec.aggregators:
+                    raise ValueError(f"aggregator id {j} outside the base cluster")
+            self.aggregator_ids = tuple(aggregator_ids)
+            self.aggregator_hosts = [
+                base.aggregator_hosts[j] for j in aggregator_ids
+            ]
+        overrides = None
+        if base.spec.worker_bandwidth_gbps is not None:
+            overrides = tuple(
+                base.spec.worker_bandwidth_gbps[i] for i in self.worker_ids
+            )
+        self.spec = base.spec.with_(
+            workers=len(self.worker_ids),
+            aggregators=len(self.aggregator_hosts),
+            worker_bandwidth_gbps=overrides,
+        )
+
+    def __getattr__(self, name: str):
+        # Anything not overridden (sim, network, transport, fault_log,
+        # faults, telemetry, stats, host, run, ...) is the base's.
+        return getattr(self.base, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FabricSlice workers={list(self.worker_hosts)} "
+            f"aggregators={list(self.aggregator_hosts)}>"
+        )

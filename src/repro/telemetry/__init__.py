@@ -123,6 +123,19 @@ class _Recording:
         self.result = None
 
 
+class _Frame:
+    """One in-flight recording opened by :meth:`Telemetry.collective_open`."""
+
+    __slots__ = ("algorithm", "cluster", "pid", "snapshot", "closed")
+
+    def __init__(self, algorithm, cluster, pid, snapshot) -> None:
+        self.algorithm = algorithm
+        self.cluster = cluster
+        self.pid = pid
+        self.snapshot = snapshot
+        self.closed = False
+
+
 class Telemetry:
     """The unified observability object for one or more runs."""
 
@@ -137,9 +150,18 @@ class Telemetry:
         self.run_labels: Dict[int, str] = {}
         self._next_pid = 0
         self._depth = 0
-        self._attached_ids = set()
+        self._open_frames = 0
+        #: id(cluster) -> (cluster, packet_tracer, packet_listener,
+        #: sampler); everything :meth:`detach` must undo.
+        self._attachments: Dict[int, tuple] = {}
 
     # -- wiring into a cluster ----------------------------------------------
+
+    @staticmethod
+    def _resolve(cluster):
+        """The underlying cluster: per-job fabric views (anything with a
+        ``base``) share their base cluster's instrumentation."""
+        return getattr(cluster, "base", cluster)
 
     def attach(self, cluster) -> None:
         """Instrument ``cluster`` to report here (idempotent).
@@ -149,24 +171,53 @@ class Telemetry:
         automatically by sessions and by ``Cluster.__init__`` when this
         telemetry is process-globally active.
         """
-        if id(cluster) in self._attached_ids:
+        cluster = self._resolve(cluster)
+        if id(cluster) in self._attachments:
             return
-        self._attached_ids.add(id(cluster))
         cluster.telemetry = self
+        tracer = None
+        listener = None
         if self.config.record_packets:
             from ..netsim.trace import attach_tracer
 
-            attach_tracer(
+            listener = _PacketListener(self.tracer)
+            tracer = attach_tracer(
                 cluster.network,
-                listeners=[_PacketListener(self.tracer)],
+                listeners=[listener],
                 max_events=self.config.max_packet_events,
             )
         cluster.fault_log.add_listener(self._on_fault)
+        sampler = None
         if self.config.sample_interval_s:
             sampler = LinkUtilizationSampler(
                 cluster, self.tracer, self.config.sample_interval_s
             )
             cluster.sim.add_step_observer(sampler)
+        self._attachments[id(cluster)] = (cluster, tracer, listener, sampler)
+
+    def detach(self, cluster) -> None:
+        """Undo :meth:`attach` for ``cluster`` (idempotent).
+
+        Removes the packet listener, fault-log subscription and sampler,
+        and clears ``cluster.telemetry``.  Recorded events are kept --
+        detaching stops future recording, it does not discard history.
+        """
+        cluster = self._resolve(cluster)
+        record = self._attachments.pop(id(cluster), None)
+        if record is None:
+            return
+        _cluster, tracer, listener, sampler = record
+        if tracer is not None and listener is not None:
+            tracer.remove_listener(listener)
+        cluster.fault_log.remove_listener(self._on_fault)
+        if sampler is not None:
+            cluster.sim.remove_step_observer(sampler)
+        if getattr(cluster, "telemetry", None) is self:
+            cluster.telemetry = None
+
+    def attached(self, cluster) -> bool:
+        """Whether :meth:`attach` is currently in effect for ``cluster``."""
+        return id(self._resolve(cluster)) in self._attachments
 
     def _on_fault(self, record) -> None:
         self.tracer.instant(
@@ -176,6 +227,18 @@ class Telemetry:
             cat="fault",
             args=dict(record.detail),
         )
+
+    def reserve_pid(self, label: str) -> int:
+        """Allocate a trace process id for a labelled event source.
+
+        Collective runs get one implicitly; long-lived sources (the
+        multi-job service's fleet timeline) reserve theirs up front so
+        their spans group under a stable named track in the trace.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        self.run_labels[pid] = label
+        return pid
 
     # -- recording a collective run -----------------------------------------
 
@@ -195,10 +258,8 @@ class Telemetry:
             return
         self.attach(cluster)
         self._depth += 1
-        pid = self._next_pid
-        self._next_pid += 1
+        pid = self.reserve_pid(algorithm)
         self.tracer.pid = pid
-        self.run_labels[pid] = algorithm
         snapshot = TrafficSnapshot(cluster)
         box = _Recording()
         rec = self.recorder
@@ -222,6 +283,60 @@ class Telemetry:
                     box.result,
                     worker_stall_s=snapshot.worker_stall_s(),
                 )
+
+    # -- recording in-flight collectives ------------------------------------
+
+    def collective_open(self, algorithm: str, cluster) -> Optional["_Frame"]:
+        """Open a recording frame for a non-blocking collective.
+
+        Unlike :meth:`collective`, frames from this pair may overlap in
+        virtual time (several jobs in flight on one simulator), so each
+        frame carries its own pid and closing one never force-closes
+        another frame's spans.  Returns ``None`` inside a synchronous
+        :meth:`collective` frame (the outer frame owns the run).
+        """
+        if self._depth:
+            return None
+        self.attach(cluster)
+        pid = self.reserve_pid(algorithm)
+        frame = _Frame(algorithm, cluster, pid, TrafficSnapshot(cluster))
+        rec = self.recorder
+        if rec.enabled:
+            previous = self.tracer.pid
+            self.tracer.pid = pid
+            rec.begin(frame.snapshot.start_s, "run", algorithm, cat="collective")
+            self.tracer.pid = previous
+        self._open_frames += 1
+        return frame
+
+    def collective_close(self, frame: Optional["_Frame"], result=None) -> None:
+        """Close a frame from :meth:`collective_open` (idempotent)."""
+        if frame is None or frame.closed:
+            return
+        frame.closed = True
+        now = frame.cluster.sim.now
+        rec = self.recorder
+        if rec.enabled:
+            previous = self.tracer.pid
+            self.tracer.pid = frame.pid
+            rec.end(now, "run")
+            self.tracer.pid = previous
+        self._open_frames -= 1
+        if self._open_frames == 0:
+            # No collective in flight: any still-open protocol span is a
+            # leftover (slots serving duplicates, fault-interrupted
+            # processes).  Balance the stream here, exactly as the sync
+            # path does at its run boundary -- but only once the *last*
+            # overlapping frame closes, so one job's close never
+            # truncates another job's live spans.
+            self.tracer.close_open_spans(now)
+        if result is not None:
+            record_result(
+                self.metrics,
+                frame.algorithm,
+                result,
+                worker_stall_s=frame.snapshot.worker_stall_s(),
+            )
 
     # -- export conveniences ------------------------------------------------
 

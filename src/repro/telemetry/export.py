@@ -97,7 +97,12 @@ def chrome_trace(telemetry) -> Dict[str, Any]:
 
 def write_chrome_trace(telemetry, path: str) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(telemetry), fh, indent=1, default=float)
+        json.dump(
+            chrome_trace(telemetry),
+            fh,
+            separators=(",", ":"),
+            default=float,
+        )
 
 
 def metrics_report(telemetry) -> Dict[str, Any]:

@@ -1,4 +1,4 @@
-"""Process-global telemetry activation.
+"""Scoped telemetry activation.
 
 The bench CLI (and any other driver that cannot thread a
 :class:`~repro.telemetry.Telemetry` object through every experiment
@@ -6,6 +6,12 @@ function) activates one here; :class:`~repro.netsim.cluster.Cluster`
 checks :func:`current` at construction and attaches itself, so every
 simulator, network and collective built while a telemetry object is
 active reports into it -- no per-experiment plumbing required.
+
+Activation is a *stack*, not a single global: concurrent drivers (the
+multi-job service building per-job recorders, nested experiment
+helpers) each push their own instance and pop it when done, restoring
+whatever was active before.  :func:`current` always answers with the
+top of the stack.
 
 This module is deliberately dependency-free (no numpy, no repro
 imports) so that the cluster's lazy import of it stays cheap and free
@@ -15,40 +21,47 @@ of import cycles.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Optional
+from typing import List
 
 __all__ = ["current", "activate", "deactivate", "use"]
 
-_current = None
+_stack: List = []
 
 
 def current():
-    """The active :class:`~repro.telemetry.Telemetry`, or ``None``."""
-    return _current
+    """The innermost active :class:`~repro.telemetry.Telemetry`, or ``None``."""
+    return _stack[-1] if _stack else None
 
 
 def activate(telemetry):
-    """Make ``telemetry`` the process-wide active instance."""
-    global _current
-    _current = telemetry
+    """Push ``telemetry`` onto the activation stack (making it current)."""
+    _stack.append(telemetry)
     return telemetry
 
 
-def deactivate():
-    """Clear and return the active instance (clusters stop auto-attaching)."""
-    global _current
-    previous = _current
-    _current = None
-    return previous
+def deactivate(telemetry=None):
+    """Pop an activation and return it (or ``None`` if nothing matched).
+
+    Without an argument, pops the innermost activation -- the historical
+    process-global behavior.  With one, removes the *most recent*
+    activation of that specific instance, so scopes that finish out of
+    order (one job closing while another is still active) only ever
+    release their own activation.
+    """
+    if telemetry is None:
+        return _stack.pop() if _stack else None
+    for index in range(len(_stack) - 1, -1, -1):
+        if _stack[index] is telemetry:
+            del _stack[index]
+            return telemetry
+    return None
 
 
 @contextmanager
 def use(telemetry):
-    """Scoped activation: restores the previous instance on exit."""
-    global _current
-    previous = _current
-    _current = telemetry
+    """Scoped activation: restores the previous state on exit."""
+    activate(telemetry)
     try:
         yield telemetry
     finally:
-        _current = previous
+        deactivate(telemetry)

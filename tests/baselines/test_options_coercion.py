@@ -1,0 +1,105 @@
+"""The single options-coercion entry point and its deprecation shims.
+
+``Options.from_kwargs`` is the one documented way to coerce loose input
+into typed options; the legacy spellings (``options_from_kwargs`` on a
+collective, a bare ``OmniReduceConfig``) still work but warn.  The
+warning texts are pinned: they are part of the migration contract in
+docs/api.md.
+"""
+
+import warnings
+
+import pytest
+
+from repro.baselines.api import (
+    OmniReduceOptions,
+    Options,
+    PSOptions,
+    RingOptions,
+)
+from repro.baselines.registry import get
+from repro.core.config import OmniReduceConfig
+from repro.netsim import Cluster, ClusterSpec
+
+
+def _cluster():
+    return Cluster(ClusterSpec(workers=2, aggregators=2))
+
+
+class TestFromKwargs:
+    def test_defaults(self):
+        assert RingOptions.from_kwargs() == RingOptions()
+
+    def test_instance_passthrough(self):
+        opts = RingOptions(segment_elements=512)
+        assert RingOptions.from_kwargs(opts) is opts
+
+    def test_keyword_construction(self):
+        assert RingOptions.from_kwargs(segment_elements=128).segment_elements == 128
+
+    def test_wrong_class_rejected(self):
+        with pytest.raises(TypeError, match="expected RingOptions"):
+            RingOptions.from_kwargs(PSOptions())
+
+    def test_instance_plus_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            RingOptions.from_kwargs(RingOptions(), segment_elements=64)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            RingOptions.from_kwargs(bogus=1)
+
+    def test_subclass_instance_accepted_by_base(self):
+        opts = RingOptions()
+        assert Options.from_kwargs(opts) is opts
+
+
+class TestOmniReduceSpellings:
+    def test_raw_config_fields(self):
+        opts = OmniReduceOptions.from_kwargs(block_size=64)
+        assert opts.config.block_size == 64
+
+    def test_config_keyword(self):
+        config = OmniReduceConfig(block_size=32)
+        assert OmniReduceOptions.from_kwargs(config=config).config is config
+
+    def test_config_plus_raw_fields_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            OmniReduceOptions.from_kwargs(
+                config=OmniReduceConfig(), block_size=64
+            )
+
+    def test_bare_config_warns_with_pinned_text(self):
+        config = OmniReduceConfig(block_size=128)
+        with pytest.warns(DeprecationWarning, match="bare OmniReduceConfig is deprecated"):
+            opts = OmniReduceOptions.from_kwargs(config)
+        assert opts.config is config
+
+    def test_prepare_accepts_bare_config_with_warning(self):
+        config = OmniReduceConfig(block_size=128)
+        with pytest.warns(DeprecationWarning, match="bare OmniReduceConfig is deprecated"):
+            session = get("omnireduce").prepare(_cluster(), config)
+        assert session.engine.config.block_size == 128
+
+
+class TestLegacyCollectiveShim:
+    def test_options_from_kwargs_warns_with_pinned_text(self):
+        with pytest.warns(
+            DeprecationWarning, match=r"options_from_kwargs\(\) is deprecated"
+        ):
+            opts = get("ring").options_from_kwargs(segment_elements=1024)
+        assert isinstance(opts, RingOptions)
+        assert opts.segment_elements == 1024
+
+    def test_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            get("ps").options_from_kwargs(sparse=True)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_prepare_coerce_rejects_wrong_options_class(self):
+        with pytest.raises(TypeError, match="'ring'"):
+            get("ring").prepare(_cluster(), PSOptions())

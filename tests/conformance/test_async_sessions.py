@@ -1,0 +1,45 @@
+"""The conformance matrix holds with async sessions enabled.
+
+Running every smoke case through ``Session.submit`` + wait must
+preserve outputs, counters and invariant-monitor verdicts exactly --
+the async surface is a different way to *drive* the same simulation,
+not a different simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance import ConformanceCase, default_matrix, run_case
+
+pytestmark = [pytest.mark.conformance, pytest.mark.service]
+
+
+@pytest.mark.parametrize(
+    "case", default_matrix("smoke"), ids=lambda case: case.case_id
+)
+def test_smoke_matrix_passes_with_async_sessions(case):
+    report = run_case(case, async_sessions=True)
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["omnireduce", "ring", "ps-sparse", "sparcml", "parallax"]
+)
+def test_async_report_identical_to_sync(algorithm):
+    case = ConformanceCase(algorithm=algorithm, workers=3, elements=1024)
+    sync = run_case(case)
+    as_async = run_case(case, async_sessions=True)
+    assert sync.ok and as_async.ok
+    for a, b in zip(sync.result.outputs, as_async.result.outputs):
+        np.testing.assert_array_equal(a, b)
+    assert sync.result.time_s == as_async.result.time_s
+    assert sync.result.bytes_sent == as_async.result.bytes_sent
+    assert sync.result.packets_sent == as_async.result.packets_sent
+    assert sync.max_abs_err == as_async.max_abs_err
+
+
+def test_mutant_still_caught_through_async_surface():
+    case = ConformanceCase(algorithm="ring", mutant="broken-result")
+    report = run_case(case, async_sessions=True)
+    assert not report.ok
+    assert report.oracle_problems

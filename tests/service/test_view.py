@@ -1,0 +1,95 @@
+"""FabricSlice: per-job views of a shared cluster."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import get
+from repro.netsim import Cluster, ClusterSpec
+from repro.service import FabricSlice
+from repro.telemetry import Telemetry, TelemetryConfig
+
+pytestmark = pytest.mark.service
+
+
+def _base(workers=8, aggregators=8, **kw):
+    return Cluster(ClusterSpec(workers=workers, aggregators=aggregators, **kw))
+
+
+def test_slice_exposes_subset_hosts():
+    base = _base()
+    view = FabricSlice(base, worker_ids=[1, 3, 5], aggregator_ids=[0, 2])
+    assert view.worker_hosts == ["worker-1", "worker-3", "worker-5"]
+    assert view.aggregator_hosts == ["agg-0", "agg-2"]
+    assert view.spec.workers == 3
+    assert view.spec.aggregators == 2
+
+
+def test_slice_delegates_shared_state():
+    base = _base()
+    view = FabricSlice(base, worker_ids=[0, 1], aggregator_ids=[0])
+    assert view.sim is base.sim
+    assert view.network is base.network
+    assert view.transport is base.transport
+    assert view.fault_log is base.fault_log
+    assert view.base is base
+
+
+def test_slice_validates_ids():
+    base = _base(workers=4, aggregators=2)
+    with pytest.raises(ValueError, match="outside the base cluster"):
+        FabricSlice(base, worker_ids=[0, 9], aggregator_ids=[0])
+    with pytest.raises(ValueError, match="outside the base cluster"):
+        FabricSlice(base, worker_ids=[0], aggregator_ids=[5])
+    with pytest.raises(ValueError, match="at least one worker"):
+        FabricSlice(base, worker_ids=[], aggregator_ids=[0])
+    with pytest.raises(ValueError, match="at least one aggregator"):
+        FabricSlice(base, worker_ids=[0], aggregator_ids=[])
+
+
+def test_colocated_slice_rides_on_workers():
+    base = _base(workers=4, colocated=True)
+    view = FabricSlice(base, worker_ids=[1, 2])
+    assert view.aggregator_hosts == view.worker_hosts
+    assert view.spec.colocated
+
+
+def test_bandwidth_overrides_follow_the_slice():
+    base = Cluster(
+        ClusterSpec(
+            workers=4,
+            aggregators=4,
+            worker_bandwidth_gbps=(None, 5.0, None, 2.5),
+        )
+    )
+    view = FabricSlice(base, worker_ids=[1, 3], aggregator_ids=[0, 1])
+    assert view.spec.worker_bandwidth(0) == 5.0
+    assert view.spec.worker_bandwidth(1) == 2.5
+
+
+def test_collective_on_slice_matches_dedicated_cluster():
+    """An engine on a 3-worker slice of an idle 8-worker fabric computes
+    exactly what it would on a dedicated 3-worker cluster."""
+    rng = np.random.default_rng(5)
+    tensors = [rng.standard_normal(512).astype(np.float32) for _ in range(3)]
+
+    dedicated = Cluster(ClusterSpec(workers=3, aggregators=3))
+    expected = get("omnireduce").prepare(dedicated).allreduce(tensors)
+
+    base = _base()
+    view = FabricSlice(base, worker_ids=[2, 4, 6], aggregator_ids=[1, 3, 5])
+    got = get("omnireduce").prepare(view).allreduce(tensors)
+
+    for a, b in zip(expected.outputs, got.outputs):
+        np.testing.assert_array_equal(a, b)
+    assert expected.bytes_sent == got.bytes_sent
+
+
+def test_telemetry_resolves_slice_to_base():
+    base = _base()
+    view = FabricSlice(base, worker_ids=[0, 1], aggregator_ids=[0])
+    telemetry = Telemetry(TelemetryConfig(record_packets=False))
+    telemetry.attach(view)
+    assert telemetry.attached(base)
+    assert telemetry.attached(view)
+    telemetry.detach(view)
+    assert not telemetry.attached(base)

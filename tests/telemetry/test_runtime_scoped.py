@@ -1,0 +1,75 @@
+"""Scoped (stack-based) telemetry activation."""
+
+import pytest
+
+from repro.netsim import Cluster, ClusterSpec
+from repro.telemetry import Telemetry, TelemetryConfig, runtime
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_stack():
+    # Tests must not leak activations into each other.
+    while runtime.current() is not None:
+        runtime.deactivate()
+    yield
+    while runtime.current() is not None:
+        runtime.deactivate()
+
+
+def _telemetry():
+    return Telemetry(TelemetryConfig(record_packets=False))
+
+
+def test_activate_deactivate_nests():
+    outer, inner = _telemetry(), _telemetry()
+    runtime.activate(outer)
+    runtime.activate(inner)
+    assert runtime.current() is inner
+    assert runtime.deactivate() is inner
+    assert runtime.current() is outer
+    assert runtime.deactivate() is outer
+    assert runtime.current() is None
+
+
+def test_deactivate_specific_out_of_order():
+    """A scope finishing out of order releases only its own activation."""
+    outer, inner = _telemetry(), _telemetry()
+    runtime.activate(outer)
+    runtime.activate(inner)
+    assert runtime.deactivate(outer) is outer
+    assert runtime.current() is inner
+    runtime.deactivate(inner)
+    assert runtime.current() is None
+
+
+def test_deactivate_unknown_returns_none():
+    assert runtime.deactivate(_telemetry()) is None
+    runtime.activate(_telemetry())
+    assert runtime.deactivate(object()) is None
+    assert runtime.current() is not None
+
+
+def test_use_restores_previous():
+    outer = _telemetry()
+    runtime.activate(outer)
+    with runtime.use(_telemetry()) as scoped:
+        assert runtime.current() is scoped
+    assert runtime.current() is outer
+
+
+def test_use_restores_on_exception():
+    with pytest.raises(RuntimeError, match="boom"):
+        with runtime.use(_telemetry()):
+            raise RuntimeError("boom")
+    assert runtime.current() is None
+
+
+def test_cluster_attaches_to_innermost():
+    outer, inner = _telemetry(), _telemetry()
+    with runtime.use(outer):
+        with runtime.use(inner):
+            cluster = Cluster(ClusterSpec(workers=2, aggregators=2))
+    assert inner.attached(cluster)
+    assert not outer.attached(cluster)
