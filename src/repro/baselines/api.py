@@ -31,8 +31,10 @@ import numpy as np
 
 from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
+from ..core.flowreduce import FlowOmniReduce
 from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
+from ..netsim.flow import flow_view
 from ..tensors.convert import DEFAULT_CONVERSION_MODEL, ConversionCostModel
 from .agsparse import AGsparseAllReduce
 from .collectives import (
@@ -86,12 +88,22 @@ class Options:
     stream.  ``None`` (the default) falls back to the cluster's own
     telemetry, if any -- and otherwise costs nothing.
 
+    ``sim_mode`` selects the simulation granularity and is likewise
+    shared by every algorithm: ``"packet"`` (the default) runs the exact
+    per-packet event kernel; ``"flow"`` runs the analytical flow-level
+    fast path (same tensors bit-identically, same wire counters exactly,
+    completion times within the tolerance documented in
+    ``docs/performance.md``).  Configurations whose semantics need
+    per-packet events (loss, the datagram transport, Algorithm 2
+    recovery...) raise :class:`~repro.netsim.flow.FlowUnsupported`.
+
     :meth:`from_kwargs` is *the* coercion entry point: everything that
     accepts loosely-typed options (``prepare``, the legacy
     ``run_allreduce`` shim, bench helpers) funnels through it.
     """
 
     telemetry: Optional[object] = None
+    sim_mode: str = "packet"
 
     @classmethod
     def from_kwargs(cls, options=None, /, **kwargs) -> "Options":
@@ -148,6 +160,7 @@ class OmniReduceOptions(Options):
         if options is not None:
             return super().from_kwargs(options, **kwargs)
         telemetry = kwargs.pop("telemetry", None)
+        sim_mode = kwargs.pop("sim_mode", "packet")
         config = kwargs.pop("config", None)
         if config is not None:
             if kwargs:
@@ -155,10 +168,14 @@ class OmniReduceOptions(Options):
                     f"pass either config= or raw config fields, not both "
                     f"(extra: {sorted(kwargs)})"
                 )
-            return cls(telemetry=telemetry, config=config)
+            return cls(telemetry=telemetry, sim_mode=sim_mode, config=config)
         if kwargs:
-            return cls(telemetry=telemetry, config=OmniReduceConfig(**kwargs))
-        return cls(telemetry=telemetry)
+            return cls(
+                telemetry=telemetry,
+                sim_mode=sim_mode,
+                config=OmniReduceConfig(**kwargs),
+            )
+        return cls(telemetry=telemetry, sim_mode=sim_mode)
 
 
 @dataclass(frozen=True)
@@ -221,6 +238,24 @@ class ParallaxOptions(Options):
 @dataclass(frozen=True)
 class SwitchMLOptions(Options):
     config: Optional[OmniReduceConfig] = None
+
+
+def _sim_cluster(cluster: Cluster, options: Options) -> Cluster:
+    """Apply ``options.sim_mode`` to ``cluster``.
+
+    ``"packet"`` returns the cluster unchanged; ``"flow"`` returns a
+    :class:`~repro.netsim.flow.FlowCluster` view over it (validating the
+    configuration eagerly, so unsupported setups fail at ``prepare``
+    time rather than mid-collective).
+    """
+    mode = getattr(options, "sim_mode", "packet")
+    if mode == "packet":
+        return cluster
+    if mode == "flow":
+        return flow_view(cluster)
+    raise ValueError(
+        f"unknown sim_mode {mode!r}; expected 'packet' or 'flow'"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -535,6 +570,7 @@ class _FactoryCollective(Collective):
 
     def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
         opts = self._coerce(options)
+        cluster = _sim_cluster(cluster, opts)
         return _EngineSession(
             cluster, opts, self._factory(cluster, opts), algorithm=self.name
         )
@@ -556,9 +592,12 @@ class OmniReduceCollective(Collective):
 
     def prepare(self, cluster: Cluster, options=None) -> Session:
         opts = self._coerce(options)
-        return OmniReduceSession(
-            cluster, opts, OmniReduce(cluster, opts.config), algorithm=self.name
-        )
+        target = _sim_cluster(cluster, opts)
+        if target is cluster:
+            engine = OmniReduce(cluster, opts.config)
+        else:
+            engine = FlowOmniReduce(target, opts.config)
+        return OmniReduceSession(target, opts, engine, algorithm=self.name)
 
 
 def _factories():

@@ -128,6 +128,26 @@ class SegmentedChannel:
     def send(self, dst_host: str, dst_port: str, tag: Any, payload: Any, nbytes: int) -> None:
         nbytes = max(1, nbytes)
         nseg = -(-nbytes // self.segment_bytes)
+        send_message = getattr(self.endpoint.transport, "send_message", None)
+        if send_message is not None:
+            # Flow mode: bill every segment's wire bytes individually but
+            # deliver the whole message as one packet at the time the last
+            # segment's delivery would have fired.  The receiver sees a
+            # complete single-segment message, so recv()/recv_any()
+            # complete tags in the same order as in packet mode.
+            sizes = [
+                min(self.segment_bytes, nbytes - seg * self.segment_bytes)
+                for seg in range(nseg)
+            ]
+            send_message(
+                self.endpoint.host_name,
+                dst_host,
+                dst_port,
+                (tag, 0, 1, payload),
+                sizes,
+                self.flow,
+            )
+            return
         for seg in range(nseg):
             seg_bytes = min(self.segment_bytes, nbytes - seg * self.segment_bytes)
             body = payload if seg == nseg - 1 else None

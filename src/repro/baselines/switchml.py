@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
+from ..core.flowreduce import FlowOmniReduce
 from ..core.pending import PendingCollective
 from ..netsim.cluster import Cluster
 
@@ -29,7 +30,12 @@ class SwitchMLAllReduce:
 
     def __init__(self, cluster: Cluster, config: Optional[OmniReduceConfig] = None):
         base = config or OmniReduceConfig()
-        self._omni = OmniReduce(
+        # A FlowCluster view selects the flow-mode engine (same protocol,
+        # analytical timeline) -- dense streams get the speedup too.
+        engine_cls = (
+            FlowOmniReduce if hasattr(cluster, "flow_base") else OmniReduce
+        )
+        self._omni = engine_cls(
             cluster,
             base.with_(skip_zero_blocks=False, charge_bitmap=False),
         )

@@ -16,6 +16,7 @@ from .endtoend import (
     table2_overlap_breakdown,
 )
 from .conformance import conformance
+from .flowmode import fig06_flow
 from .faults import fault_recovery
 from .multijob import multijob
 from .harness import (
@@ -56,6 +57,7 @@ __all__ = [
     "fig04_dense_allreduce",
     "fig05_rdma_methods",
     "fig06_sparse_methods",
+    "fig06_flow",
     "fig07_sparse_scalability",
     "fig08_format_conversion",
     "fig09_scaling_factor",

@@ -43,6 +43,7 @@ from . import (
     fig01_scalability,
     fig04_dense_allreduce,
     fig05_rdma_methods,
+    fig06_flow,
     fig06_sparse_methods,
     fig07_sparse_scalability,
     fig08_format_conversion,
@@ -71,6 +72,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "figure-4": fig04_dense_allreduce,
     "figure-5": fig05_rdma_methods,
     "figure-6": fig06_sparse_methods,
+    "figure-6-flow": fig06_flow,
     "figure-7": fig07_sparse_scalability,
     "figure-8": fig08_format_conversion,
     "figure-9": fig09_scaling_factor,

@@ -7,10 +7,17 @@ with the invariant monitors attached, and reports one row per
 algorithm.  A healthy tree reports zero oracle mismatches and zero
 invariant violations everywhere.
 
-The final rows run the test-only mutants (a corrupted result and a
-zero-block spammer) to prove the harness has teeth: each must be
-*caught*, and its failure is shrunk to a minimized seed-replay case
-whose one-command repro appears in the notes.
+The ``flow-diff:*`` rows run the packet-vs-flow differential matrix:
+identical cases under both simulation modes must agree bit-exactly on
+tensors, exactly on wire counters, and within the documented tolerance
+on completion time (see ``docs/performance.md``).
+
+The final rows run the test-only mutants (a corrupted result, a
+zero-block spammer, and two flow-only timing/billing bugs) to prove the
+harness has teeth: each must be *caught* -- the single-mode mutants are
+shrunk to a minimized seed-replay case whose one-command repro appears
+in the notes, and the flow-only mutants must be flagged by the
+differential.
 
 ``REPRO_CONFORMANCE_LEVEL=full`` widens the matrix (more worker counts,
 block sizes, seeds); the default ``smoke`` level is CI-sized.
@@ -25,6 +32,8 @@ from typing import Dict, List
 from ..conformance import (
     ConformanceCase,
     default_matrix,
+    differential_matrix,
+    differential_sweep,
     minimize_case,
     run_case,
     sweep,
@@ -37,6 +46,13 @@ __all__ = ["conformance"]
 _MUTANT_CASES = (
     ConformanceCase(algorithm="omnireduce", mutant="broken-result"),
     ConformanceCase(algorithm="omnireduce", mutant="zero-block-spam"),
+)
+
+#: Flow-only mutants: packet mode is untouched, so only the
+#: packet-vs-flow differential can catch them.
+_FLOW_MUTANT_CASES = (
+    ConformanceCase(algorithm="ring", mutant="flow-serialization-skew"),
+    ConformanceCase(algorithm="omnireduce", mutant="flow-zero-bill"),
 )
 
 
@@ -81,6 +97,60 @@ def conformance() -> ExperimentResult:
             if not report.ok:
                 result.notes.append(f"FAIL {report.case.case_id}: "
                                     + "; ".join(report.problems()[:3]))
+
+    # Packet-vs-flow differential: the same cases under both simulation
+    # modes must agree bit-exactly on tensors, exactly on wire counters,
+    # and within the documented tolerance on completion time.
+    diff_reports = differential_sweep(differential_matrix(level))
+    diff_by_algorithm: Dict[str, List] = defaultdict(list)
+    for report in diff_reports:
+        diff_by_algorithm[report.case.algorithm].append(report)
+    for algorithm in sorted(diff_by_algorithm):
+        group = diff_by_algorithm[algorithm]
+        failures = sum(1 for r in group if not r.ok)
+        total_failures += failures
+        result.add_row(
+            algorithm=f"flow-diff:{algorithm}",
+            cases=len(group),
+            oracle_ok=f"{sum(1 for r in group if r.ok)}/{len(group)}",
+            counters_ok="exact" if failures == 0 else "DIFF",
+            violations=failures,
+            max_abs_err=max(r.time_rel_err for r in group),
+            status="PASS" if failures == 0 else f"FAIL({failures})",
+        )
+        for report in group:
+            if not report.ok:
+                result.notes.append(
+                    f"FLOW-DIFF FAIL {report.case.case_id}: "
+                    + "; ".join(report.problems[:3])
+                )
+
+    # Flow-only mutants: the differential (not single-mode conformance)
+    # must catch each -- proof the packet-vs-flow gauntlet has teeth.
+    from ..conformance import run_differential
+
+    for case in _FLOW_MUTANT_CASES:
+        diff = run_differential(case)
+        caught = not diff.ok
+        if not caught:
+            total_failures += 1
+        result.add_row(
+            algorithm=f"mutant:{case.mutant}",
+            cases=1,
+            oracle_ok="caught" if caught else "MISSED",
+            counters_ok="-",
+            violations=len(diff.problems),
+            max_abs_err=diff.time_rel_err,
+            status="PASS" if caught else "FAIL",
+        )
+        result.notes.append(
+            f"flow mutant {case.mutant} on {case.algorithm}: "
+            + (
+                f"caught by differential ({diff.problems[0]})"
+                if caught
+                else "NOT caught -- the differential is blind"
+            )
+        )
 
     # The harness must catch deliberately broken algorithms and shrink
     # each failure to a replayable minimal case.

@@ -26,6 +26,14 @@ claims are checked against:
 See ``docs/conformance.md`` for the workflow.
 """
 
+from .differential import (
+    DifferentialReport,
+    TRANSPORT_TIME_RTOL,
+    differential_matrix,
+    differential_sweep,
+    flow_capable,
+    run_differential,
+)
 from .golden import capture_omnireduce_trace, normalize_trace, trace_to_json
 from .monitors import (
     AtMostOnceDeliveryMonitor,
@@ -76,6 +84,12 @@ __all__ = [
     "default_matrix",
     "run_case",
     "sweep",
+    "DifferentialReport",
+    "TRANSPORT_TIME_RTOL",
+    "differential_matrix",
+    "differential_sweep",
+    "flow_capable",
+    "run_differential",
     "ReproSpec",
     "minimize_case",
     "run_spec",

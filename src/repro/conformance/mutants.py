@@ -13,6 +13,20 @@ the harness detects them and shrinks the failure to a seed-replay:
   catches it.  This is the invariant the paper's bandwidth savings
   rest on.
 
+Two mutants break *flow mode only* -- packet mode stays exact, so
+single-mode conformance cannot see them; only the packet-vs-flow
+differential (:mod:`repro.conformance.differential`) catches each:
+
+* ``flow-serialization-skew`` -- the flow transport serializes every
+  wire segment as if it carried one extra block (the classic
+  off-by-one-block in the analytical serialization delay).  Wire
+  *counters* stay exact; completion *times* drift, which the
+  differential's time-tolerance check flags.
+* ``flow-zero-bill`` -- flow mode correctly suppresses zero blocks in
+  the data plane but still bills them on the wire, inflating
+  ``bytes_sent``/``packets_sent``.  Tensors and times stay perfect;
+  the differential's *exact* counter equality catches it.
+
 Mutants are never registered in :data:`repro.baselines.registry.ALGORITHMS`;
 they are reachable only through :class:`~repro.conformance.runner.ConformanceCase`'s
 ``mutant`` field.
@@ -27,8 +41,20 @@ import numpy as np
 from ..baselines.api import Collective, OmniReduceOptions, Options, Session
 from ..core.collective import CollectiveResult
 from ..netsim.cluster import Cluster
+from ..netsim.flow import FlowTransport, flow_view
+from ..netsim.packet import Packet
 
-__all__ = ["BrokenResultCollective", "ZeroBlockSpamCollective", "MUTANTS"]
+__all__ = [
+    "BrokenResultCollective",
+    "ZeroBlockSpamCollective",
+    "FlowSerializationSkewCollective",
+    "FlowZeroBillCollective",
+    "MUTANTS",
+]
+
+
+def _is_flow(options: Optional[Options]) -> bool:
+    return getattr(options, "sim_mode", "packet") == "flow"
 
 
 class _CorruptingSession(Session):
@@ -102,8 +128,131 @@ class ZeroBlockSpamCollective(Collective):
         return self.inner.prepare(cluster, options)
 
 
+class _SkewedFlowTransport(FlowTransport):
+    """FlowTransport with the serialization delay off by one block.
+
+    Reproduces :meth:`FlowTransport._send_wire` with one injected bug:
+    every segment's *serialization time* is computed as if the segment
+    carried ``SKEW_BYTES`` extra bytes.  Billing (``bytes_sent``,
+    ``packets_sent``, flow bytes) stays correct -- only the timeline is
+    wrong, which is exactly the failure mode the differential's
+    completion-time check exists to catch.
+    """
+
+    SKEW_BYTES = 256  # one default-sized block of float32s
+
+    def _send_wire(self, src, dst, dst_port, payload, wire_sizes, flow):
+        network = self.network
+        sim = network.sim
+        src_host = network.hosts[src]
+        dst_host = network.hosts[dst]
+        stats = network.stats
+        latency = network.latency_s
+        now = sim.now
+        tx_cost = src_host.tx_cpu_cost_s
+        bw = src_host.bandwidth_bps
+        last = len(wire_sizes) - 1
+        for i, size in enumerate(wire_sizes):
+            free = src_host.tx_cpu_free_at
+            tx_ready = (now if now > free else free) + tx_cost
+            src_host.tx_cpu_free_at = tx_ready
+            free = src_host.egress_free_at
+            tx_start = tx_ready if tx_ready > free else free
+            serialization = (size + self.SKEW_BYTES) * 8.0 / bw  # the bug
+            src_host.egress_free_at = tx_start + serialization
+            stats.bytes_sent[src] += size
+            stats.packets_sent[src] += 1
+            if flow:
+                stats.flow_bytes[flow] += size
+            wire_arrival = tx_start + serialization + latency
+            packet = (
+                Packet(src, dst, payload, size, dst_port, flow)
+                if i == last
+                else None
+            )
+            sim.call_at(wire_arrival, self._arrive, dst_host, size, packet)
+
+
+class FlowSerializationSkewCollective(Collective):
+    """Wraps any FlowTransport-based collective; flow-mode runs get the
+    off-by-one-block serialization delay.  Packet mode is untouched."""
+
+    def __init__(self, inner: Collective) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}+flow-serialization-skew"
+        self.options_cls: Type[Options] = inner.options_cls
+        self.summary = (
+            "test-only mutant: flow serialization delay off by one block"
+        )
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        if _is_flow(options):
+            view = flow_view(cluster)
+            view.transport = _SkewedFlowTransport(view.transport.inner)
+            cluster = view  # flow_view() downstream is idempotent
+        return self.inner.prepare(cluster, options)
+
+
+class _ZeroBillSession(Session):
+    """Delegates to the real session, then bills the suppressed blocks."""
+
+    #: Wire bytes charged per phantom zero block (any nonzero amount
+    #: breaks the differential's exact counter equality).
+    BILL_BYTES = 256
+
+    def __init__(self, inner: Session) -> None:
+        super().__init__(inner.cluster, inner.options)
+        self._inner = inner
+
+    def _bill(self, result: CollectiveResult) -> CollectiveResult:
+        suppressed = int(result.details.get("zero_blocks_suppressed", 0))
+        result.bytes_sent += suppressed * self.BILL_BYTES
+        result.packets_sent += suppressed
+        result.upward_bytes += suppressed * self.BILL_BYTES
+        return result
+
+    def allreduce(self, tensors: Sequence[np.ndarray], **kwargs) -> CollectiveResult:
+        return self._bill(self._inner.allreduce(tensors, **kwargs))
+
+    def submit(self, tensors: Sequence[np.ndarray], **kwargs):
+        return self._inner.submit(tensors, **kwargs).map(self._bill)
+
+    def allgather(self, tensors: Sequence[np.ndarray]) -> CollectiveResult:
+        return self._inner.allgather(tensors)
+
+    def broadcast(self, tensor: np.ndarray, root: int = 0) -> CollectiveResult:
+        return self._inner.broadcast(tensor, root=root)
+
+
+class FlowZeroBillCollective(Collective):
+    """OmniReduce whose flow mode bills suppressed zero blocks on the wire.
+
+    The data plane still skips them (tensors and times stay perfect);
+    only the packet-vs-flow counter diff can tell.
+    """
+
+    def __init__(self, inner: Collective) -> None:
+        if not inner.name.startswith("omnireduce"):
+            raise ValueError(
+                "flow-zero-bill only makes sense wrapping omnireduce "
+                f"(it bills the suppressed-block count), got {inner.name!r}"
+            )
+        self.inner = inner
+        self.name = f"{inner.name}+flow-zero-bill"
+        self.options_cls = inner.options_cls
+        self.summary = "test-only mutant: bills suppressed zero blocks"
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        session = self.inner.prepare(cluster, options)
+        if _is_flow(options):
+            return _ZeroBillSession(session)
+        return session
+
+
 #: mutant name -> wrapper class applied to the case's base collective.
 MUTANTS: Dict[str, Type[Collective]] = {
     "broken-result": BrokenResultCollective,
     "zero-block-spam": ZeroBlockSpamCollective,
+    "flow-serialization-skew": FlowSerializationSkewCollective,
+    "flow-zero-bill": FlowZeroBillCollective,
 }

@@ -97,6 +97,12 @@ class ConformanceCase:
     transport: str = "rdma"
     fault: str = "none"
     seed: int = 0
+    #: Simulation granularity: ``"packet"`` (the exact event kernel, the
+    #: oracle) or ``"flow"`` (the analytical fast path).  The
+    #: packet-vs-flow differential (:mod:`repro.conformance.differential`)
+    #: runs the *same* case under both modes and demands bit-identical
+    #: tensors and exact wire counters.
+    sim_mode: str = "packet"
     #: Test-only mutant wrapped around the algorithm ("" = none); see
     #: :mod:`repro.conformance.mutants`.
     mutant: str = ""
@@ -108,6 +114,11 @@ class ConformanceCase:
             raise ValueError(
                 f"unknown fault plan {self.fault!r}; "
                 f"choose from {sorted(FAULT_PLANS)}"
+            )
+        if self.sim_mode not in ("packet", "flow"):
+            raise ValueError(
+                f"unknown sim_mode {self.sim_mode!r}; "
+                "choose 'packet' or 'flow'"
             )
         if self.elements < self.block_size:
             raise ValueError("elements must cover at least one block")
@@ -125,6 +136,8 @@ class ConformanceCase:
         ]
         if self.fault != "none":
             parts.append(self.fault)
+        if self.sim_mode != "packet":
+            parts.append(self.sim_mode)
         if self.mutant:
             parts.append(f"mutant:{self.mutant}")
         parts.append(f"s{self.seed}")
@@ -159,7 +172,11 @@ class ConformanceCase:
 
     def options(self) -> Optional[Options]:
         if not self.algorithm.startswith("omnireduce"):
-            return None
+            if self.sim_mode == "packet":
+                return None  # registry defaults
+            return registry.get(self.algorithm).options_cls.from_kwargs(
+                sim_mode=self.sim_mode
+            )
         config = OmniReduceConfig(block_size=self.block_size)
         if self.fault != "none":
             config = config.with_(
@@ -167,9 +184,22 @@ class ConformanceCase:
                 backoff_factor=FAULT_BACKOFF_FACTOR,
                 timeout_max_s=FAULT_TIMEOUT_MAX_S,
             )
-        return OmniReduceOptions(config=config)
+            if self.fault == "straggler" and self.transport != "dpdk":
+                # Stragglers delay but never lose packets; on a reliable
+                # transport the run needs no Algorithm 2 timers.  Pinning
+                # recovery off keeps the protocol identical across the
+                # packet-vs-flow differential (the timers are per-packet
+                # and flow mode refuses them).
+                config = config.with_(recovery=False)
+        return OmniReduceOptions(config=config, sim_mode=self.sim_mode)
 
     def monitors(self) -> List[InvariantMonitor]:
+        if self.sim_mode == "flow":
+            # Flow mode books whole messages analytically, bypassing the
+            # per-packet trace stream the wire monitors listen on; the
+            # invariants are enforced on the packet side of the
+            # differential instead (see repro.conformance.differential).
+            return []
         backoff = None
         if (
             self.algorithm.startswith("omnireduce")

@@ -96,12 +96,19 @@ class FabricService:
         cluster: Cluster,
         telemetry=None,
         queue_limit: int = 4,
+        sim_mode: str = "packet",
     ) -> None:
         if queue_limit < 0:
             raise ValueError("queue_limit must be >= 0")
+        if sim_mode not in ("packet", "flow"):
+            raise ValueError("sim_mode must be 'packet' or 'flow'")
         self.cluster = cluster
         self.sim = cluster.sim
         self.queue_limit = queue_limit
+        #: Simulation granularity every job session runs under: the
+        #: exact per-packet kernel or the flow-level fast path (each
+        #: job's slice is wrapped in a flow view at prepare() time).
+        self.sim_mode = sim_mode
         self.telemetry = telemetry
         self._pid = None
         if telemetry is not None:
@@ -196,7 +203,7 @@ class FabricService:
         fabric = FabricSlice(self.cluster, worker_ids, aggregator_ids)
         collective = get_collective(record.spec.algorithm)
         session = collective.prepare(
-            fabric, collective.options_cls.from_kwargs()
+            fabric, collective.options_cls.from_kwargs(sim_mode=self.sim_mode)
         )
         self.sim.spawn(
             self._job_proc(record, session), name=f"job:{record.spec.name}"

@@ -1,0 +1,122 @@
+"""Unit tests for the flow-mode building blocks.
+
+Covers the capability gates (flow mode must *refuse* per-packet
+semantics, not approximate them), the FlowCluster proxy contract, and
+message-level delivery through FlowTransport.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Cluster, ClusterSpec
+from repro.netsim.flow import (
+    FlowCluster,
+    FlowTransport,
+    FlowUnsupported,
+    flow_view,
+    require_flow_capable,
+)
+
+pytestmark = pytest.mark.flowmode
+
+
+def _cluster(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("aggregators", 2)
+    return Cluster(ClusterSpec(**kw))
+
+
+def test_flow_view_is_idempotent():
+    cluster = _cluster()
+    view = flow_view(cluster)
+    assert isinstance(view, FlowCluster)
+    assert flow_view(view) is view
+    assert view.flow_base is cluster
+    assert view.base is cluster
+
+
+def test_flow_cluster_delegates_to_base():
+    cluster = _cluster()
+    view = flow_view(cluster)
+    assert view.sim is cluster.sim
+    assert view.network is cluster.network
+    assert view.spec is cluster.spec
+    assert isinstance(view.transport, FlowTransport)
+    assert view.transport.inner is cluster.transport
+
+
+def test_datagram_transport_is_refused():
+    cluster = _cluster(transport="dpdk")
+    with pytest.raises(FlowUnsupported):
+        flow_view(cluster)
+    with pytest.raises(FlowUnsupported):
+        require_flow_capable(cluster.network, cluster.transport)
+
+
+def test_lossy_network_is_refused():
+    from repro.faults import FaultPlan
+    from repro.netsim.loss import BernoulliLoss
+
+    cluster = Cluster(
+        ClusterSpec(workers=2, aggregators=2),
+        faults=FaultPlan(
+            loss=BernoulliLoss(0.01, np.random.default_rng(0))
+        ),
+    )
+    with pytest.raises(FlowUnsupported):
+        flow_view(cluster)
+
+
+def test_single_send_matches_packet_mode_exactly():
+    def run(flow_mode):
+        cluster = _cluster()
+        tp = FlowTransport(cluster.transport) if flow_mode else cluster.transport
+        src, dst = cluster.worker_hosts[0], cluster.aggregator_hosts[0]
+        box = cluster.network.host(dst).port("in")
+        seen = []
+
+        def receiver():
+            packet = yield box.get()
+            seen.append((cluster.sim.now, packet.payload, packet.size_bytes))
+
+        cluster.sim.spawn(receiver())
+        tp.send(src, dst, "in", "hello", 1000, flow="up")
+        cluster.sim.run()
+        stats = cluster.network.stats
+        return seen, stats.bytes_sent[src], stats.packets_sent[src]
+
+    assert run(False) == run(True)
+
+
+def test_send_message_bills_segments_delivers_once():
+    cluster = _cluster()
+    tp = FlowTransport(cluster.transport)
+    src, dst = cluster.worker_hosts[0], cluster.aggregator_hosts[0]
+    box = cluster.network.host(dst).port("in")
+    deliveries = []
+
+    def receiver():
+        while True:
+            packet = yield box.get()
+            deliveries.append(packet.payload)
+
+    cluster.sim.spawn(receiver())
+    tp.send_message(src, dst, "in", "msg", [1000, 1000, 500], flow="up")
+    cluster.sim.run()
+    stats = cluster.network.stats
+    # One billed packet per segment on the wire...
+    assert stats.packets_sent[src] == 3
+    assert stats.packets_received[dst] == 3
+    expected = sum(tp.wire_bytes(b) for b in (1000, 1000, 500))
+    assert stats.bytes_sent[src] == expected
+    # ...but exactly one delivery, carrying the whole message.
+    assert deliveries == ["msg"]
+
+
+def test_flow_transport_delegates_inner_attributes():
+    cluster = _cluster()
+    tp = FlowTransport(cluster.transport)
+    assert tp.name == cluster.transport.name
+    assert tp.max_payload_bytes() == cluster.transport.max_payload_bytes()
+    assert tp.wire_bytes(100) == cluster.transport.wire_bytes(100)
+    assert tp.total_retransmissions == 0

@@ -1,0 +1,49 @@
+"""FabricService under flow mode.
+
+The multi-job scheduler must run its job sessions over the flow fast
+path with no call-site changes beyond ``sim_mode="flow"``: same
+admission decisions, same iteration counts, and per-job communication
+times matching packet mode within the documented tolerance.
+"""
+
+import pytest
+
+from repro.core.flowreduce import TIME_RTOL
+from repro.netsim import Cluster, ClusterSpec
+from repro.service import FabricService, JobSpec
+from repro.service.jobs import DONE
+
+pytestmark = [pytest.mark.service, pytest.mark.flowmode]
+
+
+def _run(sim_mode):
+    service = FabricService(
+        Cluster(ClusterSpec(workers=8, aggregators=8)), sim_mode=sim_mode
+    )
+    specs = [
+        JobSpec(name="omni", workers=3, aggregators=3, iterations=2,
+                elements=2048),
+        JobSpec(name="ring", workers=3, aggregators=3, iterations=2,
+                elements=2048, algorithm="ring"),
+    ]
+    service.offer(specs, [0.0, 0.0])
+    return service.drain()
+
+
+def test_flow_mode_jobs_complete_like_packet_mode():
+    packet = _run("packet")
+    flow = _run("flow")
+    assert [r.status for r in flow.records] == [
+        r.status for r in packet.records
+    ] == [DONE, DONE]
+    for p_rec, f_rec in zip(packet.records, flow.records):
+        assert f_rec.iterations_done == p_rec.iterations_done
+        assert f_rec.comm_time_s == pytest.approx(
+            p_rec.comm_time_s, rel=TIME_RTOL
+        )
+
+
+def test_sim_mode_is_validated():
+    cluster = Cluster(ClusterSpec(workers=2, aggregators=2))
+    with pytest.raises(ValueError):
+        FabricService(cluster, sim_mode="warp")
