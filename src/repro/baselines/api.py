@@ -33,6 +33,12 @@ from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
 from ..core.flowreduce import FlowOmniReduce
 from ..core.pending import PendingCollective
+from ..core.rackreduce import (
+    DEFAULT_RACK_SIZE,
+    DEFAULT_SEGMENT_BYTES,
+    FlowRackHierarchical,
+    RackHierarchicalOmniReduce,
+)
 from ..netsim.cluster import Cluster
 from ..netsim.flow import flow_view
 from ..tensors.convert import DEFAULT_CONVERSION_MODEL, ConversionCostModel
@@ -67,6 +73,7 @@ __all__ = [
     "PSSparseOptions",
     "ParallaxOptions",
     "SwitchMLOptions",
+    "RackHierarchicalOptions",
 ]
 
 
@@ -238,6 +245,20 @@ class ParallaxOptions(Options):
 @dataclass(frozen=True)
 class SwitchMLOptions(Options):
     config: Optional[OmniReduceConfig] = None
+
+
+@dataclass(frozen=True)
+class RackHierarchicalOptions(Options):
+    """Options for the rack-hierarchical sparse AllReduce.
+
+    ``rack_size`` groups workers by index into racks whose first worker
+    acts as the rack leader; align it with the physical racks of the
+    cluster's topology (:func:`repro.netsim.topology.rack_map_for`).
+    """
+
+    rack_size: int = DEFAULT_RACK_SIZE
+    block_size: int = 64
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
 
 
 def _sim_cluster(cluster: Cluster, options: Options) -> Cluster:
@@ -600,10 +621,39 @@ class OmniReduceCollective(Collective):
         return OmniReduceSession(target, opts, engine, algorithm=self.name)
 
 
+class RackHierarchicalCollective(Collective):
+    """Rack-hierarchical OmniReduce behind the unified protocol.
+
+    Dispatches on ``sim_mode`` like :class:`OmniReduceCollective`: the
+    packet engine is the per-packet oracle, the flow engine replays it
+    analytically -- including shared topology pipes, which the flat
+    OmniReduce flow engine refuses.
+    """
+
+    name = "rackhier"
+    options_cls = RackHierarchicalOptions
+    summary = "rack-hierarchical sparse aggregation over tiered fabrics"
+
+    def prepare(self, cluster: Cluster, options=None) -> Session:
+        opts = self._coerce(options)
+        target = _sim_cluster(cluster, opts)
+        engine_cls = (
+            RackHierarchicalOmniReduce if target is cluster else FlowRackHierarchical
+        )
+        engine = engine_cls(
+            target,
+            rack_size=opts.rack_size,
+            block_size=opts.block_size,
+            segment_bytes=opts.segment_bytes,
+        )
+        return _EngineSession(target, opts, engine, algorithm=self.name)
+
+
 def _factories():
     """The registry's algorithm table (name -> Collective)."""
     return {
         "omnireduce": OmniReduceCollective(),
+        "rackhier": RackHierarchicalCollective(),
         "ring": _FactoryCollective(
             "ring",
             RingOptions,

@@ -17,6 +17,7 @@ from .endtoend import (
 )
 from .conformance import conformance
 from .flowmode import fig06_flow
+from .scale import fig06_scale
 from .faults import fault_recovery
 from .multijob import multijob
 from .harness import (
@@ -58,6 +59,7 @@ __all__ = [
     "fig05_rdma_methods",
     "fig06_sparse_methods",
     "fig06_flow",
+    "fig06_scale",
     "fig07_sparse_scalability",
     "fig08_format_conversion",
     "fig09_scaling_factor",

@@ -44,6 +44,7 @@ from . import (
     fig04_dense_allreduce,
     fig05_rdma_methods,
     fig06_flow,
+    fig06_scale,
     fig06_sparse_methods,
     fig07_sparse_scalability,
     fig08_format_conversion,
@@ -73,6 +74,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "figure-5": fig05_rdma_methods,
     "figure-6": fig06_sparse_methods,
     "figure-6-flow": fig06_flow,
+    "figure-6-scale": fig06_scale,
     "figure-7": fig07_sparse_scalability,
     "figure-8": fig08_format_conversion,
     "figure-9": fig09_scaling_factor,

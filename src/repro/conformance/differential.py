@@ -62,7 +62,7 @@ TRANSPORT_TIME_RTOL = 1e-9
 #: Algorithm-name prefixes timed by the analytical OmniReduce flow
 #: engine (vectorized round collapse) rather than FlowTransport; held to
 #: the engine tolerance TIME_RTOL.
-_ENGINE_PREFIXES = ("omnireduce", "switchml", "parallax")
+_ENGINE_PREFIXES = ("omnireduce", "switchml", "parallax", "rackhier")
 
 #: Exact-match counter fields of CollectiveResult.
 _EXACT_COUNTERS = (
@@ -97,6 +97,14 @@ def flow_capable(case: ConformanceCase) -> Optional[str]:
         return "packet loss is decided per packet"
     if case.fault == "crash-failover":
         return "crash/failover re-routes individual in-flight packets"
+    if case.topology != "flat" and case.algorithm.startswith(
+        ("omnireduce", "switchml")
+    ):
+        # The vectorized flat-OmniReduce engine books NIC stages per
+        # stream; shared topology pipes need global send-order replay,
+        # which only the rack-hierarchical engine (and FlowTransport
+        # baselines) perform.
+        return "flat OmniReduce engine cannot replay shared topology pipes"
     return None
 
 
@@ -259,6 +267,26 @@ def differential_matrix(level: str = "smoke") -> List[ConformanceCase]:
         cases.append(
             ConformanceCase(algorithm="omnireduce", workers=4, aggregators=2)
         )
+        # Oversubscribed fat-tree: shared uplink/spine pipes under both
+        # modes.  The ring baseline runs over FlowTransport (held to the
+        # exact transport tolerance even through the pipes), the
+        # rack-hierarchical engine replays them analytically, and flat
+        # OmniReduce must *refuse* (covered via flow_capable).
+        cases.append(ConformanceCase(algorithm="ring", topology="fat-tree-2x"))
+        for pattern in ("uniform", "all-zero"):
+            cases.append(
+                ConformanceCase(
+                    algorithm="rackhier", topology="fat-tree-2x", pattern=pattern
+                )
+            )
+        cases.append(
+            ConformanceCase(
+                algorithm="rackhier", topology="fat-tree-4x", fault="straggler"
+            )
+        )
+        cases.append(
+            ConformanceCase(algorithm="omnireduce", topology="fat-tree-2x")
+        )
         return cases
 
     for algorithm in algorithms:
@@ -282,6 +310,23 @@ def differential_matrix(level: str = "smoke") -> List[ConformanceCase]:
         cases.append(
             ConformanceCase(
                 algorithm="omnireduce", workers=8, aggregators=2, seed=seed
+            )
+        )
+    for topology in ("leaf-spine-2x", "fat-tree-2x", "fat-tree-4x"):
+        for algorithm in ("ring", "rackhier"):
+            for workers in (4, 8):
+                cases.append(
+                    ConformanceCase(
+                        algorithm=algorithm, workers=workers, topology=topology
+                    )
+                )
+    for seed in (0, 1):
+        cases.append(
+            ConformanceCase(
+                algorithm="rackhier",
+                topology="fat-tree-4x",
+                fault="straggler",
+                seed=seed,
             )
         )
     return cases

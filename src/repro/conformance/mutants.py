@@ -249,10 +249,44 @@ class FlowZeroBillCollective(Collective):
         return session
 
 
+class TopologySkewCollective(Collective):
+    """Flow mode misprices every rack uplink at half its capacity.
+
+    Packet mode books the true topology, so results and counters stay
+    perfect on both sides -- but the flow timeline stretches wherever
+    cross-rack traffic queues on an uplink.  Only the differential's
+    completion-time check over a *tiered* case can see it; the mutant
+    refuses flat cases, where it would be a silent no-op.
+    """
+
+    #: Capacity factor applied to each uplink pipe in flow mode.
+    SKEW = 0.5
+
+    def __init__(self, inner: Collective) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}+topology-skew"
+        self.options_cls: Type[Options] = inner.options_cls
+        self.summary = "test-only mutant: flow mode halves uplink capacity"
+
+    def prepare(self, cluster: Cluster, options: Optional[Options] = None) -> Session:
+        if _is_flow(options):
+            base = getattr(cluster, "flow_base", cluster)
+            topology = base.network.topology
+            if topology is None:
+                raise ValueError(
+                    "topology-skew misprices rack uplinks; run it on a "
+                    "case with a tiered topology"
+                )
+            for pipe in topology._uplinks.values():
+                pipe.rate_bps *= self.SKEW
+        return self.inner.prepare(cluster, options)
+
+
 #: mutant name -> wrapper class applied to the case's base collective.
 MUTANTS: Dict[str, Type[Collective]] = {
     "broken-result": BrokenResultCollective,
     "zero-block-spam": ZeroBlockSpamCollective,
     "flow-serialization-skew": FlowSerializationSkewCollective,
     "flow-zero-bill": FlowZeroBillCollective,
+    "topology-skew": TopologySkewCollective,
 }

@@ -35,6 +35,7 @@ from ..core.config import OmniReduceConfig
 from ..faults import AggregatorCrash, FaultPlan, StragglerSchedule
 from ..netsim.cluster import Cluster, ClusterSpec
 from ..netsim.loss import BernoulliLoss, GilbertElliottLoss
+from ..netsim.topology import FatTreeTopology, LeafSpineTopology, rack_map_for
 from ..netsim.trace import attach_tracer
 from .monitors import InvariantMonitor, Violation, default_monitors
 from .oracle import check_counters, check_outputs, dense_oracle
@@ -44,6 +45,7 @@ __all__ = [
     "ConformanceCase",
     "CaseReport",
     "FAULT_PLANS",
+    "TOPOLOGIES",
     "run_case",
     "sweep",
     "default_matrix",
@@ -83,6 +85,40 @@ FAULT_PLANS: Dict[str, Callable[[int], Optional[FaultPlan]]] = {
 _LOSSY_FAULTS = frozenset({"bernoulli-loss", "ge-loss"})
 
 
+def _case_aggregators(case: "ConformanceCase") -> int:
+    return case.aggregators if case.aggregators is not None else case.workers
+
+
+#: Named topologies: name -> factory(case) -> Optional[topology].  Like
+#: :data:`FAULT_PLANS`, names keep cases serializable; factories read
+#: the case's worker/aggregator counts so racks always come out full
+#: (:func:`rack_map_for` puts aggregators in their own rack).  Hosts run
+#: 10 Gbps NICs (the spec default), so a rack of two offers 20 Gbps and
+#: the ``2x``/``4x`` suffixes name the resulting uplink oversubscription.
+TOPOLOGIES: Dict[str, Callable[["ConformanceCase"], Optional[object]]] = {
+    "flat": lambda case: None,
+    "leaf-spine-2x": lambda case: LeafSpineTopology(
+        rack_size=2,
+        uplink_gbps=10.0,
+        rack_of=rack_map_for(case.workers, _case_aggregators(case), 2),
+    ),
+    "fat-tree-2x": lambda case: FatTreeTopology(
+        rack_size=2,
+        uplink_gbps=10.0,
+        spine_gbps=40.0,
+        spines=2,
+        rack_of=rack_map_for(case.workers, _case_aggregators(case), 2),
+    ),
+    "fat-tree-4x": lambda case: FatTreeTopology(
+        rack_size=2,
+        uplink_gbps=5.0,
+        spine_gbps=20.0,
+        spines=2,
+        rack_of=rack_map_for(case.workers, _case_aggregators(case), 2),
+    ),
+}
+
+
 @dataclass(frozen=True)
 class ConformanceCase:
     """One deterministic conformance run, fully described by its fields."""
@@ -96,6 +132,10 @@ class ConformanceCase:
     dtype: str = "float32"
     transport: str = "rdma"
     fault: str = "none"
+    #: Named fabric from :data:`TOPOLOGIES` ("flat" = the default
+    #: full-bisection network).  Shared topology pipes are part of the
+    #: timing contract, so the packet-vs-flow differential runs them too.
+    topology: str = "flat"
     seed: int = 0
     #: Simulation granularity: ``"packet"`` (the exact event kernel, the
     #: oracle) or ``"flow"`` (the analytical fast path).  The
@@ -120,6 +160,11 @@ class ConformanceCase:
                 f"unknown sim_mode {self.sim_mode!r}; "
                 "choose 'packet' or 'flow'"
             )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {sorted(TOPOLOGIES)}"
+            )
         if self.elements < self.block_size:
             raise ValueError("elements must cover at least one block")
 
@@ -136,6 +181,8 @@ class ConformanceCase:
         ]
         if self.fault != "none":
             parts.append(self.fault)
+        if self.topology != "flat":
+            parts.append(self.topology)
         if self.sim_mode != "packet":
             parts.append(self.sim_mode)
         if self.mutant:
@@ -159,6 +206,10 @@ class ConformanceCase:
 
     def fault_plan(self) -> Optional[FaultPlan]:
         return FAULT_PLANS[self.fault](self.seed)
+
+    def build_topology(self):
+        """Materialize the named topology (``None`` for "flat")."""
+        return TOPOLOGIES[self.topology](self)
 
     def tensors(self) -> List[np.ndarray]:
         return make_tensors(
@@ -278,7 +329,11 @@ def run_case(
     counters and every invariant the monitors watch.
     """
     report = CaseReport(case=case)
-    cluster = Cluster(case.cluster_spec(), faults=case.fault_plan())
+    cluster = Cluster(
+        case.cluster_spec(),
+        topology=case.build_topology(),
+        faults=case.fault_plan(),
+    )
     monitors = case.monitors() if with_monitors else []
     if monitors:
         attach_tracer(cluster.network, listeners=monitors)
@@ -356,6 +411,14 @@ def default_matrix(level: str = "smoke") -> List[ConformanceCase]:
                     algorithm="omnireduce", transport="dpdk", fault=fault
                 )
             )
+        # Tiered fabrics: shared-pipe queueing under the packet oracle.
+        for topology in ("fat-tree-2x", "fat-tree-4x"):
+            cases.append(
+                ConformanceCase(algorithm="rackhier", topology=topology)
+            )
+        cases.append(
+            ConformanceCase(algorithm="omnireduce", topology="leaf-spine-2x")
+        )
         return cases
 
     for algorithm in algorithms:
@@ -386,4 +449,16 @@ def default_matrix(level: str = "smoke") -> List[ConformanceCase]:
                     seed=seed,
                 )
             )
+    for topology in ("leaf-spine-2x", "fat-tree-2x", "fat-tree-4x"):
+        for algorithm in ("omnireduce", "rackhier", "ring"):
+            cases.append(
+                ConformanceCase(
+                    algorithm=algorithm, workers=8, topology=topology
+                )
+            )
+    cases.append(
+        ConformanceCase(
+            algorithm="rackhier", topology="fat-tree-4x", fault="straggler"
+        )
+    )
     return cases

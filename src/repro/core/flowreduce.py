@@ -40,8 +40,12 @@ Equivalence contract (checked by the packet-vs-flow differential in
 
 Configurations whose semantics require packet granularity (loss,
 Algorithm 2 recovery, aggregator crashes, deadlines, readiness
-schedules, multi-tier topologies) raise
-:class:`~repro.netsim.flow.FlowUnsupported`; run packet mode for those.
+schedules) raise :class:`~repro.netsim.flow.FlowUnsupported`, as do
+multi-tier topologies -- this engine books NIC stages per stream, so it
+cannot replay shared topology-pipe bookings in global send order.  On
+tiered fabrics, run the protocol engine over a
+:class:`~repro.netsim.flow.FlowTransport` (message-level events, exact
+pipe order) or fall back to packet mode.
 """
 
 from __future__ import annotations
@@ -102,6 +106,13 @@ class FlowOmniReduce(OmniReduce):
 
         # -- flow-mode capability gates -----------------------------------
         require_flow_capable(network, transport)
+        if network.topology is not None:
+            raise FlowUnsupported(
+                "the vectorized OmniReduce engine books NIC stages per "
+                "stream and cannot replay shared topology-pipe bookings "
+                "in global send order; run the protocol engine over a "
+                "FlowTransport (or packet mode) on tiered fabrics"
+            )
         if gradient_readiness is not None:
             raise FlowUnsupported(
                 "flow mode does not model per-block gradient readiness "

@@ -71,7 +71,26 @@ class HierarchicalAllReduce:
 
         ``per_gpu_tensors[s][g]`` is the gradient of GPU ``g`` on server
         ``s``; there must be one server per cluster worker host.
+
+        When the cluster carries an attached telemetry, the whole
+        hierarchical operation records through the same uniform path as
+        every registry algorithm (one ``hierarchical``-labeled sample of
+        ``goodput_gbps``, ``zero_blocks_suppressed``, ``worker_stall_s``,
+        ...); the telemetry's re-entrancy guard keeps the inner
+        collective from double-recording under its own label.
         """
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is None:
+            return self._allreduce_impl(per_gpu_tensors)
+        with telemetry.collective("hierarchical", self.cluster) as op:
+            result = self._allreduce_impl(per_gpu_tensors)
+            if op is not None:
+                op.result = result
+            return result
+
+    def _allreduce_impl(
+        self, per_gpu_tensors: Sequence[Sequence[np.ndarray]]
+    ) -> CollectiveResult:
         servers = self.cluster.spec.workers
         if len(per_gpu_tensors) != servers:
             raise ValueError(f"expected {servers} servers, got {len(per_gpu_tensors)}")

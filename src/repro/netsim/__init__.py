@@ -44,7 +44,7 @@ from .packet import (
     TCP_HEADER_BYTES,
 )
 from .crosstraffic import CrossTrafficGenerator
-from .topology import LeafSpineTopology
+from .topology import FatTreeTopology, LeafSpineTopology, rack_map_for
 from .trace import FaultLog, FaultRecord, PacketTracer, TraceEvent, attach_tracer
 from .transport import DatagramTransport, Endpoint, RdmaTransport, TcpTransport, Transport
 
@@ -87,7 +87,9 @@ __all__ = [
     "FaultRecord",
     "FaultLog",
     "CrossTrafficGenerator",
+    "FatTreeTopology",
     "LeafSpineTopology",
+    "rack_map_for",
     "TRANSPORTS",
     "ETHERNET_MTU",
     "ETHERNET_HEADER_BYTES",

@@ -118,9 +118,13 @@ class Cluster:
         faults=None,
     ) -> None:
         """``topology`` (e.g.
-        :class:`~repro.netsim.topology.LeafSpineTopology`) replaces the
+        :class:`~repro.netsim.topology.LeafSpineTopology` or
+        :class:`~repro.netsim.topology.FatTreeTopology`) replaces the
         default full-bisection fabric; hosts join racks in construction
-        order (workers first, then aggregators).
+        order (workers first, then aggregators) unless the topology was
+        built with an explicit ``rack_of`` map.  Topologies exposing a
+        ``validate()`` hook are validated once all hosts are placed, so
+        silently misracked layouts fail at construction.
 
         ``faults`` (a :class:`~repro.faults.FaultPlan`) layers fault
         injection onto the testbed: its loss components stack on top of
@@ -181,6 +185,10 @@ class Cluster:
                 name = f"agg-{j}"
                 self.network.add_host(name, host_config)
                 self.aggregator_hosts.append(name)
+
+        validate = getattr(topology, "validate", None)
+        if validate is not None:
+            validate()
 
         self.transport = self._build_transport()
 

@@ -28,13 +28,22 @@ Two layers build on it:
   below to collapse whole protocol rounds into vectorized numpy over the
   same formulas (that is where the >=100x comes from).
 
+Multi-tier topologies (:mod:`repro.netsim.topology`) are supported:
+the packet kernel books the shared uplink/downlink/spine pipes
+*synchronously* inside ``Network.transmit`` -- at send-call time, not
+at a core-entry event -- so :class:`FlowTransport` reproduces the exact
+same pipe bookings in the exact same global order by calling
+``topology.traverse_core`` from its own (equally synchronous) send
+path.  Both modes share one topology instance per run, so the floats
+associate identically.
+
 Flow mode refuses configurations whose semantics *require* per-packet
 events -- lossy networks (drops are per packet), the datagram transport
-(Algorithm 2's timers), multi-tier topologies with per-hop queueing --
-by raising :class:`FlowUnsupported`; callers fall back to packet mode.
-The exact packet kernel stays the conformance oracle: see
-``repro.conformance`` for the packet-vs-flow differential matrix and
-``docs/performance.md`` for the equivalence guarantees.
+(Algorithm 2's timers) -- by raising :class:`FlowUnsupported`; callers
+fall back to packet mode.  The exact packet kernel stays the
+conformance oracle: see ``repro.conformance`` for the packet-vs-flow
+differential matrix and ``docs/performance.md`` for the equivalence
+guarantees.
 """
 
 from __future__ import annotations
@@ -64,9 +73,9 @@ class FlowUnsupported(RuntimeError):
 
     Raised when flow mode is asked to model something whose semantics
     live at packet granularity: probabilistic loss, Algorithm 2's
-    retransmission timers (the datagram transport), per-hop topology
-    queueing, aggregator crash/restart orchestration, or deadline
-    preemption.  Callers should run packet mode instead.
+    retransmission timers (the datagram transport), aggregator
+    crash/restart orchestration, or deadline preemption.  Callers
+    should run packet mode instead.
     """
 
 
@@ -83,11 +92,6 @@ def require_flow_capable(network: Network, transport: Transport) -> None:
         raise FlowUnsupported(
             f"flow mode requires a lossless network, got "
             f"{type(network.loss).__name__}: drops happen per packet"
-        )
-    if network.topology is not None:
-        raise FlowUnsupported(
-            "flow mode models a single full-bisection switch; multi-tier "
-            "topologies queue per hop and need packet events"
         )
 
 
@@ -237,13 +241,14 @@ class FlowTransport(Transport):
         wire_sizes: List[int],
         flow: str,
     ) -> None:
-        # Literal transcription of Network.transmit, minus the loss/
-        # topology branches that require_flow_capable excluded.
+        # Literal transcription of Network.transmit, minus the loss
+        # branch that require_flow_capable excluded.
         network = self.network
         sim = network.sim
         src_host = network.hosts[src]
         dst_host = network.hosts[dst]
         stats = network.stats
+        topology = network.topology
         latency = network.latency_s
         now = sim.now
         tx_cost = src_host.tx_cpu_cost_s
@@ -262,7 +267,14 @@ class FlowTransport(Transport):
             stats.packets_sent[src] += 1
             if flow:
                 stats.flow_bytes[flow] += size
-            wire_arrival = tx_start + serialization + latency
+            core_exit = tx_start + serialization
+            if topology is not None:
+                # The packet kernel books the shared topology pipes
+                # synchronously at send-call time (Network.transmit);
+                # doing the same here keeps the pipe state and float
+                # association order identical between modes.
+                core_exit = topology.traverse_core(core_exit, src, dst, size)
+            wire_arrival = core_exit + latency
             if i == last:
                 packet = Packet(src, dst, payload, size, dst_port, flow)
                 sim.call_at(wire_arrival, self._arrive, dst_host, size, packet)

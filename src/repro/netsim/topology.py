@@ -5,20 +5,77 @@ assume a full-bisection fabric: contention only at end hosts.  Real
 datacenter fabrics are often *oversubscribed*: a rack's servers share
 uplinks whose aggregate capacity is a fraction of the servers' NICs.
 
-:class:`LeafSpineTopology` models that with two extra serialization
-stages on cross-rack paths -- the source rack's uplink and the
-destination rack's downlink, each a shared pipe of
-``rack_size x NIC / oversubscription`` capacity.  Intra-rack traffic is
-unaffected.  Attach it via ``Network(..., topology=...)``; hosts join
-racks in registration order (workers first, then aggregators, matching
-:class:`~repro.netsim.cluster.Cluster` construction).
+Two topology models plug into ``Network(..., topology=...)``:
+
+* :class:`LeafSpineTopology` -- the two-tier model: cross-rack paths pay
+  two extra serialization stages (source rack's shared uplink, then the
+  destination rack's shared downlink).
+* :class:`FatTreeTopology` -- the three-tier generalization: racks feed
+  a leaf tier whose uplinks cross a *spine* tier of one or more shared
+  pipes.  The spine pipe for a path is chosen by deterministic
+  ECMP-style hashing of the (src, dst) pair, and each tier can carry a
+  deterministic background *cross-traffic load* that derates its
+  effective capacity.
+
+Both kernels share one topology instance: the packet kernel books the
+shared pipes synchronously inside
+:meth:`~repro.netsim.network.Network.transmit`, and the flow kernel's
+:class:`~repro.netsim.flow.FlowTransport` books the very same pipe
+state in the very same send-call order -- which is why packet and flow
+mode agree bit for bit on oversubscribed fabrics (see
+``docs/performance.md``).
+
+Rack placement: hosts join racks in registration order by default
+(workers first, then aggregators, matching
+:class:`~repro.netsim.cluster.Cluster` construction).  Registration
+order is fragile when host kinds interleave, so both topologies accept
+an explicit ``rack_of`` mapping; without one, :meth:`validate` rejects
+partially-filled racks instead of silently misracking
+(:func:`rack_map_for` builds the standard workers-then-aggregators
+map).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from collections import Counter
+from typing import Dict, Mapping, Optional
 
-__all__ = ["LeafSpineTopology"]
+import numpy as np
+
+__all__ = [
+    "LeafSpineTopology",
+    "FatTreeTopology",
+    "rack_map_for",
+]
+
+
+def rack_map_for(
+    workers: int,
+    aggregators: int,
+    rack_size: int,
+    agg_rack_size: Optional[int] = None,
+) -> Dict[str, int]:
+    """Explicit rack map for a standard ``Cluster``'s host names.
+
+    Workers fill racks of ``rack_size`` in index order; aggregators get
+    their own rack(s) of ``agg_rack_size`` (default: all aggregators
+    share one rack) *after* the worker racks.  This is the placement the
+    registration-order default silently gets wrong whenever the worker
+    count is not a multiple of ``rack_size`` -- the first aggregators
+    would land in the last worker rack.
+    """
+    if rack_size < 1:
+        raise ValueError("rack_size must be >= 1")
+    mapping: Dict[str, int] = {}
+    for i in range(workers):
+        mapping[f"worker-{i}"] = i // rack_size
+    worker_racks = -(-workers // rack_size) if workers else 0
+    if agg_rack_size is None:
+        agg_rack_size = max(1, aggregators)
+    for j in range(aggregators):
+        mapping[f"agg-{j}"] = worker_racks + j // agg_rack_size
+    return mapping
 
 
 class _SharedPipe:
@@ -36,39 +93,131 @@ class _SharedPipe:
         self.free_at = start + size_bytes * 8.0 / self.rate_bps
         return self.free_at
 
+    def traverse_chain(
+        self, times: np.ndarray, size_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Book a run of consecutive segments in one vectorized call.
 
-class LeafSpineTopology:
-    """Racks of ``rack_size`` hosts with oversubscribed uplinks.
+        Equivalent to calling :meth:`traverse` once per segment in
+        order -- the recurrence ``e[i] = max(times[i], e[i-1]) + dur[i]``
+        with ``e[-1] = free_at`` -- computed with the same prefix-max
+        collapse as :func:`repro.netsim.flow.serialize_chain`.  The
+        collapse reassociates the float additions, so results can drift
+        from the scalar path by accumulated rounding (covered by the
+        engine time tolerance, never by counters).
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return times
+        durations = np.asarray(size_bytes, dtype=np.float64) * (
+            8.0 / self.rate_bps
+        )
+        cum = np.cumsum(durations)
+        base = np.maximum.accumulate(
+            np.maximum(times, self.free_at) - (cum - durations)
+        )
+        out = base + cum
+        self.free_at = float(out[-1])
+        return out
 
-    ``uplink_gbps`` is the *total* uplink capacity per rack, each
-    direction.  An oversubscription factor ``f`` for hosts with ``B``
-    NICs corresponds to ``uplink_gbps = rack_size * B / f``.
-    """
 
-    def __init__(self, rack_size: int, uplink_gbps: float) -> None:
+class _RackTopology:
+    """Shared rack-placement machinery for the tiered topologies."""
+
+    def __init__(
+        self, rack_size: int, rack_of: Optional[Mapping[str, int]] = None
+    ) -> None:
         if rack_size < 1:
             raise ValueError("rack_size must be >= 1")
-        if uplink_gbps <= 0:
-            raise ValueError("uplink capacity must be positive")
         self.rack_size = rack_size
-        self.uplink_gbps = uplink_gbps
+        self._explicit: Optional[Dict[str, int]] = (
+            dict(rack_of) if rack_of is not None else None
+        )
+        if self._explicit is not None and any(
+            r < 0 for r in self._explicit.values()
+        ):
+            raise ValueError("rack ids must be non-negative")
         self._rack_of: Dict[str, int] = {}
-        self._uplinks: Dict[int, _SharedPipe] = {}
-        self._downlinks: Dict[int, _SharedPipe] = {}
 
     def register(self, host_name: str) -> None:
         """Assign the next host to a rack (called by the network)."""
-        rack = len(self._rack_of) // self.rack_size
+        if self._explicit is not None:
+            rack = self._explicit.get(host_name)
+            if rack is None:
+                raise ValueError(
+                    f"host {host_name!r} is missing from the explicit "
+                    "rack_of map; every registered host needs a rack"
+                )
+        else:
+            rack = len(self._rack_of) // self.rack_size
         self._rack_of[host_name] = rack
-        if rack not in self._uplinks:
-            self._uplinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
-            self._downlinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
+        self._ensure_rack(rack)
+
+    def _ensure_rack(self, rack: int) -> None:
+        raise NotImplementedError
 
     def rack_of(self, host_name: str) -> int:
         return self._rack_of[host_name]
 
     def same_rack(self, src: str, dst: str) -> bool:
         return self._rack_of[src] == self._rack_of[dst]
+
+    @property
+    def racks(self) -> int:
+        """Number of racks with at least one registered host."""
+        return len(set(self._rack_of.values()))
+
+    def validate(self) -> None:
+        """Reject silent misracking.
+
+        With registration-order placement every rack must hold exactly
+        ``rack_size`` hosts -- a partial rack means the next host kind
+        (aggregators after workers) silently spilled into it.  An
+        explicit ``rack_of`` map states the intent, so any shape it
+        describes is accepted.
+        """
+        if self._explicit is not None:
+            return
+        counts = Counter(self._rack_of.values())
+        partial = sorted(r for r, c in counts.items() if c != self.rack_size)
+        if partial:
+            raise ValueError(
+                f"rack(s) {partial} hold fewer than rack_size="
+                f"{self.rack_size} hosts under registration-order "
+                "placement; pass an explicit rack_of map (see "
+                "rack_map_for) to place partially-filled racks on purpose"
+            )
+
+
+class LeafSpineTopology(_RackTopology):
+    """Racks of ``rack_size`` hosts with oversubscribed uplinks.
+
+    ``uplink_gbps`` is the *total* uplink capacity per rack, each
+    direction.  An oversubscription factor ``f`` for hosts with ``B``
+    NICs corresponds to ``uplink_gbps = rack_size * B / f``.
+
+    ``rack_of`` optionally pins each host name to a rack id explicitly;
+    without it, hosts join racks in registration order and
+    :meth:`validate` rejects partially-filled racks.
+    """
+
+    def __init__(
+        self,
+        rack_size: int,
+        uplink_gbps: float,
+        rack_of: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(rack_size, rack_of)
+        if uplink_gbps <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.uplink_gbps = uplink_gbps
+        self._uplinks: Dict[int, _SharedPipe] = {}
+        self._downlinks: Dict[int, _SharedPipe] = {}
+
+    def _ensure_rack(self, rack: int) -> None:
+        if rack not in self._uplinks:
+            self._uplinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
+            self._downlinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
 
     def traverse_core(self, now: float, src: str, dst: str, size_bytes: int) -> float:
         """Book the cross-rack path (source uplink, then destination
@@ -78,3 +227,118 @@ class LeafSpineTopology:
             return now
         after_up = self._uplinks[self._rack_of[src]].traverse(now, size_bytes)
         return self._downlinks[self._rack_of[dst]].traverse(after_up, size_bytes)
+
+    def traverse_core_chain(
+        self, times: np.ndarray, src: str, dst: str, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`traverse_core` for consecutive segments of
+        one message (the order the packet kernel books them)."""
+        if self.same_rack(src, dst):
+            return np.asarray(times, dtype=np.float64)
+        t = self._uplinks[self._rack_of[src]].traverse_chain(times, sizes)
+        return self._downlinks[self._rack_of[dst]].traverse_chain(t, sizes)
+
+
+class FatTreeTopology(_RackTopology):
+    """Three-tier fat tree: racks -> leaf uplinks -> shared spine pipes.
+
+    A cross-rack path books three serialization stages in order: the
+    source rack's uplink, one spine pipe, and the destination rack's
+    downlink.  Which of the ``spines`` pipes a path uses is decided by
+    deterministic ECMP-style hashing of the (src, dst) host pair
+    (CRC32, stable across runs and processes), so a given flow always
+    crosses the same spine -- the per-flow consistency real ECMP
+    provides -- while distinct pairs spread across the tier.
+
+    Capacities and oversubscription:
+
+    * ``uplink_gbps`` -- each rack's uplink/downlink capacity per
+      direction (``rack_size * NIC / leaf_oversubscription``).
+    * ``spine_gbps`` -- capacity of *each* spine pipe, per direction.
+      ``None`` models a non-blocking spine (only the leaf tier
+      constrains cross-rack traffic), which makes the fat tree degrade
+      exactly to :class:`LeafSpineTopology`.
+
+    ``cross_traffic`` optionally derates tiers with a deterministic
+    background load: a mapping from tier name (``"leaf"`` / ``"spine"``)
+    to a load fraction in ``[0, 1)``; a tier with load ``l`` serializes
+    at ``(1 - l)`` of its nominal rate.  Deterministic derating (rather
+    than stochastic competing packets) keeps the shared-pipe state a
+    pure function of the collective's own send sequence, so packet and
+    flow mode still agree bit for bit under cross-traffic.
+    """
+
+    TIERS = ("leaf", "spine")
+
+    def __init__(
+        self,
+        rack_size: int,
+        uplink_gbps: float,
+        spine_gbps: Optional[float] = None,
+        spines: int = 1,
+        rack_of: Optional[Mapping[str, int]] = None,
+        cross_traffic: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        super().__init__(rack_size, rack_of)
+        if uplink_gbps <= 0:
+            raise ValueError("uplink capacity must be positive")
+        if spine_gbps is not None and spine_gbps <= 0:
+            raise ValueError("spine capacity must be positive")
+        if spines < 1:
+            raise ValueError("need at least one spine pipe")
+        load = dict(cross_traffic or {})
+        unknown = sorted(set(load) - set(self.TIERS))
+        if unknown:
+            raise ValueError(
+                f"unknown cross-traffic tier(s) {unknown}; "
+                f"choose from {self.TIERS}"
+            )
+        if any(not 0.0 <= l < 1.0 for l in load.values()):
+            raise ValueError("cross-traffic loads must be in [0, 1)")
+        self.uplink_gbps = uplink_gbps
+        self.spine_gbps = spine_gbps
+        self.spines = spines
+        self.cross_traffic = load
+        leaf_rate = uplink_gbps * 1e9 * (1.0 - load.get("leaf", 0.0))
+        spine_rate = None
+        if spine_gbps is not None:
+            spine_rate = spine_gbps * 1e9 * (1.0 - load.get("spine", 0.0))
+        self._leaf_rate_bps = leaf_rate
+        self._uplinks: Dict[int, _SharedPipe] = {}
+        self._downlinks: Dict[int, _SharedPipe] = {}
+        self._spines = (
+            [_SharedPipe(spine_rate) for _ in range(spines)]
+            if spine_rate is not None
+            else []
+        )
+
+    def _ensure_rack(self, rack: int) -> None:
+        if rack not in self._uplinks:
+            self._uplinks[rack] = _SharedPipe(self._leaf_rate_bps)
+            self._downlinks[rack] = _SharedPipe(self._leaf_rate_bps)
+
+    def spine_index(self, src: str, dst: str) -> int:
+        """Deterministic ECMP hash of the (src, dst) pair."""
+        return zlib.crc32(f"{src}>{dst}".encode()) % self.spines
+
+    def traverse_core(self, now: float, src: str, dst: str, size_bytes: int) -> float:
+        """Book the cross-rack path: uplink, hashed spine pipe, downlink.
+        Intra-rack paths pass through untouched."""
+        if self.same_rack(src, dst):
+            return now
+        t = self._uplinks[self._rack_of[src]].traverse(now, size_bytes)
+        if self._spines:
+            t = self._spines[self.spine_index(src, dst)].traverse(t, size_bytes)
+        return self._downlinks[self._rack_of[dst]].traverse(t, size_bytes)
+
+    def traverse_core_chain(
+        self, times: np.ndarray, src: str, dst: str, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`traverse_core` for consecutive segments of
+        one message (the order the packet kernel books them)."""
+        if self.same_rack(src, dst):
+            return np.asarray(times, dtype=np.float64)
+        t = self._uplinks[self._rack_of[src]].traverse_chain(times, sizes)
+        if self._spines:
+            t = self._spines[self.spine_index(src, dst)].traverse_chain(t, sizes)
+        return self._downlinks[self._rack_of[dst]].traverse_chain(t, sizes)

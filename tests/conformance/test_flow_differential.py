@@ -80,7 +80,13 @@ def test_unsupported_axes_are_refused_not_simulated(axes):
 def test_smoke_matrix_is_flow_capable_and_covers_every_algorithm():
     cases = differential_matrix("smoke")
     assert {c.algorithm for c in cases} == set(registry.ALGORITHMS)
-    assert all(flow_capable(c) is None for c in cases)
+    # Every case is flow-capable except the deliberate refusal rows:
+    # flat OmniReduce on a tiered topology must raise FlowUnsupported,
+    # and the matrix keeps one such row to prove it does.
+    refusals = [c for c in cases if flow_capable(c) is not None]
+    assert all(flow_capable(c) is None for c in cases if c.topology == "flat")
+    assert refusals, "smoke matrix lost its topology-refusal row"
+    assert all(c.topology != "flat" for c in refusals)
 
 
 def test_flow_serialization_skew_mutant_is_caught():

@@ -1,0 +1,209 @@
+"""Tests for the three-tier fat-tree topology and explicit rack maps."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    Cluster,
+    ClusterSpec,
+    FatTreeTopology,
+    LeafSpineTopology,
+    rack_map_for,
+)
+
+pytestmark = pytest.mark.topology
+
+
+def _registered(topo, hosts):
+    for name in hosts:
+        topo.register(name)
+    return topo
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=0)
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spine_gbps=0)
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spines=0)
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=10, cross_traffic={"core": 0.1})
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=10, cross_traffic={"leaf": 1.0})
+    with pytest.raises(ValueError):
+        FatTreeTopology(rack_size=2, uplink_gbps=10, rack_of={"a": -1})
+
+
+def test_spine_hash_is_deterministic_and_in_range():
+    topo = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spine_gbps=40, spines=3),
+        ["a", "b", "c", "d"],
+    )
+    seen = {topo.spine_index("a", "c"), topo.spine_index("c", "a")}
+    assert all(0 <= s < 3 for s in seen)
+    # Stable: the same pair always hashes to the same spine pipe.
+    assert topo.spine_index("a", "c") == topo.spine_index("a", "c")
+
+
+def test_intra_rack_passes_through_untouched():
+    topo = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=1, spine_gbps=1),
+        ["a", "b", "c", "d"],
+    )
+    assert topo.traverse_core(0.5, "a", "b", 10**6) == 0.5
+    assert all(p.free_at == 0.0 for p in topo._uplinks.values())
+
+
+def test_cross_rack_books_three_stages():
+    topo = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spine_gbps=20, spines=1),
+        ["a", "b", "c", "d"],
+    )
+    size = 10**6
+    up = size * 8.0 / 10e9
+    spine = size * 8.0 / 20e9
+    got = topo.traverse_core(0.0, "a", "c", size)
+    assert got == pytest.approx(up + spine + up, rel=1e-12)
+    assert topo._uplinks[0].free_at == pytest.approx(up)
+    assert topo._spines[0].free_at == pytest.approx(up + spine)
+    assert topo._downlinks[1].free_at == pytest.approx(got)
+
+
+def test_nonblocking_spine_degrades_to_leaf_spine():
+    hosts = ["a", "b", "c", "d"]
+    fat = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spine_gbps=None),
+        hosts,
+    )
+    leaf = _registered(LeafSpineTopology(rack_size=2, uplink_gbps=10), hosts)
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        now = float(rng.uniform(0, 1e-3))
+        size = int(rng.integers(1, 10**6))
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        assert fat.traverse_core(now, src, dst, size) == leaf.traverse_core(
+            now, src, dst, size
+        )
+
+
+def test_cross_traffic_derates_tiers():
+    quiet = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=10, spine_gbps=20),
+        ["a", "b", "c", "d"],
+    )
+    loaded = _registered(
+        FatTreeTopology(
+            rack_size=2,
+            uplink_gbps=10,
+            spine_gbps=20,
+            cross_traffic={"leaf": 0.5, "spine": 0.25},
+        ),
+        ["a", "b", "c", "d"],
+    )
+    size = 10**6
+    assert loaded.traverse_core(0.0, "a", "c", size) > quiet.traverse_core(
+        0.0, "a", "c", size
+    )
+
+
+# ---------------------------------------------------------------------------
+# Explicit rack placement (rack_of) and partial-rack validation
+# ---------------------------------------------------------------------------
+
+
+def test_explicit_rack_of_overrides_registration_order():
+    topo = FatTreeTopology(
+        rack_size=2,
+        uplink_gbps=10,
+        rack_of={"a": 1, "b": 0, "c": 1, "d": 0},
+    )
+    for name in ("a", "b", "c", "d"):
+        topo.register(name)
+    assert topo.same_rack("a", "c")
+    assert topo.same_rack("b", "d")
+    assert not topo.same_rack("a", "b")
+
+
+def test_explicit_rack_of_missing_host_is_rejected():
+    topo = FatTreeTopology(rack_size=2, uplink_gbps=10, rack_of={"a": 0})
+    topo.register("a")
+    with pytest.raises(ValueError, match="missing from the explicit"):
+        topo.register("b")
+
+
+def test_validate_rejects_partial_racks_under_implicit_placement():
+    topo = _registered(
+        FatTreeTopology(rack_size=2, uplink_gbps=10), ["a", "b", "c"]
+    )
+    with pytest.raises(ValueError, match="rack_of"):
+        topo.validate()
+
+
+def test_validate_accepts_partial_racks_with_explicit_map():
+    topo = _registered(
+        FatTreeTopology(
+            rack_size=2, uplink_gbps=10, rack_of={"a": 0, "b": 0, "c": 1}
+        ),
+        ["a", "b", "c"],
+    )
+    topo.validate()  # explicit intent: no error
+
+
+def test_cluster_construction_validates_topology():
+    # 3 workers + 2 aggregators in racks of 2: registration order
+    # misracks agg-0 into the workers' partial rack and leaves agg-1
+    # alone in a partial rack, which validation rejects.
+    with pytest.raises(ValueError, match="rack_of"):
+        Cluster(
+            ClusterSpec(workers=3, aggregators=2),
+            topology=FatTreeTopology(rack_size=2, uplink_gbps=10),
+        )
+    # The explicit map states the intent and is accepted.
+    Cluster(
+        ClusterSpec(workers=3, aggregators=2),
+        topology=FatTreeTopology(
+            rack_size=2, uplink_gbps=10, rack_of=rack_map_for(3, 2, 2)
+        ),
+    )
+
+
+def test_rack_map_for_places_aggregators_after_worker_racks():
+    mapping = rack_map_for(5, 2, 2)
+    assert mapping["worker-0"] == mapping["worker-1"] == 0
+    assert mapping["worker-4"] == 2  # partial worker rack
+    # Both aggregators share the first rack after the worker racks.
+    assert mapping["agg-0"] == mapping["agg-1"] == 3
+    split = rack_map_for(4, 4, 2, agg_rack_size=2)
+    assert split["agg-0"] == split["agg-1"] == 2
+    assert split["agg-2"] == split["agg-3"] == 3
+    with pytest.raises(ValueError):
+        rack_map_for(4, 2, 0)
+
+
+def test_oversubscription_slows_the_collective():
+    """The same rackhier collective finishes later on a 4x-oversubscribed
+    fabric than on a 2x one (cross-rack phases queue on thinner uplinks)."""
+    from repro.baselines.api import RackHierarchicalOptions
+    from repro.baselines.registry import ALGORITHMS
+
+    rng = np.random.default_rng(1)
+    tensors = [rng.standard_normal(4096).astype(np.float32) for _ in range(8)]
+
+    def run(uplink_gbps):
+        cluster = Cluster(
+            ClusterSpec(workers=8, aggregators=2),
+            topology=FatTreeTopology(
+                rack_size=2,
+                uplink_gbps=uplink_gbps,
+                spine_gbps=4 * uplink_gbps,
+                spines=2,
+                rack_of=rack_map_for(8, 2, 2),
+            ),
+        )
+        session = ALGORITHMS["rackhier"].prepare(
+            cluster, RackHierarchicalOptions(rack_size=2)
+        )
+        return session.allreduce([t.copy() for t in tensors])
+
+    assert run(5.0).time_s > run(10.0).time_s
