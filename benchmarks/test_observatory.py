@@ -1,0 +1,43 @@
+"""Fault-plan-scored detector evaluation: the acceptance gate."""
+
+import pytest
+
+from repro.bench import observatory
+
+pytestmark = pytest.mark.observatory
+
+#: The acceptance bar for the detectors the issue scores directly.
+GATED_DETECTORS = ("straggler", "loss-burst", "agg-crash")
+THRESHOLD = 0.9
+
+
+def test_observatory(run_once, record):
+    result = record(run_once(observatory))
+
+    for detector in GATED_DETECTORS:
+        row = result.row_where(detector=detector)
+        assert row["precision"] >= THRESHOLD, (
+            f"{detector} precision {row['precision']:.2f} below {THRESHOLD}"
+        )
+        assert row["recall"] >= THRESHOLD, (
+            f"{detector} recall {row['recall']:.2f} below {THRESHOLD}"
+        )
+
+    # Every detector in the matrix is expected clean at the default
+    # seed; flag any degradation even outside the gated set.
+    for row in result.rows:
+        assert row["fp"] == 0, f"{row['detector']} raised false positives"
+        assert row["fn"] == 0, f"{row['detector']} missed expectations"
+
+    # Zero incidents on every clean scenario (the false-positive guard).
+    clean_notes = [n for n in result.notes if n.startswith("clean")]
+    assert len(clean_notes) == 3
+    for note in clean_notes:
+        assert "0 incident(s)" in note, note
+
+    # Detection latency stays within a handful of sampling windows plus
+    # (for loss) the retransmit timeout.
+    for row in result.rows:
+        assert row["mean_ttd_us"] < 1000.0, (
+            f"{row['detector']} mean TTD {row['mean_ttd_us']:.0f}us"
+        )

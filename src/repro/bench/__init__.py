@@ -20,6 +20,7 @@ from .flowmode import fig06_flow
 from .scale import fig06_scale
 from .faults import fault_recovery
 from .multijob import multijob
+from .observatory import observatory
 from .harness import (
     ExperimentResult,
     cached_tensors,
@@ -81,4 +82,5 @@ __all__ = [
     "conformance",
     "fault_recovery",
     "multijob",
+    "observatory",
 ]

@@ -64,6 +64,7 @@ from . import (
     format_table,
     model_validation,
     multijob,
+    observatory,
     table1_workloads,
     table2_overlap_breakdown,
 )
@@ -96,6 +97,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-streams": ablation_streams,
     "conformance": conformance,
     "multijob": multijob,
+    "observatory": observatory,
 }
 
 #: Accept compact experiment ids too: "figure6" == "figure-6".

@@ -14,7 +14,9 @@ approaches and passes capacity.
 
 ``REPRO_MULTIJOB_TRACE=<file>`` additionally exports the fleet-level
 Perfetto trace of the highest offered rate -- every job's span, every
-collective, every queue-depth change on one virtual-time axis.
+collective, every queue-depth change on one virtual-time axis, plus a
+dedicated ``observatory`` process whose tracks carry the health
+observatory's incidents (SLO burn on queued-out jobs at saturation).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import numpy as np
 from ..faults import FaultPlan, StragglerSchedule
 from ..netsim.cluster import Cluster, ClusterSpec
 from ..netsim.crosstraffic import CrossTrafficGenerator
+from ..observatory import Observatory, ObservatoryConfig
 from ..service import FabricService, job_mix
 from ..telemetry import Telemetry, TelemetryConfig
 from .harness import ExperimentResult
@@ -49,14 +52,28 @@ def _build_service(record_trace: bool):
     telemetry = Telemetry(
         TelemetryConfig(record_spans=record_trace, record_packets=False)
     )
-    service = FabricService(cluster, telemetry=telemetry, queue_limit=4)
+    # Health observatory on the traced sweep point only: job-level
+    # detectors (per-worker skew is undefined across tenant slices);
+    # its incidents mirror into the fleet trace as dedicated tracks.
+    observatory = None
+    if record_trace:
+        observatory = Observatory(
+            ObservatoryConfig(
+                interval_s=50e-6,
+                detectors=("loss-burst", "agg-crash", "slo-burn"),
+            ),
+            telemetry=telemetry,
+        )
+    service = FabricService(
+        cluster, telemetry=telemetry, queue_limit=4, observatory=observatory
+    )
     crosstraffic = CrossTrafficGenerator(
         cluster,
         pairs=[("worker-0", "worker-4"), ("worker-2", "worker-6")],
         load=0.05,
         rng=np.random.default_rng(11),
     )
-    return cluster, telemetry, service, crosstraffic
+    return cluster, telemetry, service, crosstraffic, observatory
 
 
 def _offered_jobs(rate_per_s: float, seed: int):
@@ -97,12 +114,17 @@ def multijob() -> ExperimentResult:
     )
     for index, rate in enumerate(RATES_PER_S):
         record_trace = trace_path is not None and rate == max(RATES_PER_S)
-        cluster, telemetry, service, crosstraffic = _build_service(record_trace)
+        cluster, telemetry, service, crosstraffic, observatory = _build_service(
+            record_trace
+        )
         specs, arrivals = _offered_jobs(rate, seed=1000 + index)
         crosstraffic.start()
         service.offer(specs, arrivals)
         report = service.drain()
         crosstraffic.stop()
+        if observatory is not None:
+            # Close open incident spans before the trace is exported.
+            observatory.finalize()
         result.add_row(
             rate_per_s=rate,
             jobs_per_hour=rate * 3600.0,
@@ -116,6 +138,10 @@ def multijob() -> ExperimentResult:
         if record_trace:
             telemetry.write_trace(trace_path)
             result.notes.append(f"fleet trace written to {trace_path}")
+            result.notes.append(
+                f"observatory: {len(observatory.incidents)} incident(s) "
+                "mirrored into the trace at the traced rate"
+            )
     result.notes.append(
         "mixed Table-1 workloads (deeplight/lstm/bert/resnet152), 3 workers + "
         "3 aggregator shards per job, first-fit admission with a 4-deep FIFO "

@@ -75,6 +75,13 @@ class Host:
         self.ingress_free_at = 0.0
         self.rx_cpu_free_at = 0.0
         self.tx_cpu_free_at = 0.0
+        # Cumulative egress serialization time: pure accounting (never
+        # feeds back into timing); busy-time deltas over a wall window
+        # give the NIC's duty cycle, the observability signal a
+        # credit-limited protocol can't hide (windowed byte rates
+        # equalize when the fleet self-clocks to its slowest member;
+        # the slow NIC's near-1.0 duty cycle still stands out).
+        self.egress_busy_s = 0.0
         self.config = config  # setter derives the per-packet constants
 
     @property
@@ -199,6 +206,7 @@ class Network:
         tx_start = tx_ready if tx_ready > free else free
         serialization = size_bytes * 8.0 / src.bandwidth_bps
         src.egress_free_at = tx_start + serialization
+        src.egress_busy_s += serialization
 
         stats = self.stats
         stats.bytes_sent[packet.src] += size_bytes

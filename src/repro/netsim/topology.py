@@ -79,18 +79,31 @@ def rack_map_for(
 
 
 class _SharedPipe:
-    """A serialization stage shared by many flows (one rack uplink)."""
+    """A serialization stage shared by many flows (one rack uplink).
 
-    __slots__ = ("rate_bps", "free_at")
+    ``busy_s`` accumulates the total serialization time ever booked on
+    the pipe -- pure accounting that never feeds back into timing, so
+    observers (the observatory's congestion localizer) can derive
+    windowed utilization without perturbing the packet/flow equivalence.
+    """
+
+    __slots__ = ("rate_bps", "free_at", "busy_s")
 
     def __init__(self, rate_bps: float) -> None:
         self.rate_bps = rate_bps
         self.free_at = 0.0
+        self.busy_s = 0.0
+
+    def backlog_s(self, now: float) -> float:
+        """Seconds of already-booked serialization still ahead of ``now``."""
+        return max(0.0, self.free_at - now)
 
     def traverse(self, now: float, size_bytes: int) -> float:
         """Book the pipe; returns the time the last bit leaves it."""
         start = max(now, self.free_at)
-        self.free_at = start + size_bytes * 8.0 / self.rate_bps
+        duration = size_bytes * 8.0 / self.rate_bps
+        self.busy_s += duration
+        self.free_at = start + duration
         return self.free_at
 
     def traverse_chain(
@@ -113,6 +126,7 @@ class _SharedPipe:
             8.0 / self.rate_bps
         )
         cum = np.cumsum(durations)
+        self.busy_s += float(cum[-1])
         base = np.maximum.accumulate(
             np.maximum(times, self.free_at) - (cum - durations)
         )
@@ -219,6 +233,17 @@ class LeafSpineTopology(_RackTopology):
             self._uplinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
             self._downlinks[rack] = _SharedPipe(self.uplink_gbps * 1e9)
 
+    def pipe_segments(self):
+        """Yield ``(tier, segment_name, pipe)`` for every shared pipe.
+
+        Segment names are stable identifiers (``rack-0:up``) meant for
+        telemetry tracks and incident blame; the leaf tier covers every
+        rack's uplink and downlink.
+        """
+        for rack in sorted(self._uplinks):
+            yield ("leaf", f"rack-{rack}:up", self._uplinks[rack])
+            yield ("leaf", f"rack-{rack}:down", self._downlinks[rack])
+
     def traverse_core(self, now: float, src: str, dst: str, size_bytes: int) -> float:
         """Book the cross-rack path (source uplink, then destination
         downlink); returns the exit time.  Intra-rack paths pass through
@@ -316,6 +341,15 @@ class FatTreeTopology(_RackTopology):
         if rack not in self._uplinks:
             self._uplinks[rack] = _SharedPipe(self._leaf_rate_bps)
             self._downlinks[rack] = _SharedPipe(self._leaf_rate_bps)
+
+    def pipe_segments(self):
+        """Yield ``(tier, segment_name, pipe)`` for every shared pipe:
+        each rack's leaf uplink/downlink plus every spine pipe."""
+        for rack in sorted(self._uplinks):
+            yield ("leaf", f"rack-{rack}:up", self._uplinks[rack])
+            yield ("leaf", f"rack-{rack}:down", self._downlinks[rack])
+        for i, pipe in enumerate(self._spines):
+            yield ("spine", f"spine-{i}", pipe)
 
     def spine_index(self, src: str, dst: str) -> int:
         """Deterministic ECMP hash of the (src, dst) pair."""

@@ -1,0 +1,135 @@
+"""Root-cause attribution: correlate concurrent incidents into causes.
+
+Detectors report symptoms independently; one physical fault often
+raises several (an aggregator crash stalls workers and triggers
+retransmit spikes; a congested rack uplink makes every worker in the
+rack look slow).  The attribution pass applies a small causal depth
+order over the detector types and the topology graph:
+
+1. ``agg-crash`` -- a restart explains fabric-wide loss bursts, worker
+   skew, congestion, and SLO burn that overlap it (packets to the dead
+   shard are eaten; every stream it owned stalls).
+2. ``congestion`` -- a backlogged pipe explains skew of workers placed
+   behind that segment (via the topology's ``rack_of``) and overlapping
+   SLO burn.
+3. ``loss-burst`` -- drop storms explain overlapping SLO burn and
+   worker skew (a victim's stream stalls until its retransmit timer
+   fires, so it lags the fleet -- then dominates while it recovers).
+
+Symptoms deeper in the order never explain shallower ones, and
+attribution only links incidents whose spans overlap within a slack
+window (faults precede their detected symptoms by up to the detectors'
+confirmation streaks, so the slack defaults to several sampling
+intervals in the caller).
+
+The result is a ranked list of :class:`RootCause` entries -- every
+incident appears exactly once, either as a cause or in some cause's
+``explains`` list -- ordered by ``confidence * (1 + explained count)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .incidents import Incident
+
+__all__ = ["RootCause", "correlate"]
+
+#: Causal depth per detector: lower explains higher.
+_DEPTH = {
+    "agg-crash": 0,
+    "congestion": 1,
+    "loss-burst": 2,
+    "straggler": 3,
+    "slo-burn": 4,
+}
+
+_RACK_SEGMENT = re.compile(r"rack-(\d+)")
+
+
+@dataclass
+class RootCause:
+    """One ranked cause and the symptoms it accounts for."""
+
+    incident: Incident
+    explains: List[Incident] = field(default_factory=list)
+    score: float = 0.0
+
+    def recompute(self) -> None:
+        self.score = self.incident.confidence * (1.0 + len(self.explains))
+
+
+def _overlaps(cause: Incident, effect: Incident, slack_s: float) -> bool:
+    cause_end = cause.end_s if cause.end_s is not None else float("inf")
+    effect_end = effect.end_s if effect.end_s is not None else float("inf")
+    return (
+        cause.start_s - slack_s <= effect_end
+        and effect.start_s <= cause_end + slack_s
+    )
+
+
+def _related(
+    cause: Incident,
+    effect: Incident,
+    rack_of: Optional[Callable[[str], int]],
+) -> bool:
+    """Is a causal edge from ``cause`` to ``effect`` topologically sound?"""
+    if cause.detector == "agg-crash":
+        # A restart perturbs the whole fabric: streams stall, packets
+        # to the dead shard are eaten, deadlines burn.
+        return effect.detector in ("loss-burst", "straggler", "congestion", "slo-burn")
+    if cause.detector == "congestion":
+        if effect.detector == "slo-burn":
+            return True
+        if effect.detector == "straggler":
+            # Only workers placed behind the congested segment.
+            match = _RACK_SEGMENT.search(cause.entity)
+            if match is None or rack_of is None:
+                return True  # no placement info: keep the edge
+            host = effect.entity.split("/", 1)[-1]
+            try:
+                return rack_of(host) == int(match.group(1))
+            except KeyError:
+                return False
+        return False
+    if cause.detector == "loss-burst":
+        return effect.detector in ("straggler", "slo-burn")
+    return False
+
+
+def correlate(
+    incidents: List[Incident],
+    rack_of: Optional[Callable[[str], int]] = None,
+    slack_s: float = 0.0,
+) -> List[RootCause]:
+    """Rank incidents into causes; see the module docstring for rules.
+
+    ``rack_of`` (host name -> rack id, e.g. a topology's method) scopes
+    congestion->straggler edges to the congested rack.  ``slack_s``
+    widens the overlap test to cover detection latency.
+    """
+    ordered = sorted(
+        incidents, key=lambda i: (_DEPTH.get(i.detector, 99), i.start_s)
+    )
+    causes: List[RootCause] = []
+    explained = set()
+    for incident in ordered:
+        if id(incident) in explained:
+            continue
+        cause = RootCause(incident=incident)
+        for other in ordered:
+            if other is incident or id(other) in explained:
+                continue
+            if _DEPTH.get(other.detector, 99) <= _DEPTH.get(incident.detector, 99):
+                continue
+            if _overlaps(incident, other, slack_s) and _related(
+                incident, other, rack_of
+            ):
+                cause.explains.append(other)
+                explained.add(id(other))
+        cause.recompute()
+        causes.append(cause)
+    causes.sort(key=lambda c: -c.score)
+    return causes

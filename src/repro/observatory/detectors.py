@@ -1,0 +1,544 @@
+"""The detector suite: windowed signals in, incidents out.
+
+Each detector consumes one :class:`Window` per sampling interval -- a
+snapshot of derived fleet signals the observatory's sampler computed
+from raw simulator state -- plus the shared
+:class:`~repro.observatory.series.SeriesStore` of history, and emits
+:class:`~repro.observatory.incidents.Incident` records into the log.
+
+Detectors only see what a real monitoring agent could see: traffic
+counters, port tables, shared-pipe occupancy, job records.  They never
+read the injected :class:`~repro.faults.FaultPlan` -- that stays ground
+truth reserved for the scoring harness.
+
+Signal notes (why each signature works):
+
+* **Straggler** -- a delayed worker shows a *lag* signature (its rate
+  far below the fleet median while peers blast) or, once peers have
+  drained their windows and idle waiting on it, a *dominant* one (its
+  rate well above the now-quiet median).  A slow-NIC worker is
+  sneakier: credit-limited streaming self-clocks the whole fleet to
+  its pace, equalizing windowed byte rates -- but its NIC serializes
+  continuously, so its egress *duty cycle* stays near 1.0 while peers
+  burst-and-idle at half that.  All three signatures compare against
+  fleet medians, so no per-worker calibration is needed.  When both
+  lag and dominant sets are non-empty and together cover most of the
+  fleet, the window is structural role asymmetry (e.g. rack leaders
+  vs members in a hierarchical collective), not a straggler, and is
+  skipped.
+* **Loss burst** -- a clean fabric drops exactly zero packets, so the
+  windowed fabric drop count is a zero-baselined signal and Gilbert-
+  Elliott bursts (several consecutive drops) stand out against the EWMA
+  baseline immediately.
+* **Congestion** -- a shared pipe is congested when its *backlog*
+  (already-booked serialization ahead of now) persistently exceeds the
+  sampling interval -- senders queueing faster than the pipe drains --
+  AND its trailing-mean utilization says the pipe itself is doing the
+  serializing.  The second clause localizes: pipes downstream of a
+  bottleneck inherit its backlog through the booking chain (a packet
+  delayed upstream books downstream capacity far in the future) but
+  sit near-idle, so backlog alone would blame the whole subtree.
+* **Aggregator crash** -- respawned protocol generations open ports
+  with a ``r<generation>`` suffix on the restart host, so a port-table
+  scan detects the restart without any protocol cooperation.
+* **SLO burn** -- a job whose elapsed budget fraction passed the burn
+  threshold while its projected completion (linear extrapolation of
+  iteration progress, infinite while queued) overshoots the SLO.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .incidents import Incident, IncidentLog
+from .series import SeriesStore
+
+__all__ = [
+    "Window",
+    "PipeSample",
+    "JobSample",
+    "Detector",
+    "StragglerDetector",
+    "LossBurstDetector",
+    "CongestionLocalizer",
+    "AggregatorCrashDetector",
+    "SloBurnDetector",
+    "DEFAULT_DETECTORS",
+]
+
+#: Port names of respawned aggregator generations end in ``r<gen>``
+#: (see repro.core.collective: streams rebuilt after a crash).
+_RESPAWN_PORT = re.compile(r"\.a\d+r(\d+)$")
+
+
+@dataclass(frozen=True)
+class PipeSample:
+    """One shared pipe's state over a window."""
+
+    tier: str
+    segment: str
+    utilization: float
+    backlog_s: float
+
+
+@dataclass(frozen=True)
+class JobSample:
+    """One service job's progress at the window boundary."""
+
+    name: str
+    status: str
+    arrival_s: float
+    slo_s: float
+    iterations: int
+    iterations_done: int
+
+
+@dataclass
+class Window:
+    """Derived fleet signals for one sampling interval."""
+
+    start_s: float
+    end_s: float
+    #: Windowed egress rate per worker host (bits/s).
+    worker_rates_bps: Dict[str, float] = field(default_factory=dict)
+    #: Windowed egress duty cycle per worker host (serialization
+    #: seconds per elapsed second, 0..~1).
+    worker_duty: Dict[str, float] = field(default_factory=dict)
+    #: Cumulative egress bytes per worker host since watch start.
+    worker_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Fabric packet drops that happened inside this window.
+    drops: int = 0
+    #: Shared-pipe samples keyed by ``tier:segment``.
+    pipes: Dict[str, PipeSample] = field(default_factory=dict)
+    #: Highest respawn generation visible per aggregator host.
+    agg_generations: Dict[str, int] = field(default_factory=dict)
+    #: Jobs on watched services (queued or running).
+    jobs: List[JobSample] = field(default_factory=list)
+
+    @property
+    def interval_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class Detector:
+    """Base class: per-entity open incidents and streak bookkeeping."""
+
+    name = "detector"
+
+    def __init__(self) -> None:
+        self._open: Dict[str, Incident] = {}
+        self._streak: Dict[str, int] = {}
+        self._recovery: Dict[str, int] = {}
+
+    # -- the interface the observatory drives --------------------------------
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        raise NotImplementedError
+
+    def finalize(self, now: float, log: IncidentLog) -> None:
+        """Close anything still open at the end of the watch."""
+        for entity in list(self._open):
+            self._close(entity, now, log)
+        self._streak.clear()
+        self._recovery.clear()
+
+    # -- shared bookkeeping ---------------------------------------------------
+
+    def _confidence(self, streak: int, min_windows: int) -> float:
+        return min(0.95, 0.5 + 0.1 * (streak - min_windows + 1))
+
+    def _open_incident(
+        self,
+        entity: str,
+        kind: str,
+        start_s: float,
+        confidence: float,
+        evidence: Dict,
+        log: IncidentLog,
+    ) -> Incident:
+        incident = self._open.get(entity)
+        if incident is not None:
+            # Already open: refresh confidence/evidence, never duplicate.
+            incident.confidence = max(incident.confidence, confidence)
+            incident.evidence.update(evidence)
+            return incident
+        incident = Incident(
+            detector=self.name,
+            kind=kind,
+            entity=entity,
+            start_s=start_s,
+            confidence=confidence,
+            evidence=evidence,
+        )
+        self._open[entity] = incident
+        log.open(incident)
+        return incident
+
+    def _close(self, entity: str, end_s: float, log: IncidentLog) -> None:
+        incident = self._open.pop(entity, None)
+        if incident is not None:
+            log.close(incident, end_s)
+
+
+class StragglerDetector(Detector):
+    """Per-worker rate and duty-cycle skew against the fleet median."""
+
+    name = "straggler"
+
+    def __init__(
+        self,
+        lag_ratio: float = 0.40,
+        dominance_ratio: float = 1.9,
+        duty_ratio: float = 1.7,
+        min_duty: float = 0.6,
+        byte_lag_ratio: float = 0.9,
+        min_windows: int = 3,
+        recovery_windows: int = 4,
+        min_rate_bps: float = 1e6,
+    ) -> None:
+        super().__init__()
+        self.lag_ratio = lag_ratio
+        self.dominance_ratio = dominance_ratio
+        self.duty_ratio = duty_ratio
+        self.min_duty = min_duty
+        self.byte_lag_ratio = byte_lag_ratio
+        self.min_windows = min_windows
+        self.recovery_windows = recovery_windows
+        self.min_rate_bps = min_rate_bps
+        #: Start of each entity's current anomalous streak.
+        self._first: Dict[str, float] = {}
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        rates = window.worker_rates_bps
+        if len(rates) < 3:
+            return  # medians over <3 workers cannot outvote the outlier
+        for host, rate in rates.items():
+            store.series("worker", host, "tx_bps").observe(window.end_s, rate)
+        median = _median(list(rates.values()))
+        duties = window.worker_duty
+        median_duty = _median(list(duties.values())) if duties else 0.0
+        totals = window.worker_bytes
+        median_bytes = _median([float(b) for b in totals.values()]) if totals else 0.0
+        fleet_active = median > self.min_rate_bps
+
+        flagged: Dict[str, str] = {}
+        for host, rate in rates.items():
+            duty = duties.get(host, 0.0)
+            # Lagging means *behind*, not merely quiet: a worker that
+            # already sent its share and finished early idles below the
+            # median rate without being a straggler.
+            behind = (
+                median_bytes <= 0
+                or totals.get(host, 0) < self.byte_lag_ratio * median_bytes
+            )
+            if fleet_active and behind and rate < self.lag_ratio * median:
+                flagged[host] = "worker-lag"
+            elif rate > self.min_rate_bps and rate > self.dominance_ratio * max(
+                median, self.min_rate_bps
+            ):
+                flagged[host] = "worker-dominant"
+            elif duty > self.min_duty and duty > self.duty_ratio * max(
+                median_duty, 1e-3
+            ):
+                # Credit-limited fleets equalize byte rates; the slow
+                # NIC betrays itself by serializing continuously.
+                flagged[host] = "worker-busy"
+
+        kinds = set(flagged.values())
+        bimodal = (
+            "worker-lag" in kinds
+            and kinds - {"worker-lag"}
+            and 2 * len(flagged) >= len(rates)
+        )
+        if bimodal:
+            # Laggards and dominants together covering most of the
+            # fleet is structural role asymmetry (e.g. rack leaders vs
+            # members), not a straggler: skip the window entirely.
+            return
+
+        for host, rate in rates.items():
+            entity = f"worker/{host}"
+            kind = flagged.get(host)
+            if kind is not None:
+                streak = self._streak.get(entity, 0) + 1
+                self._streak[entity] = streak
+                self._recovery[entity] = 0
+                if streak == 1:
+                    self._first[entity] = window.start_s
+                if streak >= self.min_windows:
+                    self._open_incident(
+                        entity,
+                        kind,
+                        self._first.get(entity, window.start_s),
+                        self._confidence(streak, self.min_windows),
+                        {
+                            "rate_bps": round(rate),
+                            "fleet_median_bps": round(median),
+                            "duty": round(duties.get(host, 0.0), 3),
+                            "fleet_median_duty": round(median_duty, 3),
+                            "windows": streak,
+                        },
+                        log,
+                    )
+            else:
+                idle = not fleet_active and rate <= self.min_rate_bps
+                if idle:
+                    continue  # a quiet fleet is not evidence of recovery
+                self._streak[entity] = 0
+                if entity in self._open:
+                    recovery = self._recovery.get(entity, 0) + 1
+                    self._recovery[entity] = recovery
+                    if recovery >= self.recovery_windows:
+                        self._close(entity, window.end_s, log)
+
+
+class LossBurstDetector(Detector):
+    """Windowed fabric drop spikes against an EWMA baseline."""
+
+    name = "loss-burst"
+
+    def __init__(
+        self,
+        burst_windows: int = 3,
+        min_drops: int = 3,
+        quiet_windows: int = 5,
+    ) -> None:
+        super().__init__()
+        self.burst_windows = burst_windows
+        self.min_drops = min_drops
+        self.quiet_windows = quiet_windows
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        series = store.series("fabric", "all", "drops")
+        baseline = series.baseline.mean  # before this window's update
+        series.observe(window.end_s, float(window.drops))
+        recent = series.recent_values(self.burst_windows)
+        burst = sum(recent)
+        entity = "fabric"
+        if burst >= self.min_drops and burst > 3.0 * baseline:
+            start = window.end_s - len(recent) * window.interval_s
+            self._open_incident(
+                entity,
+                "drop-burst",
+                start,
+                min(0.95, 0.6 + 0.05 * burst),
+                {
+                    "drops_recent": [int(v) for v in recent],
+                    "ewma_baseline": round(baseline, 3),
+                },
+                log,
+            )
+            self._recovery[entity] = 0
+        elif entity in self._open:
+            if window.drops == 0:
+                quiet = self._recovery.get(entity, 0) + 1
+                self._recovery[entity] = quiet
+                if quiet >= self.quiet_windows:
+                    self._close(entity, window.end_s, log)
+            else:
+                self._recovery[entity] = 0
+
+
+class CongestionLocalizer(Detector):
+    """Shared-pipe backlog buildup, blamed on the named tier segment."""
+
+    name = "congestion"
+
+    def __init__(
+        self,
+        backlog_factor: float = 2.0,
+        util_floor: float = 0.5,
+        util_windows: int = 5,
+        min_windows: int = 3,
+        recovery_windows: int = 3,
+    ) -> None:
+        super().__init__()
+        self.backlog_factor = backlog_factor
+        self.util_floor = util_floor
+        self.util_windows = util_windows
+        self.min_windows = min_windows
+        self.recovery_windows = recovery_windows
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        threshold = self.backlog_factor * window.interval_s
+        for key, pipe in window.pipes.items():
+            entity = f"pipe/{key}"
+            utils = store.series("pipe", key, "utilization")
+            utils.observe(window.end_s, pipe.utilization)
+            store.series("pipe", key, "backlog_s").observe(
+                window.end_s, pipe.backlog_s
+            )
+            # Bookings land bursty (a window's booked serialization can
+            # exceed its elapsed time); the trailing mean is the pipe's
+            # true duty over the suspect stretch.
+            recent = utils.recent_values(self.util_windows)
+            trailing_util = sum(recent) / len(recent) if recent else 0.0
+            if pipe.backlog_s > threshold and trailing_util > self.util_floor:
+                streak = self._streak.get(entity, 0) + 1
+                self._streak[entity] = streak
+                self._recovery[entity] = 0
+                if streak >= self.min_windows:
+                    self._open_incident(
+                        entity,
+                        "pipe-backlog",
+                        window.end_s - streak * window.interval_s,
+                        self._confidence(streak, self.min_windows),
+                        {
+                            "tier": pipe.tier,
+                            "segment": pipe.segment,
+                            "backlog_s": round(pipe.backlog_s, 9),
+                            "trailing_util": round(trailing_util, 4),
+                            "windows": streak,
+                        },
+                        log,
+                    )
+            else:
+                self._streak[entity] = 0
+                if entity in self._open and pipe.backlog_s < 0.5 * threshold:
+                    recovery = self._recovery.get(entity, 0) + 1
+                    self._recovery[entity] = recovery
+                    if recovery >= self.recovery_windows:
+                        self._close(entity, window.end_s, log)
+
+
+class AggregatorCrashDetector(Detector):
+    """Respawn-generation bumps in aggregator port tables."""
+
+    name = "agg-crash"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: Dict[str, int] = {}
+
+    @staticmethod
+    def scan_generations(hosts: Dict[str, object]) -> Dict[str, int]:
+        """Highest respawn generation per aggregator host (0 = pristine).
+
+        ``hosts`` maps host name to a network host whose ``_ports``
+        table names protocol endpoints; respawned stream slots register
+        ports suffixed ``r<generation>``.
+        """
+        out: Dict[str, int] = {}
+        for name, host in hosts.items():
+            top = 0
+            for port in getattr(host, "_ports", {}):
+                match = _RESPAWN_PORT.search(port)
+                if match:
+                    top = max(top, int(match.group(1)))
+            out[name] = top
+        return out
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        for host, generation in window.agg_generations.items():
+            previous = self._seen.get(host, 0)
+            if generation > previous:
+                entity = f"agg/{host}"
+                incident = Incident(
+                    detector=self.name,
+                    kind="restart",
+                    entity=entity,
+                    start_s=window.start_s,
+                    confidence=0.95,
+                    evidence={
+                        "generation": generation,
+                        "previous": previous,
+                        "restart_host": host,
+                    },
+                )
+                log.open(incident)
+                log.close(incident, window.end_s)
+            self._seen[host] = max(previous, generation)
+
+
+class SloBurnDetector(Detector):
+    """Jobs burning completion-SLO budget faster than they progress."""
+
+    name = "slo-burn"
+
+    def __init__(self, burn_threshold: float = 0.5) -> None:
+        super().__init__()
+        self.burn_threshold = burn_threshold
+
+    def observe(self, window: Window, store: SeriesStore, log: IncidentLog) -> None:
+        live = set()
+        for job in window.jobs:
+            entity = f"job/{job.name}"
+            live.add(entity)
+            elapsed = window.end_s - job.arrival_s
+            used = elapsed / job.slo_s if job.slo_s > 0 else float("inf")
+            progress = (
+                job.iterations_done / job.iterations if job.iterations else 0.0
+            )
+            projected = elapsed / progress if progress > 0 else float("inf")
+            store.series("job", job.name, "budget_used").observe(
+                window.end_s, used
+            )
+            burning = used >= 1.0 or (
+                used >= self.burn_threshold and projected > job.slo_s
+            )
+            if burning:
+                self._open_incident(
+                    entity,
+                    "slo-burn",
+                    window.end_s,
+                    min(0.95, used),
+                    {
+                        "status": job.status,
+                        "budget_used": round(used, 3),
+                        "progress": round(progress, 3),
+                        "projected_s": (
+                            round(projected, 6)
+                            if projected != float("inf")
+                            else None
+                        ),
+                        "slo_s": job.slo_s,
+                    },
+                    log,
+                )
+            elif entity in self._open:
+                self._close(entity, window.end_s, log)
+        # Jobs that finished (or were rejected) leave the sample set;
+        # their burn incidents close at that boundary.
+        for entity in list(self._open):
+            if entity not in live:
+                self._close(entity, window.end_s, log)
+
+
+#: Detector names, in the order the observatory runs them.
+DEFAULT_DETECTORS = (
+    "straggler",
+    "loss-burst",
+    "congestion",
+    "agg-crash",
+    "slo-burn",
+)
+
+
+def build_detectors(names) -> List[Detector]:
+    """Instantiate detectors (with defaults) for the given names."""
+    registry = {
+        "straggler": StragglerDetector,
+        "loss-burst": LossBurstDetector,
+        "congestion": CongestionLocalizer,
+        "agg-crash": AggregatorCrashDetector,
+        "slo-burn": SloBurnDetector,
+    }
+    unknown = sorted(set(names) - set(registry))
+    if unknown:
+        raise ValueError(
+            f"unknown detector(s) {unknown}; choose from {sorted(registry)}"
+        )
+    return [registry[name]() for name in names]

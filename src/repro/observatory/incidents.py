@@ -1,0 +1,115 @@
+"""Structured anomaly records and the incident log.
+
+An :class:`Incident` is a detector's claim: *this entity misbehaved
+over this virtual-time span, here is the evidence*.  Incidents are the
+observatory's only output type -- the scoring harness matches them
+against injected fault plans, the attribution pass correlates them
+across the topology, and the Perfetto export renders them as dedicated
+tracks.
+
+The :class:`IncidentLog` collects incidents in open order and notifies
+listeners on open and close, so the telemetry bridge can mirror the
+log as live trace spans without the detectors knowing about tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Incident", "IncidentLog"]
+
+
+@dataclass
+class Incident:
+    """One detected anomaly over a virtual-time span.
+
+    ``detector`` names the emitting detector (``straggler``,
+    ``loss-burst``, ``congestion``, ``agg-crash``, ``slo-burn``);
+    ``kind`` the specific signature within it (``worker-lag`` vs
+    ``worker-dominant``).  ``entity`` is the blamed component in the
+    observatory's naming scheme: ``worker/<host>``, ``agg/<host>``,
+    ``pipe/<tier>:<segment>``, ``job/<name>``, or ``fabric`` for
+    cluster-wide signals.  ``end_s`` is ``None`` while the incident is
+    still open.  ``evidence`` carries the windowed samples and derived
+    statistics that triggered the detection.
+    """
+
+    detector: str
+    kind: str
+    entity: str
+    start_s: float
+    end_s: Optional[float] = None
+    confidence: float = 0.5
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end_s is None
+
+    def duration_s(self, now: Optional[float] = None) -> float:
+        end = self.end_s if self.end_s is not None else now
+        if end is None:
+            return 0.0
+        return max(0.0, end - self.start_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "kind": self.kind,
+            "entity": self.entity,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "confidence": round(self.confidence, 3),
+            "evidence": dict(self.evidence),
+        }
+
+    def __str__(self) -> str:
+        span = f"[{self.start_s * 1e3:.3f}ms.."
+        span += "open)" if self.end_s is None else f"{self.end_s * 1e3:.3f}ms)"
+        return (
+            f"{self.detector}/{self.kind} {self.entity} {span} "
+            f"conf={self.confidence:.2f}"
+        )
+
+
+class IncidentLog:
+    """Incidents in open order, with open/close listener notification."""
+
+    def __init__(self) -> None:
+        self.incidents: List[Incident] = []
+        self._listeners: List[Callable[[str, Incident], None]] = []
+
+    def add_listener(self, fn: Callable[[str, Incident], None]) -> None:
+        """``fn(event, incident)`` with event ``"open"`` or ``"close"``."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, Incident], None]) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def open(self, incident: Incident) -> Incident:
+        self.incidents.append(incident)
+        for fn in self._listeners:
+            fn("open", incident)
+        return incident
+
+    def close(self, incident: Incident, end_s: float) -> None:
+        if incident.end_s is not None:
+            return
+        incident.end_s = end_s
+        for fn in self._listeners:
+            fn("close", incident)
+
+    def close_all(self, end_s: float) -> None:
+        for incident in self.incidents:
+            self.close(incident, end_s)
+
+    def by_detector(self, detector: str) -> List[Incident]:
+        return [i for i in self.incidents if i.detector == detector]
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    def __iter__(self):
+        return iter(self.incidents)

@@ -1,0 +1,289 @@
+"""Streaming time-series primitives for the health observatory.
+
+Everything here is sized for *online* use on the simulator's virtual
+clock: bounded memory regardless of run length, O(1) amortized updates,
+and no look-ahead.  A :class:`Series` combines the three estimators the
+detectors consume:
+
+* a :class:`RingBuffer` of the most recent ``(time, value)`` samples
+  (evidence windows for incidents),
+* an :class:`EwmaBaseline` -- exponentially weighted mean and variance,
+  the "what is normal" reference for spike detection,
+* a :class:`P2Quantile` sketch per tracked quantile (p50/p95/p99 by
+  default) -- the classic P-square algorithm (Jain & Chlamtac 1985),
+  constant space, no sample retention.
+
+A :class:`SeriesStore` is the observatory's keyed collection of series:
+``store.series(scope, entity, metric)`` creates on first use, so
+samplers never pre-declare what they will observe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RingBuffer",
+    "EwmaBaseline",
+    "P2Quantile",
+    "Series",
+    "SeriesStore",
+]
+
+
+class RingBuffer:
+    """Fixed-capacity ring of ``(time_s, value)`` samples."""
+
+    __slots__ = ("capacity", "_items", "_start")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: List[Tuple[float, float]] = []
+        self._start = 0
+
+    def append(self, time_s: float, value: float) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append((time_s, value))
+        else:
+            self._items[self._start] = (time_s, value)
+            self._start = (self._start + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> List[Tuple[float, float]]:
+        """Samples oldest-first."""
+        return self._items[self._start:] + self._items[: self._start]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.items()]
+
+    def last(self, n: int) -> List[Tuple[float, float]]:
+        """The most recent ``n`` samples, oldest-first."""
+        items = self.items()
+        return items[-n:]
+
+
+class EwmaBaseline:
+    """Exponentially weighted mean and variance (West 1979 update).
+
+    ``alpha`` is the weight of each new sample; smaller alpha means a
+    longer memory.  ``zscore`` is the deviation of a value from the
+    baseline in baseline standard deviations, with a configurable
+    variance floor so an all-constant history does not make every later
+    deviation infinitely surprising.
+    """
+
+    __slots__ = ("alpha", "mean", "var", "count")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        if self.count == 0:
+            self.mean = value
+            self.var = 0.0
+        else:
+            delta = value - self.mean
+            incr = self.alpha * delta
+            self.mean += incr
+            self.var = (1.0 - self.alpha) * (self.var + delta * incr)
+        self.count += 1
+
+    def zscore(self, value: float, var_floor: float = 1e-12) -> float:
+        if self.count == 0:
+            return 0.0
+        std = max(self.var, var_floor) ** 0.5
+        return (value - self.mean) / std
+
+
+class P2Quantile:
+    """P-square single-quantile estimator: constant space, no samples kept.
+
+    Maintains five markers whose heights converge to the ``q``-quantile
+    (and the extremes/mid markers the algorithm needs).  Exact for the
+    first five observations, approximate thereafter -- plenty for
+    detector thresholds and rollup reporting.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments", "count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        # Find the marker cell the observation falls into.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= heights[k + 1]:
+                k += 1
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = self._desired[i] - positions[i]
+            if (d >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                d <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        if not self._heights:
+            return None
+        if len(self._heights) < 5:
+            # Exact small-sample quantile (nearest-rank on what we have).
+            rank = max(0, min(len(self._heights) - 1,
+                              int(round(self.q * (len(self._heights) - 1)))))
+            return sorted(self._heights)[rank]
+        return self._heights[2]
+
+
+#: Quantiles every series tracks by default.
+DEFAULT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class Series:
+    """One named stream of windowed samples with rollup estimators."""
+
+    __slots__ = ("name", "ring", "baseline", "sketches", "count", "total", "last")
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 256,
+        alpha: float = 0.3,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        self.name = name
+        self.ring = RingBuffer(capacity)
+        self.baseline = EwmaBaseline(alpha)
+        self.sketches = {q: P2Quantile(q) for q in quantiles}
+        self.count = 0
+        self.total = 0.0
+        self.last: Optional[float] = None
+
+    def observe(self, time_s: float, value: float) -> None:
+        self.ring.append(time_s, value)
+        self.baseline.update(value)
+        for sketch in self.sketches.values():
+            sketch.observe(value)
+        self.count += 1
+        self.total += value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        sketch = self.sketches.get(q)
+        return sketch.value() if sketch is not None else None
+
+    def recent_values(self, n: int) -> List[float]:
+        return [v for _, v in self.ring.last(n)]
+
+    def rollup(self) -> Dict[str, float]:
+        """JSON-ready summary of the series."""
+        out: Dict[str, float] = {
+            "count": self.count,
+            "mean": self.mean,
+            "ewma": self.baseline.mean,
+        }
+        if self.last is not None:
+            out["last"] = self.last
+        for q, sketch in self.sketches.items():
+            value = sketch.value()
+            if value is not None:
+                out[f"p{int(q * 100)}"] = value
+        return out
+
+
+class SeriesStore:
+    """Keyed collection of :class:`Series`, created on first use.
+
+    Keys are ``(scope, entity, metric)`` -- e.g.
+    ``("worker", "worker-3", "tx_bps")`` or
+    ``("pipe", "leaf:rack-0:up", "backlog_s")``.
+    """
+
+    def __init__(self, capacity: int = 256, alpha: float = 0.3) -> None:
+        self.capacity = capacity
+        self.alpha = alpha
+        self._series: "OrderedDict[Tuple[str, str, str], Series]" = OrderedDict()
+
+    def series(self, scope: str, entity: str, metric: str) -> Series:
+        key = (scope, entity, metric)
+        found = self._series.get(key)
+        if found is None:
+            found = Series(
+                f"{scope}/{entity}/{metric}", self.capacity, self.alpha
+            )
+            self._series[key] = found
+        return found
+
+    def get(self, scope: str, entity: str, metric: str) -> Optional[Series]:
+        return self._series.get((scope, entity, metric))
+
+    def entities(self, scope: str, metric: Optional[str] = None) -> List[str]:
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for (s, entity, m) in self._series:
+            if s == scope and (metric is None or m == metric):
+                seen.setdefault(entity)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def rollup(self) -> Dict[str, Dict[str, float]]:
+        """Every series' rollup keyed by ``scope/entity/metric``."""
+        return {
+            series.name: series.rollup() for series in self._series.values()
+        }

@@ -97,6 +97,7 @@ class FabricService:
         telemetry=None,
         queue_limit: int = 4,
         sim_mode: str = "packet",
+        observatory=None,
     ) -> None:
         if queue_limit < 0:
             raise ValueError("queue_limit must be >= 0")
@@ -116,6 +117,12 @@ class FabricService:
             # own (and never tear down) the fleet attachment.
             telemetry.attach(cluster)
             self._pid = telemetry.reserve_pid("fabric-service")
+        #: Optional :class:`~repro.observatory.Observatory`: watches the
+        #: shared fabric and this service's job records (SLO burn-rate
+        #: alerts).  A disabled observatory attaches as a no-op.
+        self.observatory = observatory
+        if observatory is not None:
+            observatory.watch_service(self)
         self._free_workers = sorted(range(cluster.spec.workers))
         self._colocated = cluster.spec.colocated
         if self._colocated:

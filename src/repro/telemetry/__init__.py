@@ -50,12 +50,31 @@ from .export import (
     write_metrics,
 )
 from .metrics import UNIFORM_METRICS, MetricsRegistry, record_result
+
+#: Uniform metrics the flow-level fast path cannot measure: flows are
+#: booked as continuous transfers, so per-packet loss/recovery never
+#: happens and ``retransmissions`` has no defined value (recording 0
+#: would be indistinguishable from "lossless run").
+FLOW_UNSUPPORTED_METRICS = ("retransmissions",)
+
+
+def _unsupported_for(cluster):
+    """Metrics the execution mode of ``cluster`` cannot measure.
+
+    Checked on the cluster *as passed* (before base-resolution): flow
+    views proxy ``flow_base`` through, while the underlying base
+    cluster a packet run shares does not have it.
+    """
+    if hasattr(cluster, "flow_base"):
+        return FLOW_UNSUPPORTED_METRICS
+    return ()
 from .samplers import LinkUtilizationSampler
 from .spans import NULL_RECORDER, NullRecorder, SpanTracer
 
 __all__ = [
     "Telemetry",
     "TelemetryConfig",
+    "FLOW_UNSUPPORTED_METRICS",
     "MetricsRegistry",
     "SpanTracer",
     "NullRecorder",
@@ -126,14 +145,17 @@ class _Recording:
 class _Frame:
     """One in-flight recording opened by :meth:`Telemetry.collective_open`."""
 
-    __slots__ = ("algorithm", "cluster", "pid", "snapshot", "closed")
+    __slots__ = (
+        "algorithm", "cluster", "pid", "snapshot", "closed", "unsupported",
+    )
 
-    def __init__(self, algorithm, cluster, pid, snapshot) -> None:
+    def __init__(self, algorithm, cluster, pid, snapshot, unsupported=()) -> None:
         self.algorithm = algorithm
         self.cluster = cluster
         self.pid = pid
         self.snapshot = snapshot
         self.closed = False
+        self.unsupported = unsupported
 
 
 class Telemetry:
@@ -148,7 +170,10 @@ class Telemetry:
         self.recorder = self.tracer if self.config.record_spans else NULL_RECORDER
         #: pid -> algorithm label, one per recorded collective run.
         self.run_labels: Dict[int, str] = {}
-        self._next_pid = 0
+        #: pid 0 is the tracer's default (component spans recorded
+        #: outside any labelled run land there) and is never handed out,
+        #: so a reserved process can't absorb unrelated tracks.
+        self._next_pid = 1
         self._depth = 0
         self._open_frames = 0
         #: id(cluster) -> (cluster, packet_tracer, packet_listener,
@@ -256,6 +281,7 @@ class Telemetry:
         if self._depth:
             yield None
             return
+        unsupported = _unsupported_for(cluster)
         self.attach(cluster)
         self._depth += 1
         pid = self.reserve_pid(algorithm)
@@ -282,6 +308,7 @@ class Telemetry:
                     algorithm,
                     box.result,
                     worker_stall_s=snapshot.worker_stall_s(),
+                    unsupported=unsupported,
                 )
 
     # -- recording in-flight collectives ------------------------------------
@@ -297,9 +324,12 @@ class Telemetry:
         """
         if self._depth:
             return None
+        unsupported = _unsupported_for(cluster)
         self.attach(cluster)
         pid = self.reserve_pid(algorithm)
-        frame = _Frame(algorithm, cluster, pid, TrafficSnapshot(cluster))
+        frame = _Frame(
+            algorithm, cluster, pid, TrafficSnapshot(cluster), unsupported
+        )
         rec = self.recorder
         if rec.enabled:
             previous = self.tracer.pid
@@ -336,6 +366,7 @@ class Telemetry:
                 frame.algorithm,
                 result,
                 worker_stall_s=frame.snapshot.worker_stall_s(),
+                unsupported=frame.unsupported,
             )
 
     # -- export conveniences ------------------------------------------------

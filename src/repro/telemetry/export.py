@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from .metrics import UNIFORM_METRICS
+from .metrics import UNIFORM_METRICS, unsupported_metrics
 
 __all__ = [
     "chrome_trace",
@@ -106,13 +106,28 @@ def write_chrome_trace(telemetry, path: str) -> None:
 
 
 def metrics_report(telemetry) -> Dict[str, Any]:
-    """Metrics registry plus run metadata as a JSON-ready dict."""
+    """Metrics registry plus run metadata as a JSON-ready dict.
+
+    ``unsupported`` maps each algorithm to the uniform metrics its
+    execution mode could not measure (flow-mode runs have no
+    per-packet retransmissions); those metrics carry no sample for the
+    algorithm, so consumers must treat them as n/a rather than zero.
+    """
     registry = telemetry.metrics
-    return {
+    algorithms = registry.algorithms()
+    unsupported = {}
+    for algo in algorithms:
+        missing = unsupported_metrics(registry, algo)
+        if missing:
+            unsupported[algo] = sorted(missing)
+    report = {
         "uniform_metrics": list(UNIFORM_METRICS),
-        "algorithms": registry.algorithms(),
+        "algorithms": algorithms,
         "metrics": registry.collect(),
     }
+    if unsupported:
+        report["unsupported"] = unsupported
+    return report
 
 
 def write_metrics(telemetry, path: str) -> None:
@@ -146,7 +161,11 @@ def summary(telemetry) -> str:
     stall = registry.get("worker_stall_s")
     for algo in algorithms:
         row = [algo]
+        missing = unsupported_metrics(registry, algo)
         for name, _title in columns:
+            if name in missing:
+                row.append("n/a")
+                continue
             metric = registry.get(name)
             value = metric.value(algorithm=algo) if metric is not None else None
             row.append(_fmt(value) if value is not None else "-")

@@ -25,6 +25,7 @@ __all__ = [
     "MetricsRegistry",
     "UNIFORM_METRICS",
     "record_result",
+    "unsupported_metrics",
 ]
 
 #: The uniform metric set every registry algorithm must emit, one
@@ -209,11 +210,25 @@ class MetricsRegistry:
         return json.dumps(self.collect(), indent=indent, sort_keys=False)
 
 
+def unsupported_metrics(registry: MetricsRegistry, algorithm: str) -> set:
+    """Uniform metrics flagged n/a for ``algorithm`` (see
+    :func:`record_result`'s ``unsupported`` parameter)."""
+    gauge = registry.get("metric_unsupported")
+    if gauge is None:
+        return set()
+    return {
+        sample["labels"]["metric"]
+        for sample in gauge.samples()
+        if sample["labels"].get("algorithm") == algorithm and sample["value"]
+    }
+
+
 def record_result(
     registry: MetricsRegistry,
     algorithm: str,
     result,
     worker_stall_s: Optional[Dict[str, float]] = None,
+    unsupported: Tuple[str, ...] = (),
 ) -> None:
     """Record the uniform metric set for one finished collective.
 
@@ -225,39 +240,66 @@ def record_result(
     ``worker_stall_s`` maps worker host name to that worker's stall
     seconds (completion time minus NIC serialization busy time); each
     worker is one histogram observation.
+
+    ``unsupported`` names uniform metrics the execution mode cannot
+    measure (the flow-level fast path never models individual packet
+    drops, so ``retransmissions`` has no defined value there).  Each is
+    skipped -- *not* recorded as a misleading zero -- and flagged in the
+    ``metric_unsupported`` gauge so the summary and JSON export can
+    render ``n/a`` instead of a number.
     """
+    unknown = set(unsupported) - set(UNIFORM_METRICS)
+    if unknown:
+        raise ValueError(
+            f"unsupported metrics {sorted(unknown)} are not in the "
+            "uniform metric set"
+        )
     labels = {"algorithm": algorithm}
+    for metric in unsupported:
+        registry.gauge(
+            "metric_unsupported",
+            "uniform metrics the execution mode cannot measure (1 = n/a)",
+        ).set(1, metric=metric, **labels)
     time_s = result.time_s
-    registry.gauge(
-        "time_s", "simulated completion time of the collective"
-    ).set(time_s, **labels)
-    registry.counter(
-        "bytes_on_wire", "wire bytes sent, protocol headers included"
-    ).inc(result.bytes_sent, **labels)
-    registry.counter(
-        "packets_on_wire", "packets transmitted"
-    ).inc(result.packets_sent, **labels)
-    registry.counter(
-        "retransmissions", "loss-recovery retransmissions"
-    ).inc(result.retransmissions, **labels)
-    registry.counter(
-        "zero_blocks_suppressed", "all-zero blocks never transmitted"
-    ).inc(result.details.get("zero_blocks_suppressed", 0), **labels)
-    goodput = result.goodput_gbps()
-    if goodput != goodput or goodput in (float("inf"), float("-inf")):
-        goodput = 0.0
-    registry.gauge(
-        "goodput_gbps", "reduced payload bytes per worker over time"
-    ).set(goodput, **labels)
-    raw = result.bytes_sent * 8.0 / time_s / 1e9 if time_s > 0 else 0.0
-    registry.gauge(
-        "raw_throughput_gbps", "wire bytes over completion time"
-    ).set(raw, **labels)
-    stall = registry.histogram(
-        "worker_stall_s", "per-worker seconds not spent serializing on the NIC"
-    )
-    if worker_stall_s:
-        for host, seconds in worker_stall_s.items():
-            stall.observe(seconds, worker=host, **labels)
-    else:
-        stall.observe(0.0, worker="all", **labels)
+    if "time_s" not in unsupported:
+        registry.gauge(
+            "time_s", "simulated completion time of the collective"
+        ).set(time_s, **labels)
+    if "bytes_on_wire" not in unsupported:
+        registry.counter(
+            "bytes_on_wire", "wire bytes sent, protocol headers included"
+        ).inc(result.bytes_sent, **labels)
+    if "packets_on_wire" not in unsupported:
+        registry.counter(
+            "packets_on_wire", "packets transmitted"
+        ).inc(result.packets_sent, **labels)
+    if "retransmissions" not in unsupported:
+        registry.counter(
+            "retransmissions", "loss-recovery retransmissions"
+        ).inc(result.retransmissions, **labels)
+    if "zero_blocks_suppressed" not in unsupported:
+        registry.counter(
+            "zero_blocks_suppressed", "all-zero blocks never transmitted"
+        ).inc(result.details.get("zero_blocks_suppressed", 0), **labels)
+    if "goodput_gbps" not in unsupported:
+        goodput = result.goodput_gbps()
+        if goodput != goodput or goodput in (float("inf"), float("-inf")):
+            goodput = 0.0
+        registry.gauge(
+            "goodput_gbps", "reduced payload bytes per worker over time"
+        ).set(goodput, **labels)
+    if "raw_throughput_gbps" not in unsupported:
+        raw = result.bytes_sent * 8.0 / time_s / 1e9 if time_s > 0 else 0.0
+        registry.gauge(
+            "raw_throughput_gbps", "wire bytes over completion time"
+        ).set(raw, **labels)
+    if "worker_stall_s" not in unsupported:
+        stall = registry.histogram(
+            "worker_stall_s",
+            "per-worker seconds not spent serializing on the NIC",
+        )
+        if worker_stall_s:
+            for host, seconds in worker_stall_s.items():
+                stall.observe(seconds, worker=host, **labels)
+        else:
+            stall.observe(0.0, worker="all", **labels)

@@ -10,7 +10,8 @@ per-event cost to one float comparison.
 Samples are recorded as counter events on the active
 :class:`~repro.telemetry.spans.SpanTracer`; the Chrome trace export
 renders them as stacked counter tracks (per-link utilization, queue
-depth) under the same virtual-time axis as spans and packets.
+depth, shared-pipe occupancy) under the same virtual-time axis as
+spans and packets.
 """
 
 from __future__ import annotations
@@ -29,6 +30,16 @@ class LinkUtilizationSampler:
     Queue depth is the total number of packets parked in the host's
     port mailboxes -- delivered by the network but not yet consumed by
     the protocol process, i.e. receiver-side backlog.
+
+    Track names carry placement when the fabric has any: on a tiered
+    topology (anything exposing ``rack_of``) host tracks are
+    ``link/rack-<r>/<host>`` so the trace viewer groups co-racked NICs
+    together; on a flat fabric they stay ``link/<host>``.  Tiered
+    topologies additionally expose their shared pipes through
+    ``pipe_segments()``; each becomes a ``fabric/<tier>/<segment>``
+    track sampling busy-time utilization and queueing backlog (in
+    microseconds) -- the oversubscribed stages a per-host view cannot
+    see.
     """
 
     def __init__(self, cluster, recorder, interval_s: float) -> None:
@@ -40,6 +51,24 @@ class LinkUtilizationSampler:
         self._next_s = cluster.sim.now + interval_s
         self._last_s = cluster.sim.now
         self._last_bytes = dict(cluster.stats.bytes_sent)
+        self._last_pipe_busy: dict = {}
+        topology = getattr(cluster.network, "topology", None)
+        self._rack_of = getattr(topology, "rack_of", None)
+        self._pipe_segments = getattr(topology, "pipe_segments", None)
+        self._tracks: dict = {}
+
+    def _track(self, name: str) -> str:
+        """Placement-labeled track for ``name`` (cached: racks are fixed)."""
+        track = self._tracks.get(name)
+        if track is None:
+            track = f"link/{name}"
+            if self._rack_of is not None:
+                try:
+                    track = f"link/rack-{self._rack_of(name)}/{name}"
+                except KeyError:
+                    pass
+            self._tracks[name] = track
+        return track
 
     def __call__(self, now: float) -> None:
         if now < self._next_s:
@@ -55,8 +84,23 @@ class LinkUtilizationSampler:
             self._last_bytes[name] = sent
             util = (delta * 8.0 / host.bandwidth_bps) / elapsed if elapsed > 0 else 0.0
             depth = sum(len(q) for q in host._ports.values())
-            rec.counter(now, f"link/{name}", "utilization", round(util, 6))
-            rec.counter(now, f"link/{name}", "queue_depth", depth)
+            track = self._track(name)
+            rec.counter(now, track, "utilization", round(util, 6))
+            rec.counter(now, track, "queue_depth", depth)
+        if self._pipe_segments is not None and elapsed > 0:
+            for tier, segment, pipe in self._pipe_segments():
+                key = f"{tier}:{segment}"
+                busy = pipe.busy_s
+                delta_busy = busy - self._last_pipe_busy.get(key, 0.0)
+                self._last_pipe_busy[key] = busy
+                track = f"fabric/{tier}/{segment}"
+                rec.counter(
+                    now, track, "utilization", round(delta_busy / elapsed, 6)
+                )
+                rec.counter(
+                    now, track, "backlog_us",
+                    round(pipe.backlog_s(now) * 1e6, 3),
+                )
         self._last_s = now
         # Skip ahead past any idle gap instead of sampling every missed
         # interval at once.

@@ -1,0 +1,97 @@
+"""Root-cause attribution: depth order, topology scoping, ranking."""
+
+import pytest
+
+from repro.observatory import Incident, correlate
+
+pytestmark = [pytest.mark.observatory]
+
+
+def _incident(detector, entity, start, end=None, confidence=0.9, kind=None):
+    return Incident(
+        detector=detector,
+        kind=kind or detector,
+        entity=entity,
+        start_s=start,
+        end_s=end,
+        confidence=confidence,
+    )
+
+
+def test_crash_explains_overlapping_symptoms():
+    crash = _incident("agg-crash", "agg/agg-0", 100e-6, 120e-6)
+    loss = _incident("loss-burst", "fabric", 110e-6, 200e-6)
+    lag = _incident("straggler", "worker/worker-2", 130e-6, 250e-6)
+    burn = _incident("slo-burn", "job/job-1", 150e-6)
+    causes = correlate([burn, lag, loss, crash], slack_s=50e-6)
+    assert causes[0].incident is crash
+    assert {id(i) for i in causes[0].explains} == {id(loss), id(lag), id(burn)}
+    assert causes[0].score == pytest.approx(0.9 * 4)
+
+
+def test_every_incident_appears_exactly_once():
+    crash = _incident("agg-crash", "agg/agg-0", 100e-6, 120e-6)
+    lag = _incident("straggler", "worker/worker-2", 130e-6, 250e-6)
+    lonely = _incident("straggler", "worker/worker-0", 900e-6, 950e-6)
+    causes = correlate([crash, lag, lonely], slack_s=10e-6)
+    seen = []
+    for cause in causes:
+        seen.append(cause.incident)
+        seen.extend(cause.explains)
+    assert sorted(map(id, seen)) == sorted(map(id, [crash, lag, lonely]))
+
+
+def test_disjoint_spans_are_not_linked():
+    crash = _incident("agg-crash", "agg/agg-0", 100e-6, 110e-6)
+    lag = _incident("straggler", "worker/worker-2", 500e-6, 600e-6)
+    causes = correlate([crash, lag], slack_s=10e-6)
+    assert all(not c.explains for c in causes)
+
+
+def test_congestion_scopes_stragglers_to_the_congested_rack():
+    congestion = _incident("congestion", "pipe/leaf:rack-1:up", 100e-6, 300e-6)
+    in_rack = _incident("straggler", "worker/worker-2", 150e-6, 250e-6)
+    other_rack = _incident("straggler", "worker/worker-0", 150e-6, 250e-6)
+    rack_of = {"worker-2": 1, "worker-0": 0}.__getitem__
+    causes = correlate(
+        [congestion, in_rack, other_rack], rack_of=rack_of, slack_s=20e-6
+    )
+    top = causes[0]
+    assert top.incident is congestion
+    assert top.explains == [in_rack]
+
+
+def test_congestion_keeps_edge_without_placement_info():
+    congestion = _incident("congestion", "pipe/leaf:rack-1:up", 100e-6, 300e-6)
+    lag = _incident("straggler", "worker/worker-0", 150e-6, 250e-6)
+    causes = correlate([congestion, lag], rack_of=None, slack_s=20e-6)
+    assert causes[0].explains == [lag]
+
+
+def test_loss_burst_explains_late_straggler_and_burn():
+    # A drop victim stalls until its retransmit timer fires, then lags.
+    loss = _incident("loss-burst", "fabric", 100e-6, 200e-6)
+    lag = _incident("straggler", "worker/worker-1", 380e-6, 500e-6)
+    burn = _incident("slo-burn", "job/job-0", 350e-6)
+    causes = correlate([loss, lag, burn], slack_s=300e-6)
+    assert causes[0].incident is loss
+    assert {id(i) for i in causes[0].explains} == {id(lag), id(burn)}
+
+
+def test_straggler_never_explains_loss():
+    lag = _incident("straggler", "worker/worker-1", 100e-6, 300e-6)
+    loss = _incident("loss-burst", "fabric", 150e-6, 250e-6)
+    causes = correlate([lag, loss], slack_s=50e-6)
+    assert causes[0].incident is loss  # shallower depth ranks as cause
+    assert all(loss not in c.explains for c in causes)
+
+
+def test_ranking_prefers_explanatory_power():
+    crash = _incident("agg-crash", "agg/agg-0", 100e-6, 120e-6, confidence=0.95)
+    lag_a = _incident("straggler", "worker/worker-1", 130e-6, 200e-6)
+    lag_b = _incident("straggler", "worker/worker-2", 130e-6, 200e-6)
+    lonely = _incident("congestion", "pipe/spine:spine-0", 400e-6, 500e-6,
+                       confidence=0.95)
+    causes = correlate([lonely, crash, lag_a, lag_b], slack_s=20e-6)
+    assert causes[0].incident is crash
+    assert causes[0].score > causes[1].score

@@ -1,0 +1,261 @@
+"""Detector signatures on synthetic windows (no simulator involved)."""
+
+import pytest
+
+from repro.observatory import (
+    AggregatorCrashDetector,
+    CongestionLocalizer,
+    IncidentLog,
+    JobSample,
+    LossBurstDetector,
+    PipeSample,
+    SeriesStore,
+    SloBurnDetector,
+    StragglerDetector,
+    Window,
+)
+from repro.observatory.detectors import build_detectors
+
+pytestmark = [pytest.mark.observatory]
+
+INTERVAL = 20e-6
+
+
+def _window(index, rates, duty=None, totals=None, **kwargs):
+    start = index * INTERVAL
+    window = Window(start_s=start, end_s=start + INTERVAL, **kwargs)
+    window.worker_rates_bps = dict(rates)
+    window.worker_duty = dict(duty or {h: 0.5 for h in rates})
+    if totals is None:
+        # By default everyone's cumulative bytes scale with their rate,
+        # so a lagging rate implies lagging bytes.
+        totals = {h: int(r * (index + 1) * INTERVAL / 8) for h, r in rates.items()}
+    window.worker_bytes = dict(totals)
+    return window
+
+
+FLEET = {"w0": 8e9, "w1": 8e9, "w2": 8e9, "w3": 8e9}
+
+
+class TestStragglerDetector:
+    def _run(self, windows):
+        detector = StragglerDetector()
+        store, log = SeriesStore(), IncidentLog()
+        for window in windows:
+            detector.observe(window, store, log)
+        return detector, log
+
+    def test_persistent_lag_opens_after_streak(self):
+        rates = dict(FLEET, w2=1e9)
+        _, log = self._run([_window(i, rates) for i in range(4)])
+        assert len(log) == 1
+        incident = log.incidents[0]
+        assert incident.detector == "straggler"
+        assert incident.kind == "worker-lag"
+        assert incident.entity == "worker/w2"
+        # The streak start, not the confirmation window.
+        assert incident.start_s == pytest.approx(0.0)
+
+    def test_two_lag_windows_are_not_enough(self):
+        rates = dict(FLEET, w2=1e9)
+        _, log = self._run(
+            [_window(0, rates), _window(1, rates), _window(2, FLEET)]
+        )
+        assert len(log) == 0
+
+    def test_finished_early_worker_is_not_lagging(self):
+        # w3 idles at rate 0 but has already sent its full share.
+        rates = dict(FLEET, w3=0.0)
+        ahead = {h: 10_000_000 for h in rates}
+        windows = [
+            _window(i, rates, totals=ahead) for i in range(5)
+        ]
+        _, log = self._run(windows)
+        assert len(log) == 0
+
+    def test_dominant_signature(self):
+        quiet = {"w0": 2e9, "w1": 2e9, "w2": 2e9, "w3": 6e9}
+        _, log = self._run([_window(i, quiet) for i in range(4)])
+        assert [i.kind for i in log.incidents] == ["worker-dominant"]
+
+    def test_duty_cycle_betrays_slow_nic(self):
+        # Credit-limited fleet: byte rates equal, one NIC pegged.
+        duty = {"w0": 0.45, "w1": 0.5, "w2": 0.5, "w3": 0.98}
+        windows = [_window(i, FLEET, duty=duty) for i in range(4)]
+        _, log = self._run(windows)
+        assert [i.kind for i in log.incidents] == ["worker-busy"]
+        assert log.incidents[0].entity == "worker/w3"
+
+    def test_bimodal_fleet_is_role_asymmetry_not_straggle(self):
+        # Half the fleet "lags", half "dominates": structural skew.
+        rates = {"w0": 0.2e9, "w1": 0.2e9, "w2": 8e9, "w3": 8e9}
+        _, log = self._run([_window(i, rates) for i in range(6)])
+        assert len(log) == 0
+
+    def test_recovery_closes_after_hysteresis(self):
+        lagging = dict(FLEET, w2=1e9)
+        windows = [_window(i, lagging) for i in range(4)]
+        windows += [_window(4 + i, FLEET) for i in range(4)]
+        _, log = self._run(windows)
+        incident = log.incidents[0]
+        assert incident.end_s == pytest.approx(8 * INTERVAL)
+
+    def test_idle_fleet_does_not_count_as_recovery(self):
+        lagging = dict(FLEET, w2=1e9)
+        idle = {h: 0.0 for h in FLEET}
+        idle_duty = {h: 0.0 for h in FLEET}
+        windows = [_window(i, lagging) for i in range(4)]
+        windows += [_window(4 + i, idle, duty=idle_duty) for i in range(6)]
+        _, log = self._run(windows)
+        assert log.incidents[0].end_s is None
+
+    def test_small_fleets_are_skipped(self):
+        _, log = self._run(
+            [_window(i, {"w0": 8e9, "w1": 1e9}) for i in range(6)]
+        )
+        assert len(log) == 0
+
+
+class TestLossBurstDetector:
+    def _run(self, drop_counts):
+        detector = LossBurstDetector()
+        store, log = SeriesStore(), IncidentLog()
+        for i, drops in enumerate(drop_counts):
+            detector.observe(_window(i, FLEET, drops=drops), store, log)
+        return log
+
+    def test_burst_over_zero_baseline_opens(self):
+        log = self._run([0, 0, 2, 3, 1])
+        assert len(log) == 1
+        incident = log.incidents[0]
+        assert incident.kind == "drop-burst"
+        assert incident.entity == "fabric"
+        assert sum(incident.evidence["drops_recent"]) >= 3
+
+    def test_clean_run_stays_silent(self):
+        assert len(self._run([0] * 20)) == 0
+
+    def test_closes_after_quiet_windows(self):
+        # The trailing-sum burst window keeps matching for one zero
+        # window after the spike; hysteresis counts from there.
+        log = self._run([0, 4, 3, 0, 0, 0, 0, 0, 0])
+        incident = log.incidents[0]
+        assert incident.end_s is not None
+
+    def test_reopening_burst_resets_quiet_count(self):
+        log = self._run([0, 4, 3, 0, 0, 4, 0, 0, 0])
+        assert log.incidents[0].end_s is None
+
+
+class TestCongestionLocalizer:
+    def _window(self, index, backlog_s, utilization):
+        pipe = PipeSample(
+            tier="spine", segment="spine-0",
+            utilization=utilization, backlog_s=backlog_s,
+        )
+        window = _window(index, {})
+        window.pipes = {"spine:spine-0": pipe}
+        return window
+
+    def _run(self, samples):
+        detector = CongestionLocalizer()
+        store, log = SeriesStore(), IncidentLog()
+        for i, (backlog, util) in enumerate(samples):
+            detector.observe(self._window(i, backlog, util), store, log)
+        return log
+
+    def test_busy_backlogged_pipe_opens(self):
+        log = self._run([(200e-6, 2.0)] * 4)
+        assert len(log) == 1
+        incident = log.incidents[0]
+        assert incident.kind == "pipe-backlog"
+        assert incident.entity == "pipe/spine:spine-0"
+        assert incident.evidence["trailing_util"] > 0.5
+
+    def test_inherited_backlog_with_idle_pipe_is_not_blamed(self):
+        # Downstream of a bottleneck: huge booked backlog, near-zero
+        # own serialization -- the prefix-max chain, not congestion.
+        log = self._run([(500e-6, 0.1)] * 8)
+        assert len(log) == 0
+
+    def test_drained_pipe_closes(self):
+        samples = [(200e-6, 2.0)] * 4 + [(5e-6, 0.05)] * 3
+        log = self._run(samples)
+        assert log.incidents[0].end_s is not None
+
+
+class FakeHost:
+    def __init__(self, ports):
+        self._ports = {p: None for p in ports}
+
+
+class TestAggregatorCrashDetector:
+    def test_scan_reads_respawn_generations(self):
+        gens = AggregatorCrashDetector.scan_generations(
+            {
+                "agg-0": FakeHost(["or1.a0", "or1.a0r1", "or1.a0r2"]),
+                "agg-1": FakeHost(["or1.a1"]),
+            }
+        )
+        assert gens == {"agg-0": 2, "agg-1": 0}
+
+    def test_generation_bump_raises_instantaneous_incident(self):
+        detector = AggregatorCrashDetector()
+        store, log = SeriesStore(), IncidentLog()
+        w0 = _window(0, FLEET)
+        w0.agg_generations = {"agg-0": 0}
+        detector.observe(w0, store, log)
+        w1 = _window(1, FLEET)
+        w1.agg_generations = {"agg-0": 1}
+        detector.observe(w1, store, log)
+        assert len(log) == 1
+        incident = log.incidents[0]
+        assert incident.kind == "restart"
+        assert incident.entity == "agg/agg-0"
+        assert incident.end_s is not None
+        assert incident.confidence == pytest.approx(0.95)
+        # Same generation seen again: no duplicate.
+        detector.observe(w1, store, log)
+        assert len(log) == 1
+
+
+class TestSloBurnDetector:
+    def _job(self, done, arrival=0.0, slo=100e-6, iterations=10):
+        return JobSample(
+            name="job-0", status="running", arrival_s=arrival,
+            slo_s=slo, iterations=iterations, iterations_done=done,
+        )
+
+    def test_burning_job_flagged(self):
+        detector = SloBurnDetector()
+        store, log = SeriesStore(), IncidentLog()
+        # 60% of budget gone, 10% progress: projected way past SLO.
+        window = Window(start_s=0.0, end_s=60e-6)
+        window.jobs = [self._job(done=1)]
+        detector.observe(window, store, log)
+        assert len(log) == 1
+        assert log.incidents[0].entity == "job/job-0"
+
+    def test_on_track_job_not_flagged(self):
+        detector = SloBurnDetector()
+        store, log = SeriesStore(), IncidentLog()
+        window = Window(start_s=0.0, end_s=60e-6)
+        window.jobs = [self._job(done=8)]
+        detector.observe(window, store, log)
+        assert len(log) == 0
+
+    def test_finished_job_closes_incident(self):
+        detector = SloBurnDetector()
+        store, log = SeriesStore(), IncidentLog()
+        window = Window(start_s=0.0, end_s=60e-6)
+        window.jobs = [self._job(done=1)]
+        detector.observe(window, store, log)
+        later = Window(start_s=60e-6, end_s=80e-6)
+        later.jobs = []
+        detector.observe(later, store, log)
+        assert log.incidents[0].end_s == pytest.approx(80e-6)
+
+
+def test_build_detectors_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown detector"):
+        build_detectors(("straggler", "ghost"))

@@ -1,0 +1,120 @@
+"""Fault-plan scoring: match semantics and the smoke-matrix gate."""
+
+import pytest
+
+from repro.observatory import Incident
+from repro.observatory.scoring import (
+    Expectation,
+    Scenario,
+    default_slack,
+    evaluate,
+    match_outcome,
+    matrix,
+    score,
+)
+
+pytestmark = [pytest.mark.observatory]
+
+
+def _incident(detector, entity, start, end=None, confidence=0.9):
+    return Incident(
+        detector=detector, kind=detector, entity=entity,
+        start_s=start, end_s=end, confidence=confidence,
+    )
+
+
+class TestMatchOutcome:
+    def _scenario(self, *expected):
+        return Scenario("unit", expected=tuple(expected))
+
+    def test_match_is_true_positive_with_ttd(self):
+        exp = Expectation("straggler", "worker/worker-0", inject_s=100e-6)
+        hit = _incident("straggler", "worker/worker-0", 180e-6, 300e-6)
+        outcome = match_outcome(self._scenario(exp), [hit], slack_s=0.0)
+        assert outcome.matched == {id(hit): exp}
+        assert outcome.ttd_s[exp] == pytest.approx(80e-6)
+        assert not outcome.missed and not outcome.false_positives
+
+    def test_unmatched_expectation_is_missed(self):
+        exp = Expectation("straggler", "worker/worker-0")
+        outcome = match_outcome(self._scenario(exp), [], slack_s=0.0)
+        assert outcome.missed == [exp]
+
+    def test_earliest_candidate_wins(self):
+        exp = Expectation("straggler", "worker/worker-", inject_s=0.0)
+        late = _incident("straggler", "worker/worker-1", 300e-6)
+        early = _incident("straggler", "worker/worker-2", 100e-6)
+        outcome = match_outcome(self._scenario(exp), [late, early], slack_s=0.0)
+        assert outcome.matched == {id(early): exp}
+
+    def test_redetection_counts_as_duplicate_not_fp(self):
+        exp = Expectation("straggler", "worker/worker-0")
+        first = _incident("straggler", "worker/worker-0", 100e-6, 200e-6)
+        again = _incident("straggler", "worker/worker-0", 400e-6, 500e-6)
+        outcome = match_outcome(self._scenario(exp), [first, again], slack_s=0.0)
+        assert outcome.duplicates == 1
+        assert not outcome.false_positives
+
+    def test_attributed_symptom_of_matched_cause_is_explained(self):
+        exp = Expectation("agg-crash", "agg/agg-0", inject_s=100e-6)
+        crash = _incident("agg-crash", "agg/agg-0", 110e-6, 130e-6)
+        symptom = _incident("loss-burst", "fabric", 120e-6, 250e-6)
+        outcome = match_outcome(
+            self._scenario(exp), [crash, symptom], slack_s=50e-6
+        )
+        assert outcome.explained == 1
+        assert not outcome.false_positives
+
+    def test_unrelated_incident_is_a_false_positive(self):
+        exp = Expectation("agg-crash", "agg/agg-0")
+        crash = _incident("agg-crash", "agg/agg-0", 110e-6, 130e-6)
+        stray = _incident("congestion", "pipe/spine:spine-0", 800e-6, 900e-6)
+        outcome = match_outcome(
+            self._scenario(exp), [crash, stray], slack_s=10e-6
+        )
+        assert outcome.false_positives == [stray]
+
+    def test_score_aggregates_per_detector(self):
+        exp = Expectation("straggler", "worker/worker-0", inject_s=0.0)
+        hit = _incident("straggler", "worker/worker-0", 100e-6)
+        matched = match_outcome(self._scenario(exp), [hit], slack_s=0.0)
+        missed = match_outcome(self._scenario(exp), [], slack_s=0.0)
+        scores = score([matched, missed])
+        entry = scores["straggler"]
+        assert (entry.tp, entry.fn, entry.fp) == (1, 1, 0)
+        assert entry.precision == 1.0
+        assert entry.recall == 0.5
+        assert entry.mean_ttd_s == pytest.approx(100e-6)
+
+
+def test_default_slack_covers_retransmit_timeout():
+    scenario = Scenario("s", timeout_s=300e-6)
+    assert default_slack(scenario, interval_s=20e-6) == pytest.approx(500e-6)
+
+
+def test_matrix_levels():
+    smoke = matrix("smoke")
+    full = matrix("full")
+    assert len(smoke) < len(full)
+    assert {s.name for s in smoke} <= {s.name for s in full}
+    scored = {e.detector for s in full for e in s.expected}
+    assert {"straggler", "loss-burst", "agg-crash", "congestion",
+            "slo-burn"} <= scored
+
+
+def test_smoke_matrix_scores_perfectly():
+    """The CI gate: every smoke scenario detected, zero false alarms."""
+    outcomes = evaluate(level="smoke")
+    for outcome in outcomes:
+        assert not outcome.missed, (
+            f"{outcome.scenario.name}: missed {outcome.missed}"
+        )
+        assert not outcome.false_positives, (
+            f"{outcome.scenario.name}: false positives "
+            f"{[str(i) for i in outcome.false_positives]}"
+        )
+    clean = [o for o in outcomes if not o.scenario.expected]
+    assert clean and all(not o.incidents for o in clean)
+    for entry in score(outcomes).values():
+        assert entry.precision == 1.0
+        assert entry.recall == 1.0

@@ -1,0 +1,130 @@
+"""Streaming series primitives: ring, EWMA baseline, P² sketches."""
+
+import numpy as np
+import pytest
+
+from repro.observatory import EwmaBaseline, P2Quantile, RingBuffer, Series, SeriesStore
+
+pytestmark = [pytest.mark.observatory]
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_keeps_newest_when_full(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert len(ring) == 3
+        assert ring.values() == [20.0, 30.0, 40.0]
+        assert ring.items()[0] == (2.0, 20.0)
+
+    def test_last_n_is_oldest_first(self):
+        ring = RingBuffer(4)
+        for i in range(4):
+            ring.append(float(i), float(i))
+        assert ring.last(2) == [(2.0, 2.0), (3.0, 3.0)]
+
+
+class TestEwmaBaseline:
+    def test_first_sample_becomes_the_mean(self):
+        ewma = EwmaBaseline(alpha=0.3)
+        ewma.update(10.0)
+        assert ewma.mean == 10.0
+        assert ewma.var == 0.0
+
+    def test_constant_stream_has_zero_variance(self):
+        ewma = EwmaBaseline(alpha=0.5)
+        for _ in range(50):
+            ewma.update(7.0)
+        assert ewma.mean == pytest.approx(7.0)
+        assert ewma.var == pytest.approx(0.0)
+
+    def test_tracks_level_shift(self):
+        ewma = EwmaBaseline(alpha=0.3)
+        for _ in range(30):
+            ewma.update(1.0)
+        for _ in range(30):
+            ewma.update(9.0)
+        assert ewma.mean == pytest.approx(9.0, abs=0.05)
+
+    def test_zscore_flags_spikes(self):
+        ewma = EwmaBaseline(alpha=0.3)
+        rng = np.random.default_rng(0)
+        for v in rng.normal(10.0, 1.0, size=200):
+            ewma.update(float(v))
+        assert abs(ewma.zscore(10.0)) < 3.0
+        assert ewma.zscore(30.0) > 5.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EwmaBaseline(alpha=0.0)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        sketch = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            sketch.observe(v)
+        assert sketch.value() == 3.0
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.9).value() is None
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_converges_near_numpy_percentile(self, q):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(50.0, 10.0, size=5000)
+        sketch = P2Quantile(q)
+        for v in samples:
+            sketch.observe(float(v))
+        exact = float(np.percentile(samples, q * 100))
+        spread = float(samples.std())
+        assert sketch.value() == pytest.approx(exact, abs=0.15 * spread)
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestSeries:
+    def test_rollup_contains_moments_and_quantiles(self):
+        series = Series("test", capacity=16)
+        for i in range(10):
+            series.observe(float(i), float(i))
+        rollup = series.rollup()
+        assert rollup["count"] == 10
+        assert rollup["mean"] == pytest.approx(4.5)
+        assert rollup["last"] == 9.0
+        assert "p50" in rollup and "p95" in rollup
+
+    def test_recent_values(self):
+        series = Series("test")
+        for i in range(5):
+            series.observe(float(i), float(i * 2))
+        assert series.recent_values(3) == [4.0, 6.0, 8.0]
+
+
+class TestSeriesStore:
+    def test_created_on_first_use_and_shared(self):
+        store = SeriesStore()
+        a = store.series("worker", "w0", "tx_bps")
+        b = store.series("worker", "w0", "tx_bps")
+        assert a is b
+        assert len(store) == 1
+
+    def test_entities_filters_by_scope_and_metric(self):
+        store = SeriesStore()
+        store.series("worker", "w0", "tx_bps")
+        store.series("worker", "w1", "tx_bps")
+        store.series("pipe", "leaf:rack-0:up", "backlog_s")
+        assert store.entities("worker") == ["w0", "w1"]
+        assert store.entities("pipe", "backlog_s") == ["leaf:rack-0:up"]
+        assert store.get("pipe", "missing", "x") is None
+
+    def test_rollup_keys_are_slash_paths(self):
+        store = SeriesStore()
+        store.series("fabric", "all", "drops").observe(0.0, 1.0)
+        assert list(store.rollup()) == ["fabric/all/drops"]

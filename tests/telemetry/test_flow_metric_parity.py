@@ -1,0 +1,131 @@
+"""Flow-mode metric parity: unsupported metrics are n/a, never zero.
+
+The flow fast path books transfers analytically -- no per-packet loss,
+so ``retransmissions`` has no defined value there.  Recording 0 would
+be indistinguishable from a genuinely lossless packet run, so flow runs
+must instead *flag* the metric: no sample in the registry, a
+``metric_unsupported`` marker, ``n/a`` in the text summary, and an
+``unsupported`` section in the JSON report.  Every other uniform metric
+must still be emitted (the parity half of the contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALGORITHMS
+from repro.netsim import Cluster, ClusterSpec
+from repro.telemetry import UNIFORM_METRICS, Telemetry, metrics_report, summary
+from repro.telemetry.metrics import record_result, unsupported_metrics
+from repro.tensors import block_sparse_tensors
+
+pytestmark = [pytest.mark.telemetry, pytest.mark.flowmode]
+
+
+def _cluster():
+    return Cluster(
+        ClusterSpec(workers=4, aggregators=4, bandwidth_gbps=10, transport="tcp")
+    )
+
+
+def _tensors():
+    return block_sparse_tensors(
+        4, 32 * 16, 16, 0.5, rng=np.random.default_rng(0)
+    )
+
+
+def _run(name, sim_mode, tele):
+    collective = ALGORITHMS[name]
+    options_cls = type(collective.default_options())
+    session = collective.prepare(
+        _cluster(), options_cls(telemetry=tele, sim_mode=sim_mode)
+    )
+    return session.allreduce(_tensors())
+
+
+def test_flow_run_marks_retransmissions_na():
+    tele = Telemetry()
+    _run("omnireduce", "flow", tele)
+
+    assert unsupported_metrics(tele.metrics, "omnireduce") == {
+        "retransmissions"
+    }
+    retx = tele.metrics.get("retransmissions")
+    if retx is not None:
+        assert not [
+            ls for ls in retx.labelsets()
+            if ls.get("algorithm") == "omnireduce"
+        ]
+
+
+def test_flow_run_still_emits_every_other_uniform_metric():
+    tele = Telemetry()
+    _run("omnireduce", "flow", tele)
+    for metric_name in UNIFORM_METRICS:
+        if metric_name == "retransmissions":
+            continue
+        metric = tele.metrics.get(metric_name)
+        assert metric is not None, f"flow run missing {metric_name}"
+        assert [
+            ls for ls in metric.labelsets()
+            if ls.get("algorithm") == "omnireduce"
+        ], f"flow run emitted no {metric_name} sample"
+
+
+def test_packet_run_has_no_unsupported_markers():
+    tele = Telemetry()
+    _run("omnireduce", "packet", tele)
+    assert unsupported_metrics(tele.metrics, "omnireduce") == set()
+    assert "unsupported" not in metrics_report(tele)
+    retx = tele.metrics.get("retransmissions")
+    assert [
+        ls for ls in retx.labelsets() if ls.get("algorithm") == "omnireduce"
+    ]
+
+
+def test_summary_renders_na_for_flow_retransmissions():
+    tele = Telemetry()
+    _run("omnireduce", "flow", tele)
+    text = summary(tele)
+    row = next(
+        line for line in text.splitlines()
+        if line.strip().startswith("omnireduce")
+    )
+    assert "n/a" in row
+
+
+def test_summary_mixed_modes_flags_only_the_flow_row():
+    tele = Telemetry()
+    _run("omnireduce", "flow", tele)
+    _run("ring", "packet", tele)
+    lines = summary(tele).splitlines()
+    flow_row = next(l for l in lines if l.strip().startswith("omnireduce"))
+    packet_row = next(l for l in lines if l.strip().startswith("ring"))
+    assert "n/a" in flow_row
+    assert "n/a" not in packet_row
+
+
+def test_metrics_report_has_unsupported_section():
+    tele = Telemetry()
+    _run("omnireduce", "flow", tele)
+    report = metrics_report(tele)
+    assert report["unsupported"] == {"omnireduce": ["retransmissions"]}
+
+
+def test_nonblocking_flow_frames_also_mark_na():
+    tele = Telemetry()
+    collective = ALGORITHMS["omnireduce"]
+    options_cls = type(collective.default_options())
+    session = collective.prepare(
+        _cluster(), options_cls(telemetry=tele, sim_mode="flow")
+    )
+    session.submit(_tensors()).wait()
+    assert unsupported_metrics(tele.metrics, "omnireduce") == {
+        "retransmissions"
+    }
+
+
+def test_record_result_rejects_unknown_unsupported_names():
+    tele = Telemetry()
+    result = _run("ring", "packet", Telemetry())
+    with pytest.raises(ValueError, match="uniform metric set"):
+        record_result(tele.metrics, "ring", result, unsupported=("nope",))
