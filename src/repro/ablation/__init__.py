@@ -1,0 +1,34 @@
+"""Automated protocol-feature ablation (see docs/ablation.md).
+
+``repro.ablation`` sits on top of the
+:class:`~repro.core.features.ProtocolFeatures` layer: it runs a
+baseline collective plus one run per disabled catalog feature for every
+(Table-1 workload x fault plan) cell, reads time/goodput/wire-counter
+deltas from each run's telemetry metrics registry, checks every run
+against the dense float64 oracle, and ranks the features by what they
+earn.  Exposed as ``python -m repro.bench --experiment ablation``.
+"""
+
+from .harness import (
+    AblationCell,
+    AblationReport,
+    AblationRun,
+    CellReport,
+    FeatureDelta,
+    ablation_elements,
+    default_cells,
+    run_ablation,
+    run_cell,
+)
+
+__all__ = [
+    "AblationCell",
+    "AblationReport",
+    "AblationRun",
+    "CellReport",
+    "FeatureDelta",
+    "ablation_elements",
+    "default_cells",
+    "run_ablation",
+    "run_cell",
+]

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.collective import CollectiveResult, OmniReduce
 from ..core.config import OmniReduceConfig
+from ..core.features import ProtocolFeatures
 from ..core.flowreduce import FlowOmniReduce
 from ..core.pending import PendingCollective
 from ..core.rackreduce import (
@@ -104,6 +105,13 @@ class Options:
     per-packet events (loss, the datagram transport, Algorithm 2
     recovery...) raise :class:`~repro.netsim.flow.FlowUnsupported`.
 
+    ``features`` (a :class:`~repro.core.features.ProtocolFeatures`)
+    selects the active protocol mechanisms for algorithms that consult
+    the feature catalog (OmniReduce and the rack-hierarchical variant;
+    see :mod:`repro.core.features`).  ``None`` keeps each algorithm's
+    defaults.  The active set is stamped into the session's telemetry
+    either way.
+
     :meth:`from_kwargs` is *the* coercion entry point: everything that
     accepts loosely-typed options (``prepare``, the legacy
     ``run_allreduce`` shim, bench helpers) funnels through it.
@@ -111,6 +119,7 @@ class Options:
 
     telemetry: Optional[object] = None
     sim_mode: str = "packet"
+    features: Optional[ProtocolFeatures] = None
 
     @classmethod
     def from_kwargs(cls, options=None, /, **kwargs) -> "Options":
@@ -168,6 +177,7 @@ class OmniReduceOptions(Options):
             return super().from_kwargs(options, **kwargs)
         telemetry = kwargs.pop("telemetry", None)
         sim_mode = kwargs.pop("sim_mode", "packet")
+        features = kwargs.pop("features", None)
         config = kwargs.pop("config", None)
         if config is not None:
             if kwargs:
@@ -175,14 +185,20 @@ class OmniReduceOptions(Options):
                     f"pass either config= or raw config fields, not both "
                     f"(extra: {sorted(kwargs)})"
                 )
-            return cls(telemetry=telemetry, sim_mode=sim_mode, config=config)
+            return cls(
+                telemetry=telemetry,
+                sim_mode=sim_mode,
+                features=features,
+                config=config,
+            )
         if kwargs:
             return cls(
                 telemetry=telemetry,
                 sim_mode=sim_mode,
+                features=features,
                 config=OmniReduceConfig(**kwargs),
             )
-        return cls(telemetry=telemetry, sim_mode=sim_mode)
+        return cls(telemetry=telemetry, sim_mode=sim_mode, features=features)
 
 
 @dataclass(frozen=True)
@@ -368,11 +384,23 @@ class Session:
     """
 
     def __init__(
-        self, cluster: Cluster, options: Options, algorithm: str = ""
+        self,
+        cluster: Cluster,
+        options: Options,
+        algorithm: str = "",
+        features: Optional[ProtocolFeatures] = None,
     ) -> None:
         self.cluster = cluster
         self.options = options
         self.algorithm = algorithm or type(self).__name__
+        #: The protocol feature set stamped into telemetry recordings:
+        #: the engine's resolved set when the collective consults the
+        #: catalog, else whatever the options requested.
+        self.features = (
+            features
+            if features is not None
+            else getattr(options, "features", None)
+        )
         self.closed = False
         self.telemetry = getattr(options, "telemetry", None) or getattr(
             cluster, "telemetry", None
@@ -420,7 +448,9 @@ class Session:
         tele = self.telemetry
         if tele is None:
             return run()
-        with tele.collective(self.algorithm, self.cluster) as op:
+        with tele.collective(
+            self.algorithm, self.cluster, features=self.features
+        ) as op:
             result = run()
             if op is not None:
                 op.result = result
@@ -445,7 +475,9 @@ class Session:
     def _submitted(self, begin) -> PendingResult:
         frame = None
         if self.telemetry is not None:
-            frame = self.telemetry.collective_open(self.algorithm, self.cluster)
+            frame = self.telemetry.collective_open(
+                self.algorithm, self.cluster, features=self.features
+            )
         try:
             pending = begin()
         except BaseException:
@@ -503,9 +535,14 @@ class _EngineSession(Session):
     """Session delegating AllReduce to a prebuilt engine object."""
 
     def __init__(
-        self, cluster: Cluster, options: Options, engine, algorithm: str = ""
+        self,
+        cluster: Cluster,
+        options: Options,
+        engine,
+        algorithm: str = "",
+        features: Optional[ProtocolFeatures] = None,
     ) -> None:
-        super().__init__(cluster, options, algorithm)
+        super().__init__(cluster, options, algorithm, features)
         self.engine = engine
 
     def _allreduce(
@@ -613,12 +650,21 @@ class OmniReduceCollective(Collective):
 
     def prepare(self, cluster: Cluster, options=None) -> Session:
         opts = self._coerce(options)
+        config = opts.config
+        if opts.features is not None:
+            config = (config or OmniReduceConfig()).with_(features=opts.features)
         target = _sim_cluster(cluster, opts)
         if target is cluster:
-            engine = OmniReduce(cluster, opts.config)
+            engine = OmniReduce(cluster, config)
         else:
-            engine = FlowOmniReduce(target, opts.config)
-        return OmniReduceSession(target, opts, engine, algorithm=self.name)
+            engine = FlowOmniReduce(target, config)
+        return OmniReduceSession(
+            target,
+            opts,
+            engine,
+            algorithm=self.name,
+            features=engine.config.resolved_features(),
+        )
 
 
 class RackHierarchicalCollective(Collective):
@@ -645,8 +691,15 @@ class RackHierarchicalCollective(Collective):
             rack_size=opts.rack_size,
             block_size=opts.block_size,
             segment_bytes=opts.segment_bytes,
+            features=opts.features,
         )
-        return _EngineSession(target, opts, engine, algorithm=self.name)
+        return _EngineSession(
+            target,
+            opts,
+            engine,
+            algorithm=self.name,
+            features=engine.features,
+        )
 
 
 def _factories():

@@ -15,6 +15,7 @@ from .endtoend import (
     table1_workloads,
     table2_overlap_breakdown,
 )
+from .ablation import ablation
 from .conformance import conformance
 from .flowmode import fig06_flow
 from .scale import fig06_scale
@@ -78,6 +79,7 @@ __all__ = [
     "table1_workloads",
     "table2_overlap_breakdown",
     "model_validation",
+    "ablation",
     "ablation_streams",
     "conformance",
     "fault_recovery",

@@ -38,6 +38,7 @@ from typing import Callable, Dict
 from . import perf
 
 from . import (
+    ablation,
     ablation_streams,
     conformance,
     fig01_scalability,
@@ -94,6 +95,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table-1": table1_workloads,
     "table-2": table2_overlap_breakdown,
     "model-validation": model_validation,
+    "ablation": ablation,
     "ablation-streams": ablation_streams,
     "conformance": conformance,
     "multijob": multijob,

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..baselines import get as get_collective
 from ..baselines.ring import RingAllReduce
-from ..core import OmniReduce, OmniReduceConfig
+from ..core import OmniReduce, OmniReduceConfig, ProtocolFeatures
 from ..inetwork import InNetworkOmniReduce
 from ..model import PerfModel
 from ..netsim import Cluster, ClusterSpec
@@ -317,7 +317,10 @@ def fig15_block_size() -> ExperimentResult:
             row = dict(block_size=block_size, fusion="BF" if fusion else "NBF")
             for sparsity, key in ((0.0, "s0"), (0.6, "s60"), (0.9, "s90"),
                                   (0.99, "s99")):
-                config = OmniReduceConfig(block_size=block_size, fusion=fusion)
+                config = OmniReduceConfig(
+                    block_size=block_size,
+                    features=ProtocolFeatures(fusion=fusion),
+                )
                 samples = sample_count()
 
                 def one(i, sparsity=sparsity, config=config):

@@ -32,6 +32,7 @@ from ..baselines import registry
 from ..baselines.api import OmniReduceOptions, Options
 from ..core.collective import CollectiveResult
 from ..core.config import OmniReduceConfig
+from ..core.features import ProtocolFeatures
 from ..faults import AggregatorCrash, FaultPlan, StragglerSchedule
 from ..netsim.cluster import Cluster, ClusterSpec
 from ..netsim.loss import BernoulliLoss, GilbertElliottLoss
@@ -146,6 +147,10 @@ class ConformanceCase:
     #: Test-only mutant wrapped around the algorithm ("" = none); see
     #: :mod:`repro.conformance.mutants`.
     mutant: str = ""
+    #: Protocol feature set for OmniReduce cases (``None`` = defaults);
+    #: the ablation harness and the feature-conformance tests run
+    #: single-feature-off cases against the same dense oracle.
+    features: Optional["ProtocolFeatures"] = None
 
     def __post_init__(self) -> None:
         if self.pattern not in SPARSITY_PATTERNS:
@@ -167,6 +172,10 @@ class ConformanceCase:
             )
         if self.elements < self.block_size:
             raise ValueError("elements must cover at least one block")
+        if self.features is not None and not isinstance(
+            self.features, ProtocolFeatures
+        ):
+            raise TypeError("features must be a ProtocolFeatures instance")
 
     @property
     def case_id(self) -> str:
@@ -187,6 +196,10 @@ class ConformanceCase:
             parts.append(self.sim_mode)
         if self.mutant:
             parts.append(f"mutant:{self.mutant}")
+        if self.features is not None:
+            off = [name for name, on in self.features.labels() if not on]
+            if off:
+                parts.append("no-" + "+".join(off))
         parts.append(f"s{self.seed}")
         return "/".join(parts)
 
@@ -229,11 +242,15 @@ class ConformanceCase:
                 sim_mode=self.sim_mode
             )
         config = OmniReduceConfig(block_size=self.block_size)
+        if self.features is not None:
+            config = config.with_(features=self.features)
         if self.fault != "none":
             config = config.with_(
                 timeout_s=FAULT_TIMEOUT_S,
-                backoff_factor=FAULT_BACKOFF_FACTOR,
                 timeout_max_s=FAULT_TIMEOUT_MAX_S,
+                features=config.features.with_(
+                    backoff_factor=FAULT_BACKOFF_FACTOR
+                ),
             )
             if self.fault == "straggler" and self.transport != "dpdk":
                 # Stragglers delay but never lose packets; on a reliable
@@ -259,11 +276,15 @@ class ConformanceCase:
         ):
             backoff = (FAULT_TIMEOUT_S, FAULT_BACKOFF_FACTOR, FAULT_TIMEOUT_MAX_S)
         # skip_zero_blocks is the *promise* the case makes (OmniReduce
-        # conformance always promises it); a mutant that secretly breaks
-        # the promise must still face the monitor.
+        # conformance promises it unless the case explicitly ablates the
+        # feature); a mutant that secretly breaks the promise must still
+        # face the monitor.
+        suppresses = (
+            self.features is None or self.features.zero_block_suppression
+        )
         return default_monitors(
             algorithm=self.algorithm,
-            skip_zero_blocks=True,
+            skip_zero_blocks=suppresses,
             backoff=backoff,
         )
 

@@ -11,6 +11,7 @@ from .hierarchical import HierarchicalAllReduce
 from .sparse_block import SparseOmniReduce
 from .collective import CollectiveResult, OmniReduce
 from .config import OmniReduceConfig
+from .features import DEFAULT_FEATURES, FEATURES, FeatureSpec, ProtocolFeatures
 from .messages import (
     LaneEntry,
     ResultPacket,
@@ -25,6 +26,10 @@ from .worker import RecoveryStreamWorker, StreamWorker, StreamWorkerStats
 __all__ = [
     "OmniReduce",
     "OmniReduceConfig",
+    "ProtocolFeatures",
+    "FeatureSpec",
+    "FEATURES",
+    "DEFAULT_FEATURES",
     "CollectiveResult",
     "StreamWorker",
     "RecoveryStreamWorker",

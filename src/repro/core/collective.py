@@ -317,7 +317,11 @@ class OmniReduce:
         telemetry = getattr(self.cluster, "telemetry", None)
         if telemetry is None:
             return self._run_impl(tensors, worker_start_delays, gradient_readiness)
-        with telemetry.collective(self.telemetry_label, self.cluster) as op:
+        with telemetry.collective(
+            self.telemetry_label,
+            self.cluster,
+            features=self.config.resolved_features(),
+        ) as op:
             result = self._run_impl(
                 tensors, worker_start_delays, gradient_readiness
             )
@@ -343,6 +347,7 @@ class OmniReduce:
     ) -> PendingCollective:
         spec = self.cluster.spec
         config = self.config
+        features = config.resolved_features()
         sim = self.cluster.sim
         transport = self.cluster.transport
         op_id = next(_operation_ids)
@@ -408,13 +413,22 @@ class OmniReduce:
                         tensor_bytes,
                         pcie_bps,
                         start_s=start + bitmap_delay + start_delays[worker_id],
+                        # Chunk-prefetch ablated: the whole tensor must
+                        # be host-resident before the first byte leaves.
+                        **(
+                            {}
+                            if features.chunk_prefetch
+                            else {"chunk_bytes": max(1, tensor_bytes)}
+                        ),
                     )
                 )
                 down_engines.append(CopyEngine(pcie_bps))
 
         budget = self._payload_budget()
-        width = fusion_width(config.block_size, value_bytes, budget, config.fusion)
-        plan = plan_streams(total_blocks, spec.num_shards, config.streams_per_shard)
+        width = fusion_width(config.block_size, value_bytes, budget, features.fusion)
+        plan = plan_streams(
+            total_blocks, spec.num_shards, config.effective_streams_per_shard
+        )
         if len(plan) > MAX_STREAMS:
             raise ValueError(
                 f"{len(plan)} streams exceed the 12-bit slot id space of §5 "
@@ -499,7 +513,7 @@ class OmniReduce:
                 if recovery:
                     worker = RecoveryStreamWorker(
                         timeout_s=config.timeout_s,
-                        backoff_factor=config.backoff_factor,
+                        backoff_factor=features.backoff_factor,
                         timeout_max_s=config.timeout_max_s,
                         **common,
                     )
@@ -523,7 +537,8 @@ class OmniReduce:
                     else views[worker_id],
                     stream_range,
                     width,
-                    assume_dense=not config.skip_zero_blocks,
+                    assume_dense=not features.zero_block_suppression,
+                    lookahead=features.lookahead,
                 )
                 for worker_id in range(spec.workers)
             ]
@@ -706,7 +721,7 @@ class OmniReduce:
             # them was zero: the paper's bandwidth-saving mechanism,
             # derived from the generation-0 layouts (sum over workers and
             # streams).
-            if config.skip_zero_blocks:
+            if features.zero_block_suppression:
                 details_extra["zero_blocks_suppressed"] = float(
                     sum(
                         layout.range.num_blocks - layout.listed_blocks()

@@ -100,6 +100,8 @@ class FlowOmniReduce(OmniReduce):
         cluster = getattr(self.cluster, "flow_base", self.cluster)
         spec = cluster.spec
         config = self.config
+        features = config.resolved_features()
+        lookahead = features.lookahead
         sim = cluster.sim
         transport = getattr(cluster.transport, "inner", cluster.transport)
         network = cluster.network
@@ -181,12 +183,20 @@ class FlowOmniReduce(OmniReduce):
                         tensor_bytes,
                         pcie_bps,
                         start_s=start + bitmap_delay + start_delays[worker_id],
+                        # Chunk-prefetch ablated: one whole-tensor chunk.
+                        **(
+                            {}
+                            if features.chunk_prefetch
+                            else {"chunk_bytes": max(1, tensor_bytes)}
+                        ),
                     )
                 )
 
         budget = self._payload_budget()
-        width = fusion_width(block_size, value_bytes, budget, config.fusion)
-        plan = plan_streams(total_blocks, spec.num_shards, config.streams_per_shard)
+        width = fusion_width(block_size, value_bytes, budget, features.fusion)
+        plan = plan_streams(
+            total_blocks, spec.num_shards, config.effective_streams_per_shard
+        )
         if len(plan) > MAX_STREAMS:
             raise ValueError(
                 f"{len(plan)} streams exceed the 12-bit slot id space of §5 "
@@ -199,7 +209,7 @@ class FlowOmniReduce(OmniReduce):
         # its mask lists b (always, in dense/SwitchML* mode).  Computed
         # from the pristine contribution tensors, exactly like
         # BlockView's construction-time bitmap.
-        if config.skip_zero_blocks:
+        if features.zero_block_suppression:
             nz = flat.reshape(num_workers, total_blocks, block_size).any(axis=2)
         else:
             nz = np.ones((num_workers, total_blocks), dtype=bool)
@@ -310,9 +320,13 @@ class FlowOmniReduce(OmniReduce):
             seqs = []
             for lane in range(lanes):
                 pos = np.arange(lane, nb, lanes)
-                keep = any_b[pos]
-                keep[0] = True  # the first row is always requested
-                seqs.append(pos[keep])
+                if lookahead:
+                    keep = any_b[pos]
+                    keep[0] = True  # the first row is always requested
+                    pos = pos[keep]
+                # Look-ahead ablated: every lane position is requested in
+                # turn (zero positions become metadata-only rounds).
+                seqs.append(pos)
             lens = np.array([len(s) for s in seqs])
             rounds = int(lens.max())
             req = np.full((lanes, rounds), -1, dtype=np.int64)
@@ -335,7 +349,25 @@ class FlowOmniReduce(OmniReduce):
                 0,
                 1,
             )
-            resp_sizes = resp_wire_table[counts_all]
+            if lookahead:
+                # Responders carry one entry per *listed* lane: workers
+                # whose next pointer is further along stay silent.
+                resp_sizes = resp_wire_table[counts_all]
+                resp_mask = counts_all > 0
+            else:
+                # Every worker answers every round it still has valid
+                # lanes in, echoing metadata for zero positions, so the
+                # payload is one entry per active lane plus the listed
+                # data blocks.
+                payloads = (
+                    4 + entry_bytes * active_all[None, :] + counts_all * data_bytes
+                )
+                resp_sizes = wire_for(payloads.ravel(), 0, 1).reshape(
+                    payloads.shape
+                )
+                resp_mask = np.broadcast_to(
+                    active_all[None, :] > 0, counts_all.shape
+                )
             deep_all = None
             if not gdr:
                 # Deepest listed block per (worker, round): the prefetch
@@ -358,6 +390,7 @@ class FlowOmniReduce(OmniReduce):
                     "active": active_all,
                     "mc_sizes": mc_sizes,
                     "resp_sizes": resp_sizes,
+                    "resp_mask": resp_mask,
                     "deep": deep_all,
                     "rounds": rounds,
                     "order": None,  # arrival order of the pending round
@@ -542,26 +575,42 @@ class FlowOmniReduce(OmniReduce):
 
         # Each worker books its round-0 sends through its tx CPU and
         # egress NIC in (send time, stream) order: cpu_chain followed by
-        # serialize_chain, batched across all workers at once.
-        ordw = np.argsort(t0.T, axis=1, kind="stable")  # (workers, streams)
-        ready = np.take_along_axis(t0.T, ordw, axis=1)
-        steps = np.arange(num_streams, dtype=np.float64)
-        txc = tx_cost_w[:, None]
-        base = np.maximum.accumulate(
-            np.maximum(ready, tx_free_w[:, None]) - steps * txc, axis=1
-        )
-        tx_ready = base + (steps + 1.0) * txc
-        dur = np.take_along_axis(wire0.T, ordw, axis=1) * inv_bw_w[:, None]
-        cum = np.cumsum(dur, axis=1)
-        base = np.maximum.accumulate(
-            np.maximum(tx_ready, eg_free_w[:, None]) - (cum - dur), axis=1
-        )
-        done = base + cum
-        tx_free_w[:] = tx_ready[:, -1]
-        eg_free_w[:] = done[:, -1]
-        arrivals0 = np.empty((num_workers, num_streams))
-        np.put_along_axis(arrivals0, ordw, done + latency, axis=1)
-        arrivals0 = arrivals0.T
+        # serialize_chain, batched across all workers at once.  With the
+        # ``flow_vectorized`` feature ablated, the same bookings run as
+        # a scalar per-worker loop over the chain helpers -- the 2D
+        # accumulate operates row-wise, so both paths are bit-identical.
+        if features.flow_vectorized:
+            ordw = np.argsort(t0.T, axis=1, kind="stable")  # (workers, streams)
+            ready = np.take_along_axis(t0.T, ordw, axis=1)
+            steps = np.arange(num_streams, dtype=np.float64)
+            txc = tx_cost_w[:, None]
+            base = np.maximum.accumulate(
+                np.maximum(ready, tx_free_w[:, None]) - steps * txc, axis=1
+            )
+            tx_ready = base + (steps + 1.0) * txc
+            dur = np.take_along_axis(wire0.T, ordw, axis=1) * inv_bw_w[:, None]
+            cum = np.cumsum(dur, axis=1)
+            base = np.maximum.accumulate(
+                np.maximum(tx_ready, eg_free_w[:, None]) - (cum - dur), axis=1
+            )
+            done = base + cum
+            tx_free_w[:] = tx_ready[:, -1]
+            eg_free_w[:] = done[:, -1]
+            arrivals0 = np.empty((num_workers, num_streams))
+            np.put_along_axis(arrivals0, ordw, done + latency, axis=1)
+            arrivals0 = arrivals0.T
+        else:
+            arrivals0 = np.empty((num_streams, num_workers))
+            for w in range(num_workers):
+                order_w = np.argsort(t0[:, w], kind="stable")
+                tx_ready = cpu_chain(t0[order_w, w], tx_cost_w[w], tx_free_w[w])
+                done = serialize_chain(
+                    tx_ready, wire0[order_w, w] * inv_bw_w[w], eg_free_w[w]
+                )
+                if len(done):
+                    tx_free_w[w] = tx_ready[-1]
+                    eg_free_w[w] = done[-1]
+                arrivals0[order_w, w] = done + latency
         sent_w0 = wire0.sum(axis=0)
         sent_bytes_w += sent_w0
         sent_pkts_w += num_streams
@@ -654,8 +703,9 @@ class FlowOmniReduce(OmniReduce):
                 finish_time = max(finish_time, float(deliver.max()))
                 continue
 
-            # Responses for round j+1: workers listing a requested block.
-            resp = np.nonzero(st["counts"][:, j + 1])[0]
+            # Responses for round j+1: workers listing a requested block
+            # (with look-ahead ablated: every worker with a valid lane).
+            resp = np.nonzero(st["resp_mask"][:, j + 1])[0]
             if len(resp) == num_workers:
                 # Every worker responds (the common chatty case): book
                 # on the worker-state views with no fancy indexing.
@@ -735,7 +785,7 @@ class FlowOmniReduce(OmniReduce):
             if not gdr and num_workers:
                 finish = max(finish, float(down_free.max()))
             details: Dict[str, float] = {}
-            if config.skip_zero_blocks:
+            if features.zero_block_suppression:
                 details["zero_blocks_suppressed"] = float(zero_suppressed)
             details["worker_recv_wait_max_s"] = worker_wait_max
             details["bitmap_delay_s"] = bitmap_delay

@@ -152,6 +152,16 @@ class FusionLayout:
     per-lane "next non-zero" scans are O(log n) lookups.  In
     ``assume_dense`` mode (SwitchML*, §6.2.2) every block of the stream
     is transmittable regardless of content.
+
+    With ``lookahead=False`` (the look-ahead feature ablated, see
+    :mod:`repro.core.features`) the *walk* order decouples from the
+    *data* set: workers step through every lane position in turn, and
+    positions holding an all-zero block ride along as metadata-only
+    entries instead of being skipped.  :meth:`next_in_lane` then answers
+    from the full walk sequence while :meth:`is_listed` /
+    :meth:`listed_blocks` / :meth:`nonzero_in_lane` keep describing the
+    data-bearing blocks, so zero-block suppression still withholds the
+    payload bytes.
     """
 
     def __init__(
@@ -160,6 +170,7 @@ class FusionLayout:
         stream_range: StreamRange,
         width: int,
         assume_dense: bool = False,
+        lookahead: bool = True,
     ) -> None:
         if width < 1:
             raise ValueError("fusion width must be >= 1")
@@ -193,6 +204,20 @@ class FusionLayout:
             for block in in_range:
                 columns[((block - lo) // stride) % w].append(block)
             self._column_lists = columns
+        self.lookahead = bool(lookahead)
+        if self.lookahead or assume_dense:
+            # Walk order == data set: the classic look-ahead protocol
+            # (or dense mode, where every position carries data anyway).
+            self.walk_is_data = True
+            self._walk_columns: List[Sequence[int]] = list(self._column_lists)
+        else:
+            # Look-ahead ablated: walk every lane position; ``bisect``
+            # on a ``range`` keeps the lookups O(log n) without
+            # materializing the sequences.
+            self.walk_is_data = False
+            self._walk_columns = [
+                range(lo + c * stride, hi, stride * w) for c in range(w)
+            ]
         self._column_arrays: Optional[List[np.ndarray]] = None
         count = min(w, nb)
         self._first_row: List[int] = [lo + c * stride for c in range(count)]
@@ -223,9 +248,11 @@ class FusionLayout:
         return pos < len(column) and column[pos] == block
 
     def next_in_lane(self, lane: int, after_block: int) -> int:
-        """Worker's next transmittable block in ``lane`` strictly after
-        ``after_block``; :data:`~repro.tensors.blocks.INFINITY` if none."""
-        column = self._column_lists[lane]
+        """Worker's next block to *visit* in ``lane`` strictly after
+        ``after_block``; :data:`~repro.tensors.blocks.INFINITY` if none.
+        With look-ahead on this is the next transmittable block; with it
+        ablated, simply the lane's next position."""
+        column = self._walk_columns[lane]
         pos = bisect_right(column, after_block)
         if pos >= len(column):
             return INFINITY

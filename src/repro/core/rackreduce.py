@@ -64,6 +64,7 @@ from ..netsim.flow import (
     serialize_chain,
 )
 from ..tensors.accumulate import CooAccumulator
+from .features import DEFAULT_FEATURES, ProtocolFeatures
 from .pending import PendingCollective
 
 __all__ = [
@@ -112,6 +113,7 @@ def _plan(
     aggregators: int,
     rack_size: int,
     block_size: int,
+    suppress_zero_blocks: bool = True,
 ) -> _Plan:
     """Vectorized reduction + byte-accounting plan.
 
@@ -134,7 +136,13 @@ def _plan(
     # mask[w, b]: worker w's block b carries at least one nonzero.
     # (``any`` on the float view reduces in one pass, without the
     # workers*padded boolean temporary an explicit ``!= 0`` would make.)
-    mask = mat.reshape(workers, nblocks, block_size).any(axis=2)
+    # With zero-block suppression ablated every block travels, so the
+    # mask is all ones; the per-rack sums below already fold whole rows,
+    # so the reduced values are unchanged.
+    if suppress_zero_blocks:
+        mask = mat.reshape(workers, nblocks, block_size).any(axis=2)
+    else:
+        mask = np.ones((workers, nblocks), dtype=bool)
 
     racks: List[Tuple[int, int]] = []
     lo = 0
@@ -256,6 +264,7 @@ class RackHierarchicalOmniReduce:
         rack_size: int = DEFAULT_RACK_SIZE,
         block_size: int = 64,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        features: Optional[ProtocolFeatures] = None,
     ) -> None:
         base = getattr(cluster, "flow_base", cluster)
         if rack_size < 1:
@@ -264,6 +273,8 @@ class RackHierarchicalOmniReduce:
             raise ValueError("block_size must be >= 1")
         if segment_bytes < 1:
             raise ValueError("segment_bytes must be >= 1")
+        if features is not None and not isinstance(features, ProtocolFeatures):
+            raise TypeError("features must be a ProtocolFeatures instance")
         if not base.aggregator_hosts:
             raise ValueError("rack-hierarchical AllReduce needs aggregator hosts")
         if base.spec.colocated:
@@ -275,6 +286,7 @@ class RackHierarchicalOmniReduce:
         self.rack_size = rack_size
         self.block_size = block_size
         self.segment_bytes = segment_bytes
+        self.features = features if features is not None else DEFAULT_FEATURES
 
     # -- shared helpers ----------------------------------------------------
 
@@ -322,7 +334,13 @@ class RackHierarchicalOmniReduce:
         workers = cluster.spec.workers
         aggs = len(cluster.aggregator_hosts)
         delays = self._start_delays(cluster, worker_start_delays)
-        plan = _plan(flats, aggs, self.rack_size, self.block_size)
+        plan = _plan(
+            flats,
+            aggs,
+            self.rack_size,
+            self.block_size,
+            self.features.zero_block_suppression,
+        )
         outputs = [plan.output.copy() for _ in range(workers)]
 
         prefix = fresh_prefix("rh")
@@ -478,7 +496,13 @@ class FlowRackHierarchical(RackHierarchicalOmniReduce):
         workers = cluster.spec.workers
         aggs = len(cluster.aggregator_hosts)
         delays = self._start_delays(cluster, worker_start_delays)
-        plan = _plan(flats, aggs, self.rack_size, self.block_size)
+        plan = _plan(
+            flats,
+            aggs,
+            self.rack_size,
+            self.block_size,
+            self.features.zero_block_suppression,
+        )
         outputs = [plan.output.copy() for _ in range(workers)]
 
         prefix = fresh_prefix("rh")
@@ -553,6 +577,27 @@ class FlowRackHierarchical(RackHierarchicalOmniReduce):
         # the cached arrays as read-only.
         wire_full = float(wire(seg_cap))
         _wire_cache: dict = {}
+        flow_vectorized = self.features.flow_vectorized
+
+        def core_chain(
+            times: np.ndarray, src: str, dst: str, sizes: np.ndarray
+        ) -> np.ndarray:
+            """Book one message's segments across the shared core pipes.
+
+            The vectorized path collapses the per-pipe recurrence with
+            prefix maxima; with the feature ablated each segment books
+            the scalar :meth:`traverse_core` in turn -- the identical
+            recurrence (the uplink booking never depends on downlink
+            state), evaluated scalar-by-scalar like the packet kernel.
+            """
+            if flow_vectorized:
+                return topology.traverse_core_chain(times, src, dst, sizes)
+            out = np.empty(times.size, dtype=np.float64)
+            for i in range(times.size):
+                out[i] = topology.traverse_core(
+                    float(times[i]), src, dst, int(sizes[i])
+                )
+            return out
 
         def wire_sizes(nbytes: int) -> np.ndarray:
             sz = _wire_cache.get(nbytes)
@@ -603,9 +648,7 @@ class FlowRackHierarchical(RackHierarchicalOmniReduce):
                 sz = per_msg[j]
                 core = done[k : k + sz.size]
                 if topology is not None:
-                    core = topology.traverse_core_chain(
-                        core, whosts[leader], ahosts[j], sz
-                    )
+                    core = core_chain(core, whosts[leader], ahosts[j], sz)
                 agg_arr[j].append(core + latency)
                 agg_sz[j].append(sz)
                 k += sz.size
@@ -631,9 +674,7 @@ class FlowRackHierarchical(RackHierarchicalOmniReduce):
             for r in range(nracks):
                 core = done[r * sz1.size : (r + 1) * sz1.size]
                 if topology is not None:
-                    core = topology.traverse_core_chain(
-                        core, ahosts[j], whosts[leaders[r]], sz1
-                    )
+                    core = core_chain(core, ahosts[j], whosts[leaders[r]], sz1)
                 lead_arr[r].append(core + latency)
                 lead_sz[r].append(sz1)
 

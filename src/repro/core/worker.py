@@ -268,6 +268,11 @@ class StreamWorker(_StreamWorkerBase):
         my_next = self.my_next
         next_in_lane = self.layout.next_in_lane
         get_block = self.contrib.get_block
+        # With look-ahead on, every visited block is data-bearing by
+        # construction; with it ablated, zero positions are visited too
+        # and answer metadata-only (suppression still holds the payload).
+        walk_is_data = self.layout.walk_is_data
+        is_listed = self.layout.is_listed
         recv = self.endpoint.recv
         stats = self.stats
         while not all(lanes_done):
@@ -291,13 +296,13 @@ class StreamWorker(_StreamWorkerBase):
                 if requested == my_next[entry.lane]:
                     next_after = next_in_lane(entry.lane, requested)
                     my_next[entry.lane] = next_after
+                    data = (
+                        get_block(requested)
+                        if walk_is_data or is_listed(entry.lane, requested)
+                        else None
+                    )
                     response_lanes.append(
-                        LaneEntry(
-                            entry.lane,
-                            requested,
-                            next_after,
-                            get_block(requested),
-                        )
+                        LaneEntry(entry.lane, requested, next_after, data)
                     )
             if response_lanes:
                 packet = WorkerPacket(
@@ -443,6 +448,8 @@ class RecoveryStreamWorker(_StreamWorkerBase):
             my_next = self.my_next
             next_in_lane = self.layout.next_in_lane
             get_block = self.contrib.get_block
+            walk_is_data = self.layout.walk_is_data
+            is_listed = self.layout.is_listed
             recv = self.endpoint.recv
             stats = self.stats
             while True:
@@ -480,15 +487,16 @@ class RecoveryStreamWorker(_StreamWorkerBase):
                     if requested == my_next[entry.lane]:
                         next_after = next_in_lane(entry.lane, requested)
                         my_next[entry.lane] = next_after
-                        response_lanes.append(
-                            LaneEntry(
-                                entry.lane,
-                                requested,
-                                next_after,
-                                get_block(requested),
-                            )
+                        data = (
+                            get_block(requested)
+                            if walk_is_data or is_listed(entry.lane, requested)
+                            else None
                         )
-                        has_data = True
+                        response_lanes.append(
+                            LaneEntry(entry.lane, requested, next_after, data)
+                        )
+                        if data is not None:
+                            has_data = True
                     else:
                         # Empty acknowledgment lane: echo my next (Alg. 2 l.19).
                         response_lanes.append(

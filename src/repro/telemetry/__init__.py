@@ -49,7 +49,12 @@ from .export import (
     write_chrome_trace,
     write_metrics,
 )
-from .metrics import UNIFORM_METRICS, MetricsRegistry, record_result
+from .metrics import (
+    UNIFORM_METRICS,
+    MetricsRegistry,
+    record_features,
+    record_result,
+)
 
 #: Uniform metrics the flow-level fast path cannot measure: flows are
 #: booked as continuous transfers, so per-packet loss/recovery never
@@ -170,6 +175,10 @@ class Telemetry:
         self.recorder = self.tracer if self.config.record_spans else NULL_RECORDER
         #: pid -> algorithm label, one per recorded collective run.
         self.run_labels: Dict[int, str] = {}
+        #: pid -> {feature name: enabled} for runs that declared their
+        #: protocol feature set; the Chrome-trace exporter emits these
+        #: as per-run metadata so a Perfetto trace is self-describing.
+        self.run_features: Dict[int, Dict[str, bool]] = {}
         #: pid 0 is the tracer's default (component spans recorded
         #: outside any labelled run land there) and is never handed out,
         #: so a reserved process can't absorb unrelated tracks.
@@ -268,7 +277,7 @@ class Telemetry:
     # -- recording a collective run -----------------------------------------
 
     @contextmanager
-    def collective(self, algorithm: str, cluster):
+    def collective(self, algorithm: str, cluster, features=None):
         """Record one collective operation end to end.
 
         Yields a result box; the caller stores the finished
@@ -277,6 +286,10 @@ class Telemetry:
         exit.  Re-entrant frames (a session delegating to the engine it
         wraps) yield ``None`` and record nothing -- the outermost frame
         owns the run.
+
+        ``features`` (a :class:`~repro.core.features.ProtocolFeatures`)
+        stamps the run's active protocol feature set into the metrics
+        registry and the exported trace metadata.
         """
         if self._depth:
             yield None
@@ -285,6 +298,9 @@ class Telemetry:
         self.attach(cluster)
         self._depth += 1
         pid = self.reserve_pid(algorithm)
+        if features is not None:
+            self.run_features[pid] = dict(features.labels())
+            record_features(self.metrics, algorithm, features)
         self.tracer.pid = pid
         snapshot = TrafficSnapshot(cluster)
         box = _Recording()
@@ -313,7 +329,9 @@ class Telemetry:
 
     # -- recording in-flight collectives ------------------------------------
 
-    def collective_open(self, algorithm: str, cluster) -> Optional["_Frame"]:
+    def collective_open(
+        self, algorithm: str, cluster, features=None
+    ) -> Optional["_Frame"]:
         """Open a recording frame for a non-blocking collective.
 
         Unlike :meth:`collective`, frames from this pair may overlap in
@@ -321,12 +339,17 @@ class Telemetry:
         frame carries its own pid and closing one never force-closes
         another frame's spans.  Returns ``None`` inside a synchronous
         :meth:`collective` frame (the outer frame owns the run).
+        ``features`` stamps the active protocol feature set, exactly as
+        in :meth:`collective`.
         """
         if self._depth:
             return None
         unsupported = _unsupported_for(cluster)
         self.attach(cluster)
         pid = self.reserve_pid(algorithm)
+        if features is not None:
+            self.run_features[pid] = dict(features.labels())
+            record_features(self.metrics, algorithm, features)
         frame = _Frame(
             algorithm, cluster, pid, TrafficSnapshot(cluster), unsupported
         )

@@ -34,7 +34,11 @@ def chrome_trace(telemetry) -> Dict[str, Any]:
     tracer = telemetry.tracer
     trace_events: List[Dict[str, Any]] = []
 
-    # Name each run's process after its algorithm.
+    # Name each run's process after its algorithm; runs that declared a
+    # protocol feature set also get a ``process_labels`` metadata record
+    # ("+enabled,-ablated" per feature), so the trace itself says which
+    # protocol variant produced it.
+    run_features = getattr(telemetry, "run_features", {})
     for pid, label in sorted(telemetry.run_labels.items()):
         trace_events.append(
             {
@@ -45,6 +49,21 @@ def chrome_trace(telemetry) -> Dict[str, Any]:
                 "args": {"name": label},
             }
         )
+        features = run_features.get(pid)
+        if features:
+            stamp = ",".join(
+                ("+" if enabled else "-") + name
+                for name, enabled in features.items()
+            )
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_labels",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"labels": stamp},
+                }
+            )
 
     # Tracks map to integer thread ids, allocated per process in order
     # of first appearance; metadata records carry the human name.

@@ -24,6 +24,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "UNIFORM_METRICS",
+    "record_features",
     "record_result",
     "unsupported_metrics",
 ]
@@ -221,6 +222,24 @@ def unsupported_metrics(registry: MetricsRegistry, algorithm: str) -> set:
         for sample in gauge.samples()
         if sample["labels"].get("algorithm") == algorithm and sample["value"]
     }
+
+
+def record_features(registry: MetricsRegistry, algorithm: str, features) -> None:
+    """Stamp the active protocol feature set for ``algorithm``.
+
+    One ``protocol_feature`` gauge sample per catalog feature (see
+    :mod:`repro.core.features`), value 1 when the mechanism is enabled
+    and 0 when ablated -- so an exported metrics JSON always says which
+    protocol variant produced its numbers.  Follows the
+    ``metric_unsupported`` pattern: a labeled gauge, last write wins per
+    ``(algorithm, feature)``.
+    """
+    gauge = registry.gauge(
+        "protocol_feature",
+        "protocol mechanisms active for the run (1 = enabled, 0 = ablated)",
+    )
+    for name, enabled in features.labels():
+        gauge.set(1 if enabled else 0, feature=name, algorithm=algorithm)
 
 
 def record_result(

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import OmniReduce, OmniReduceConfig
+from repro.core import OmniReduce, OmniReduceConfig, ProtocolFeatures
 from repro.netsim import Cluster, ClusterSpec
 from repro.tensors import block_sparse_tensors
 
@@ -123,7 +123,11 @@ def test_allreduce_all_zero_tensors():
 
 def test_allreduce_fusion_off():
     cluster = small_cluster()
-    check_allreduce(cluster, small_config(fusion=False), make_inputs())
+    check_allreduce(
+        cluster,
+        small_config(features=ProtocolFeatures(fusion=False)),
+        make_inputs(),
+    )
 
 
 def test_allreduce_max_reduction():

@@ -19,7 +19,7 @@ the exact per-round traffic pattern.
 import numpy as np
 import pytest
 
-from repro.core import OmniReduce, OmniReduceConfig
+from repro.core import OmniReduce, OmniReduceConfig, ProtocolFeatures
 from repro.netsim import Cluster, ClusterSpec
 
 
@@ -43,7 +43,7 @@ def run_walkthrough():
     config = OmniReduceConfig(
         block_size=BS,
         streams_per_shard=1,
-        fusion=False,
+        features=ProtocolFeatures(fusion=False),
         charge_bitmap=False,
     )
     tensors = make_walkthrough_tensors()

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.collective import OmniReduce
 from repro.core.config import OmniReduceConfig
+from repro.core.features import ProtocolFeatures
 from repro.faults import AggregatorCrash, FaultPlan
 from repro.netsim.cluster import Cluster, ClusterSpec
 from repro.netsim.kernel import Interrupt, Simulator
@@ -166,7 +167,9 @@ class TestBackoff:
         backed = OmniReduce(
             Cluster(spec),
             OmniReduceConfig(
-                timeout_s=100e-6, backoff_factor=2.0, timeout_max_s=1e-3
+                timeout_s=100e-6,
+                timeout_max_s=1e-3,
+                features=ProtocolFeatures(backoff_factor=2.0),
             ),
         ).allreduce(tensors)
         expected = np.sum(tensors, axis=0)
